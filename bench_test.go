@@ -1,0 +1,247 @@
+package chopper
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each benchmark regenerates its experiment on a representative workload
+// subset (the full 16-workload sweep is `chopperbench -exp all`) and
+// reports the paper's headline quantity as a custom metric:
+//
+//	BenchmarkFig9   — CHOPPER vs hands-tuned speedup (fit + spill regimes)
+//	BenchmarkFig10  — full-vs-bitslice breakdown speedup
+//	BenchmarkFig11  — subarray-size robustness
+//	BenchmarkFig12  — VIRCOE awareness x SALP
+//	BenchmarkTable3 — lines-of-code reduction
+//
+// Compilation-pipeline micro-benchmarks follow (compile throughput for
+// each stage), since compiler speed is itself a deliverable.
+
+import (
+	"testing"
+
+	"chopper/internal/bench"
+	"chopper/internal/bitslice"
+	"chopper/internal/dfg"
+	"chopper/internal/dram"
+	"chopper/internal/dsl"
+	"chopper/internal/isa"
+	"chopper/internal/logic"
+	"chopper/internal/obs"
+	"chopper/internal/typecheck"
+	"chopper/internal/vircoe"
+	"chopper/internal/workloads"
+)
+
+// benchSel returns the workload subset for benchmarks: one fit-regime and
+// one spill-regime configuration per domain under -short, quick set
+// otherwise.
+func benchSel(b *testing.B) bench.Selection {
+	if testing.Short() {
+		return bench.QuickWorkloads()
+	}
+	var sel bench.Selection
+	for _, d := range workloads.Domains {
+		sel = append(sel, workloads.Build(d, workloads.Configs[d][0]))
+		sel = append(sel, workloads.Build(d, workloads.Configs[d][3]))
+	}
+	return sel
+}
+
+func BenchmarkFig9(b *testing.B) {
+	sel := benchSel(b)
+	h := bench.NewHarness()
+	var fitGeo, spillGeo float64
+	for i := 0; i < b.N; i++ {
+		t, err := h.Fig9Speedups(sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Split the geometric means by regime.
+		fit := &bench.Table{}
+		spill := &bench.Table{}
+		for _, r := range t.Rows {
+			spec, _ := workloads.Get(r.Workload)
+			s, err := h.SpillsInBaseline(spec, isa.Ambit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s {
+				spill.Rows = append(spill.Rows, bench.Row{Workload: r.Workload, Series: "x", Value: r.Value})
+			} else {
+				fit.Rows = append(fit.Rows, bench.Row{Workload: r.Workload, Series: "x", Value: r.Value})
+			}
+		}
+		fitGeo = fit.GeoMean("x")
+		spillGeo = spill.GeoMean("x")
+	}
+	b.ReportMetric(fitGeo, "fit-speedup")
+	b.ReportMetric(spillGeo, "spill-speedup")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	sel := benchSel(b)
+	h := bench.NewHarness()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		t, err := h.Fig10(sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = t.GeoMean("rename") / t.GeoMean("bitslice")
+	}
+	b.ReportMetric(gain, "full-vs-bitslice")
+}
+
+func BenchmarkFig11(b *testing.B) {
+	sel := benchSel(b)
+	h := bench.NewHarness()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		t, err := h.Fig11(sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, rows := range []string{"512", "1024", "2048"} {
+			g := t.GeoMean("CHOPPER-"+rows) / t.GeoMean("hand-"+rows)
+			if worst == 0 || g < worst {
+				worst = g
+			}
+		}
+	}
+	b.ReportMetric(worst, "min-speedup-across-sizes")
+}
+
+func BenchmarkFig12(b *testing.B) {
+	sel := benchSel(b)
+	h := bench.NewHarness()
+	var amplify float64
+	for i := 0; i < b.N; i++ {
+		t, err := h.Fig12(sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		amplify = t.GeoMean("rename/sub/SALP") / t.GeoMean("rename/bank/noSALP")
+	}
+	b.ReportMetric(amplify, "salp-amplification")
+}
+
+func BenchmarkTable3(b *testing.B) {
+	h := bench.NewHarness()
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		t, err := h.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = t.GeoMean("hand-single") / t.GeoMean("CHOPPER")
+	}
+	b.ReportMetric(reduction, "loc-reduction")
+}
+
+// --- compiler-stage micro-benchmarks ---
+
+const benchKernel = `
+node main(a: u16, b: u16, pred: u16) returns (z: u16)
+vars s: u16, d: u16, f: u1;
+let
+  s = a + b;
+  d = absdiff(a, b);
+  f = a > pred;
+  z = f ? s : d;
+tel`
+
+func BenchmarkCompileFrontend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prog, err := dsl.Parse(benchKernel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := typecheck.Check(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileBitslice(b *testing.B) {
+	prog, _ := dsl.Parse(benchKernel)
+	ch, _ := typecheck.Check(prog)
+	g, err := dfg.Build(ch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bitslice.Lower(g, bitslice.Options{Fold: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileFull(b *testing.B) {
+	for _, arch := range isa.AllArchs {
+		b.Run(arch.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(benchKernel, Options{Target: arch}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCompileWorkload(b *testing.B) {
+	spec := workloads.Build("SW", 128)
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(spec.Src, Options{Target: Ambit}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleGates(b *testing.B) {
+	prog, _ := dsl.Parse(benchKernel)
+	ch, _ := typecheck.Check(prog)
+	g, _ := dfg.Build(ch)
+	net, _ := bitslice.Lower(g, bitslice.Options{Fold: true})
+	leg, _ := logic.Legalize(net, isa.Ambit, logic.BuilderOptions{Fold: true, CSE: true})
+	leg = leg.DCE()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs.ScheduleGates(leg, true)
+	}
+}
+
+func BenchmarkVircoeEmit(b *testing.B) {
+	k, err := Compile(benchKernel, Options{Target: Ambit})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := k.Opts.Geometry
+	pls := vircoe.Placements(g, 16)
+	timing := dram.TimingFor(Ambit, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vircoe.Emit(k.Prog(), pls, vircoe.BankAware, timing)
+	}
+}
+
+func BenchmarkFunctionalSim(b *testing.B) {
+	k, err := Compile(benchKernel, Options{Target: Ambit})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lanes := 256
+	in := map[string][]uint64{
+		"a": make([]uint64, lanes), "b": make([]uint64, lanes), "pred": make([]uint64, lanes),
+	}
+	for l := 0; l < lanes; l++ {
+		in["a"][l] = uint64(l * 7 % 65536)
+		in["b"][l] = uint64(l * 13 % 65536)
+		in["pred"][l] = 32768
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Run(in, lanes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package chopper
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestBuilderBasicKernel(t *testing.T) {
+	b := NewBuilder()
+	a := b.Input("a", 8)
+	c := b.Add(a, b.Const(42, 8))
+	cond := b.Lt(a, b.Const(100, 8))
+	b.Output("z", b.Mux(cond, c, a))
+
+	k, err := b.Compile(Options{Target: Ambit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := k.Run(map[string][]uint64{"a": {5, 99, 100, 250}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{47, 141, 100, 250}
+	for l, w := range want {
+		if out["z"][l] != w {
+			t.Errorf("lane %d: z = %d, want %d", l, out["z"][l], w)
+		}
+	}
+	if err := k.Verify(2, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderFullOperatorSurface(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x", 12)
+	y := b.Input("y", 12)
+	v := b.Xor(b.And(x, y), b.Or(x, y))
+	v = b.Sub(b.Max(v, x), b.Min(v, y))
+	v = b.Add(v, b.AbsDiff(x, y))
+	v = b.Mul(v, b.Const(3, 12))
+	v = b.Or(b.Shl(v, 2), b.Shr(v, 3))
+	v = b.Mux(b.Ne(x, y), v, b.Not(x))
+	v = b.Add(v, b.Resize(b.PopCount(b.Resize(x, 6)), 12))
+	v = b.Mux(b.LtS(x, y), v, b.Neg(v))
+	b.Output("z", v)
+	b.Output("sgn", b.GeS(x, y))
+	b.Output("eq", b.Eq(x, y))
+	b.Output("le", b.Le(x, y))
+	b.Output("gt", b.Gt(x, y))
+	b.Output("ge", b.Ge(x, y))
+
+	for _, arch := range []Target{Ambit, SIMDRAM} {
+		k, err := b.Compile(Options{Target: arch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Verify(3, 2); err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+	}
+}
+
+func TestBuilderBaselinePath(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x", 8)
+	b.Output("z", b.Add(x, b.Const(1, 8)))
+	k, err := b.CompileBaseline(Options{Target: Ambit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Baseline == nil {
+		t.Fatal("not a baseline kernel")
+	}
+	if err := k.Verify(2, 3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderErrorsAccumulate(t *testing.T) {
+	cases := map[string]func(b *Builder){
+		"width mismatch":   func(b *Builder) { b.Add(b.Input("a", 8), b.Input("b", 16)) },
+		"duplicate input":  func(b *Builder) { b.Input("a", 8); b.Input("a", 8) },
+		"duplicate output": func(b *Builder) { x := b.Input("a", 8); b.Output("z", x); b.Output("z", x) },
+		"wide mux cond":    func(b *Builder) { x := b.Input("a", 8); b.Mux(x, x, x) },
+		"const overflow":   func(b *Builder) { b.Const(300, 8) },
+		"neg const":        func(b *Builder) { b.ConstBig(big.NewInt(-1), 8) },
+		"bad width":        func(b *Builder) { b.Input("a", 0) },
+		"bad shift":        func(b *Builder) { b.Shl(b.Input("a", 8), -1) },
+	}
+	for name, build := range cases {
+		b := NewBuilder()
+		build(b)
+		if b.Err() == nil {
+			t.Errorf("%s: no error accumulated", name)
+		}
+		b.Output("sink", b.Const(0, 1))
+		if _, err := b.Compile(Options{}); err == nil {
+			t.Errorf("%s: Compile succeeded", name)
+		}
+	}
+}
+
+func TestBuilderNoOutputs(t *testing.T) {
+	b := NewBuilder()
+	b.Input("a", 8)
+	if _, err := b.Compile(Options{}); err == nil || !strings.Contains(err.Error(), "no outputs") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBuilderValueWidth(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("a", 24)
+	if x.Width() != 24 {
+		t.Errorf("width = %d", x.Width())
+	}
+	if b.Lt(x, b.Const(5, 24)).Width() != 1 {
+		t.Error("comparison width != 1")
+	}
+	if b.Resize(x, 48).Width() != 48 {
+		t.Error("resize width wrong")
+	}
+}

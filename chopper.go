@@ -1,0 +1,468 @@
+// Package chopper is a compiler infrastructure for programmable bit-serial
+// SIMD Processing-Using-DRAM (PUD), reproducing the system described in
+// "CHOPPER: A Compiler Infrastructure for Programmable Bit-serial SIMD
+// Processing Using Memory in DRAM" (HPCA 2023).
+//
+// Programs are written in a synchronous dataflow language (see the dsl
+// package and the examples directory), compiled through bit-slicing into
+// 1-bit logic operations, optimized by the three OBS passes, and lowered to
+// micro-op programs (AAP/AP/WRITE/READ) for the Ambit, ELP2IM and SIMDRAM
+// in-DRAM computing substrates. A functional simulator executes compiled
+// programs bit-exactly, and a command-level timing model (with bank- and
+// subarray-level parallelism and an SSD spill model) evaluates them.
+//
+// Basic use:
+//
+//	k, err := chopper.Compile(src, chopper.Options{Target: chopper.Ambit})
+//	out, err := k.Run(map[string][]uint64{"a": {...}, "b": {...}}, lanes)
+package chopper
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"chopper/internal/baseline"
+	"chopper/internal/bitslice"
+	"chopper/internal/codegen"
+	"chopper/internal/dfg"
+	"chopper/internal/dram"
+	"chopper/internal/dsl"
+	"chopper/internal/isa"
+	"chopper/internal/logic"
+	"chopper/internal/obs"
+	"chopper/internal/sim"
+	"chopper/internal/transpose"
+	"chopper/internal/typecheck"
+)
+
+// Target identifies a Bit-serial SIMD PUD architecture.
+type Target = isa.Arch
+
+// Supported targets.
+const (
+	Ambit   = isa.Ambit
+	ELP2IM  = isa.ELP2IM
+	SIMDRAM = isa.SIMDRAM
+)
+
+// OptLevel is a cumulative OBS optimization level (the paper's breakdown
+// variants): Bitslice ⊂ Schedule ⊂ Reuse ⊂ Rename (= full CHOPPER).
+type OptLevel = obs.Variant
+
+// Optimization levels.
+const (
+	OptBitslice = obs.Bitslice
+	OptSchedule = obs.Schedule
+	OptReuse    = obs.Reuse
+	OptFull     = obs.Rename
+)
+
+// Options configure compilation.
+type Options struct {
+	// Target selects the PUD architecture. Default Ambit.
+	Target Target
+	// Opt selects the optimization level. Default OptFull.
+	Opt OptLevel
+	// Geometry describes the DRAM device. Zero value = evaluation default
+	// (16 banks, 64 subarrays/bank, 1024 rows, 8 KB rows).
+	Geometry dram.Geometry
+	// Entry selects the entry node; "" uses "main" or the last node.
+	Entry string
+	// SetOpt marks Opt as explicitly set (distinguishes OptBitslice, which
+	// is the zero value, from "use the default"). Use WithOpt to build
+	// Options fluently, or set both fields.
+	SetOpt bool
+}
+
+// WithOpt returns o with the optimization level set.
+func (o Options) WithOpt(lv OptLevel) Options {
+	o.Opt = lv
+	o.SetOpt = true
+	return o
+}
+
+func (o Options) normalize() Options {
+	if !o.SetOpt {
+		o.Opt = OptFull
+		o.SetOpt = true
+	}
+	if o.Geometry == (dram.Geometry{}) {
+		o.Geometry = dram.DefaultGeometry()
+	}
+	return o
+}
+
+// IOSpec describes one operand of a compiled kernel.
+type IOSpec struct {
+	Name  string
+	Width int // bits
+}
+
+// Kernel is a compiled program for one PUD subarray — produced either by
+// the CHOPPER pipeline (Compile) or by the hands-tuned SIMDRAM methodology
+// (CompileBaseline).
+type Kernel struct {
+	Opts Options
+
+	// Program is the DSL AST (exported for tooling; nil for graph-compiled
+	// kernels).
+	Program *dsl.Program
+	// Graph is the normalized dataflow graph.
+	Graph *dfg.Graph
+	// Net is the legalized bit-sliced logic net (nil for baseline kernels,
+	// which lower per multi-bit operation).
+	Net *logic.Net
+	// Code is the CHOPPER-generated micro-op program and host interface
+	// (nil for baseline kernels).
+	Code *codegen.Result
+	// Baseline is the hands-tuned result (nil for CHOPPER kernels).
+	Baseline *baseline.Result
+
+	// Inputs and Outputs describe the kernel interface in program order.
+	Inputs  []IOSpec
+	Outputs []IOSpec
+
+	prog         *isa.Program
+	inputTag     map[string]int
+	outputTag    map[string]int
+	constPattern map[int]uint64
+}
+
+// Prog returns the compiled micro-op program.
+func (k *Kernel) Prog() *isa.Program { return k.prog }
+
+// Compile compiles CHOPPER source into a kernel.
+func Compile(src string, opts Options) (*Kernel, error) {
+	opts = opts.normalize()
+	if err := opts.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	prog, err := dsl.ParseAndExpand(src)
+	if err != nil {
+		return nil, fmt.Errorf("chopper: parse: %w", err)
+	}
+	checked, err := typecheck.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("chopper: typecheck: %w", err)
+	}
+	entry := opts.Entry
+	if entry == "" {
+		e := prog.Entry()
+		if e == nil {
+			return nil, fmt.Errorf("chopper: no entry node")
+		}
+		entry = e.Name
+	}
+	graph, err := dfg.BuildNode(checked, entry)
+	if err != nil {
+		return nil, fmt.Errorf("chopper: normalize: %w", err)
+	}
+	return compileGraph(prog, entry, graph, opts)
+}
+
+func compileGraph(prog *dsl.Program, entry string, graph *dfg.Graph, opts Options) (*Kernel, error) {
+	// Honour the @noreuse annotation: the OBS-2 hook that lets programmers
+	// "transparently decide whether this optimization shall be enforced".
+	opt := opts.Opt
+	if prog != nil {
+		if e := prog.Lookup(entry); e != nil && e.HasAttr("noreuse") && opt == obs.Reuse {
+			opt = obs.Schedule
+		}
+	}
+	net, err := bitslice.Lower(graph, bitslice.Options{Fold: opt.HasReuse()})
+	if err != nil {
+		return nil, fmt.Errorf("chopper: bitslice: %w", err)
+	}
+	leg, err := logic.Legalize(net, opts.Target, logic.BuilderOptions{Fold: opt.HasReuse(), CSE: true})
+	if err != nil {
+		return nil, fmt.Errorf("chopper: legalize: %w", err)
+	}
+	leg = leg.DCE()
+	code, err := codegen.Generate(leg, codegen.Options{
+		Arch:    opts.Target,
+		Variant: opt,
+		DRows:   opts.Geometry.DRows(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chopper: codegen: %w", err)
+	}
+	k := &Kernel{
+		Opts: opts, Program: prog, Graph: graph, Net: leg, Code: code,
+		prog: code.Prog, inputTag: code.InputTag, outputTag: code.OutputTag,
+		constPattern: code.ConstPattern,
+	}
+	for _, in := range graph.Inputs {
+		v := graph.Values[in]
+		k.Inputs = append(k.Inputs, IOSpec{Name: v.Name, Width: v.Width})
+	}
+	for i, o := range graph.Outputs {
+		k.Outputs = append(k.Outputs, IOSpec{Name: graph.OutputNames[i], Width: graph.Values[o].Width})
+	}
+	return k, nil
+}
+
+// CompileGraph compiles an already-built dataflow graph (used by workload
+// generators that synthesize graphs directly).
+func CompileGraph(graph *dfg.Graph, opts Options) (*Kernel, error) {
+	opts = opts.normalize()
+	if err := opts.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	return compileGraph(nil, "", graph, opts)
+}
+
+// splitBit parses "name[3]" into ("name", 3).
+func splitBit(s string) (string, int, error) {
+	i := strings.LastIndexByte(s, '[')
+	if i < 0 || !strings.HasSuffix(s, "]") {
+		return "", 0, fmt.Errorf("chopper: malformed bit name %q", s)
+	}
+	bit, err := strconv.Atoi(s[i+1 : len(s)-1])
+	if err != nil {
+		return "", 0, err
+	}
+	return s[:i], bit, nil
+}
+
+// hostIO builds the WRITE source / READ sink for a run over transposed
+// operand rows.
+func (k *Kernel) hostIO(rows map[string][][]uint64, lanes int) (*sim.HostIO, map[string][][]uint64, error) {
+	words := transpose.Words(lanes)
+	mask := ^uint64(0)
+	if r := lanes % 64; r != 0 {
+		mask = (uint64(1) << uint(r)) - 1
+	}
+
+	// tag -> row data for inputs (tags may interleave with constant-row
+	// tags, so this is a sparse map).
+	writeRows := make(map[int][]uint64, len(k.inputTag))
+	for name, tag := range k.inputTag {
+		base, bit, err := splitBit(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		op, ok := rows[base]
+		if !ok {
+			return nil, nil, fmt.Errorf("chopper: missing input operand %q", base)
+		}
+		if bit >= len(op) {
+			return nil, nil, fmt.Errorf("chopper: input %q has %d bit-rows, kernel needs bit %d", base, len(op), bit)
+		}
+		writeRows[tag] = op[bit]
+	}
+
+	outRows := make(map[string][][]uint64)
+	for _, o := range k.Outputs {
+		rs := make([][]uint64, o.Width)
+		for b := range rs {
+			rs[b] = make([]uint64, words)
+		}
+		outRows[o.Name] = rs
+	}
+	outByTag := make(map[int]func([]uint64), len(k.outputTag))
+	for name, tag := range k.outputTag {
+		base, bit, err := splitBit(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		dst := outRows[base]
+		if bit >= len(dst) {
+			return nil, nil, fmt.Errorf("chopper: output bit %q out of range", name)
+		}
+		b := bit
+		outByTag[tag] = func(data []uint64) { copy(dst[b], data) }
+	}
+
+	io := &sim.HostIO{
+		WriteData: func(tag int) []uint64 {
+			if row, ok := writeRows[tag]; ok {
+				return row
+			}
+			pat, ok := k.constPattern[tag]
+			if !ok {
+				return nil
+			}
+			row := make([]uint64, words)
+			for i := range row {
+				row[i] = pat
+			}
+			row[words-1] &= mask
+			return row
+		},
+		ReadSink: func(tag int, data []uint64) {
+			if sink, ok := outByTag[tag]; ok {
+				sink(data)
+			}
+		},
+	}
+	return io, outRows, nil
+}
+
+// RunResult carries a run's outputs and its simulated time.
+type RunResult struct {
+	// Rows holds each output operand in vertical (bit-row) layout.
+	Rows map[string][][]uint64
+	// TimeNs is the single-subarray makespan in nanoseconds.
+	TimeNs float64
+	// Stats are the timing-engine counters.
+	Stats dram.EngineStats
+}
+
+// RunRows executes the kernel on one simulated subarray over operands
+// already in vertical layout (rows[op][bit][word]), with `lanes` SIMD
+// lanes, and returns outputs in vertical layout.
+func (k *Kernel) RunRows(rows map[string][][]uint64, lanes int) (*RunResult, error) {
+	io, outRows, err := k.hostIO(rows, lanes)
+	if err != nil {
+		return nil, err
+	}
+	m := sim.NewMachine(sim.MachineConfig{
+		Geom:  k.Opts.Geometry,
+		Arch:  k.Opts.Target,
+		Lanes: lanes,
+	})
+	stream := make([]dram.Placed, len(k.prog.Ops))
+	for i, op := range k.prog.Ops {
+		stream[i] = dram.Placed{Bank: 0, Subarray: 0, Op: op}
+	}
+	t, err := m.Run(stream, io)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Rows: outRows, TimeNs: t, Stats: m.Stats()}, nil
+}
+
+// Run executes the kernel on operands given as one value per lane (widths
+// up to 64 bits) and returns outputs the same way. Use RunWide for wider
+// operands.
+func (k *Kernel) Run(inputs map[string][]uint64, lanes int) (map[string][]uint64, error) {
+	rows := make(map[string][][]uint64, len(inputs))
+	for _, in := range k.Inputs {
+		vals, ok := inputs[in.Name]
+		if !ok {
+			return nil, fmt.Errorf("chopper: missing input %q", in.Name)
+		}
+		if in.Width > 64 {
+			return nil, fmt.Errorf("chopper: input %q is %d bits wide; use RunWide", in.Name, in.Width)
+		}
+		rows[in.Name] = transpose.ToVertical(vals, in.Width, lanes)
+	}
+	res, err := k.RunRows(rows, lanes)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]uint64, len(k.Outputs))
+	for _, o := range k.Outputs {
+		w := o.Width
+		if w > 64 {
+			return nil, fmt.Errorf("chopper: output %q is %d bits wide; use RunWide", o.Name, o.Width)
+		}
+		out[o.Name] = transpose.FromVertical(res.Rows[o.Name], w, lanes)
+	}
+	return out, nil
+}
+
+// RunWide is Run for operands of arbitrary width, as little-endian 64-bit
+// limb slices per lane.
+func (k *Kernel) RunWide(inputs map[string][][]uint64, lanes int) (map[string][][]uint64, error) {
+	rows := make(map[string][][]uint64, len(inputs))
+	for _, in := range k.Inputs {
+		vals, ok := inputs[in.Name]
+		if !ok {
+			return nil, fmt.Errorf("chopper: missing input %q", in.Name)
+		}
+		rows[in.Name] = transpose.ToVerticalWide(vals, in.Width, lanes)
+	}
+	res, err := k.RunRows(rows, lanes)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][][]uint64, len(k.Outputs))
+	for _, o := range k.Outputs {
+		out[o.Name] = transpose.FromVerticalWide(res.Rows[o.Name], o.Width, lanes)
+	}
+	return out, nil
+}
+
+// Asm renders the generated micro-op program as assembly text.
+func (k *Kernel) Asm() string {
+	var sb strings.Builder
+	for i := range k.prog.Ops {
+		fmt.Fprintf(&sb, "%4d: %s\n", i, k.prog.Ops[i])
+	}
+	return sb.String()
+}
+
+// Stats returns code generation statistics (CHOPPER kernels only; zero for
+// baseline kernels — see Kernel.Baseline for their statistics).
+func (k *Kernel) Stats() codegen.Stats {
+	if k.Code == nil {
+		return codegen.Stats{}
+	}
+	return k.Code.Stats
+}
+
+// CompileBaseline compiles CHOPPER source with the hands-tuned SIMDRAM
+// methodology instead of the CHOPPER back-end — the comparison target of
+// every experiment in the paper.
+func CompileBaseline(src string, opts Options) (*Kernel, error) {
+	opts = opts.normalize()
+	if err := opts.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	prog, err := dsl.ParseAndExpand(src)
+	if err != nil {
+		return nil, fmt.Errorf("chopper: parse: %w", err)
+	}
+	checked, err := typecheck.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("chopper: typecheck: %w", err)
+	}
+	entry := opts.Entry
+	if entry == "" {
+		entry = prog.Entry().Name
+	}
+	graph, err := dfg.BuildNode(checked, entry)
+	if err != nil {
+		return nil, fmt.Errorf("chopper: normalize: %w", err)
+	}
+	k, err := compileBaselineGraph(graph, opts)
+	if err != nil {
+		return nil, err
+	}
+	k.Program = prog
+	return k, nil
+}
+
+// CompileBaselineGraph is CompileBaseline for an already-built graph.
+func CompileBaselineGraph(graph *dfg.Graph, opts Options) (*Kernel, error) {
+	opts = opts.normalize()
+	if err := opts.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	return compileBaselineGraph(graph, opts)
+}
+
+func compileBaselineGraph(graph *dfg.Graph, opts Options) (*Kernel, error) {
+	res, err := baseline.Generate(graph, baseline.Options{
+		Arch:  opts.Target,
+		DRows: opts.Geometry.DRows(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chopper: baseline: %w", err)
+	}
+	k := &Kernel{
+		Opts: opts, Graph: graph, Baseline: res,
+		prog: res.Prog, inputTag: res.InputTag, outputTag: res.OutputTag,
+		constPattern: res.ConstPattern,
+	}
+	for _, in := range graph.Inputs {
+		v := graph.Values[in]
+		k.Inputs = append(k.Inputs, IOSpec{Name: v.Name, Width: v.Width})
+	}
+	for i, o := range graph.Outputs {
+		k.Outputs = append(k.Outputs, IOSpec{Name: graph.OutputNames[i], Width: graph.Values[o].Width})
+	}
+	return k, nil
+}

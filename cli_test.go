@@ -1,0 +1,103 @@
+package chopper
+
+// End-to-end command-line toolchain tests: build the real binaries and
+// pipe a program through chopperc and choppersim, including the raw
+// assembly path. Guarded by -short since they shell out to the Go tool.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline test shells out to the Go tool")
+	}
+	dir := t.TempDir()
+	chopperc := buildTool(t, dir, "chopperc")
+	choppersim := buildTool(t, dir, "choppersim")
+
+	src := filepath.Join(dir, "k.chop")
+	if err := os.WriteFile(src, []byte(
+		"node main(a: u8, b: u8) returns (z: u8) let z = min(a, b) + 1; tel\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// chopperc: stats dump mentions the instruction mix.
+	out, err := exec.Command(chopperc, "-target", "simdram", "-dump", "stats", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("chopperc stats: %v\n%s", err, out)
+	}
+	for _, want := range []string{"SIMDRAM", "instructions:", "AAP", "AP"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+
+	// chopperc -> assembly -> choppersim -asm round trip.
+	asm, err := exec.Command(chopperc, src).Output()
+	if err != nil {
+		t.Fatalf("chopperc asm: %v", err)
+	}
+	pud := filepath.Join(dir, "k.pud")
+	if err := os.WriteFile(pud, asm, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(choppersim, "-asm", "-lanes", "8", pud).CombinedOutput()
+	if err != nil {
+		t.Fatalf("choppersim -asm: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "executed") {
+		t.Errorf("asm run output: %s", out)
+	}
+
+	// choppersim with explicit per-lane inputs: min(9,4)+1 = 5.
+	out, err = exec.Command(choppersim, "-lanes", "2", "-show", "2",
+		"-in", "a=9,200", "-in", "b=4,7", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("choppersim: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "[5 8]") {
+		t.Errorf("expected z=[5 8] in output:\n%s", out)
+	}
+
+	// Baseline and horizontal modes compile from the CLI too.
+	if out, err := exec.Command(chopperc, "-baseline", "-dump", "stats", src).CombinedOutput(); err != nil {
+		t.Fatalf("chopperc -baseline: %v\n%s", err, out)
+	}
+	bw := filepath.Join(dir, "bw.chop")
+	if err := os.WriteFile(bw, []byte(
+		"node main(a: u8, b: u8) returns (z: u8) let z = a & ~b; tel\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(chopperc, "-horizontal", "-dump", "stats", bw).CombinedOutput(); err != nil {
+		t.Fatalf("chopperc -horizontal: %v\n%s", err, out)
+	}
+
+	// Errors surface with positions and nonzero exit.
+	bad := filepath.Join(dir, "bad.chop")
+	if err := os.WriteFile(bad, []byte("node main(a: u8) returns (z: u8) let z = q; tel\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(chopperc, bad).CombinedOutput()
+	if err == nil {
+		t.Error("chopperc accepted an invalid program")
+	}
+	if !strings.Contains(string(out), "undeclared") {
+		t.Errorf("error output: %s", out)
+	}
+}

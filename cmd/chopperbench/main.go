@@ -1,0 +1,83 @@
+// Command chopperbench regenerates the paper's evaluation tables and
+// figures (Section VIII) on the simulated infrastructure.
+//
+// Usage:
+//
+//	chopperbench [-exp all|table1|table2|table3|fig9|fig10|fig11|fig12] [-quick]
+//
+// -quick restricts the run to one small configuration per domain (useful
+// for smoke tests); the full set is all 16 Table II workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"chopper/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, fig9, fig9summary, fig10, fig11, fig12, emission, energy, ssd")
+	quick := flag.Bool("quick", false, "run only one small configuration per domain")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+
+	sel := bench.AllWorkloads()
+	if *quick {
+		sel = bench.QuickWorkloads()
+	}
+	h := bench.NewHarness()
+
+	run := func(name string, f func() (*bench.Table, error)) {
+		t0 := time.Now()
+		t, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chopperbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+		} else {
+			fmt.Println(t.Render())
+			fmt.Printf("[%s completed in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		fmt.Println(bench.Table1())
+	}
+	if want("table2") {
+		fmt.Println(bench.Table2())
+	}
+	if want("fig9") {
+		run("fig9", func() (*bench.Table, error) { return h.Fig9(sel) })
+	}
+	if want("fig9summary") || want("fig9") {
+		run("fig9summary", func() (*bench.Table, error) { return h.Fig9Speedups(sel) })
+	}
+	if want("table3") {
+		run("table3", func() (*bench.Table, error) { return h.Table3() })
+	}
+	if want("fig10") {
+		run("fig10", func() (*bench.Table, error) { return h.Fig10(sel) })
+	}
+	if want("fig11") {
+		run("fig11", func() (*bench.Table, error) { return h.Fig11(sel) })
+	}
+	if want("fig12") {
+		run("fig12", func() (*bench.Table, error) { return h.Fig12(sel) })
+	}
+	if want("emission") {
+		run("emission", func() (*bench.Table, error) { return h.EmissionStudy(sel) })
+	}
+	if want("energy") {
+		run("energy", func() (*bench.Table, error) { return h.EnergyStudy(sel) })
+	}
+	if want("ssd") {
+		run("ssd", func() (*bench.Table, error) { return h.SSDStudy() })
+	}
+}

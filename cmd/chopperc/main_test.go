@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chopper/internal/isa"
+	"chopper/internal/obs"
+)
+
+func TestParseArch(t *testing.T) {
+	cases := map[string]isa.Arch{"ambit": isa.Ambit, "ELP2IM": isa.ELP2IM, "SimDram": isa.SIMDRAM}
+	for s, want := range cases {
+		got, err := parseArch(s)
+		if err != nil || got != want {
+			t.Errorf("parseArch(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseArch("pentium"); err == nil {
+		t.Error("bogus arch accepted")
+	}
+}
+
+func TestParseOpt(t *testing.T) {
+	for _, v := range obs.AllVariants {
+		got, err := parseOpt(v.String())
+		if err != nil || got != v {
+			t.Errorf("parseOpt(%q) = %v, %v", v, got, err)
+		}
+	}
+	if _, err := parseOpt("turbo"); err == nil {
+		t.Error("bogus level accepted")
+	}
+}
+
+func TestReadSource(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k.chop")
+	if err := os.WriteFile(path, []byte("node main..."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readSource(path)
+	if err != nil || got != "node main..." {
+		t.Errorf("readSource: %q, %v", got, err)
+	}
+	if _, err := readSource(filepath.Join(dir, "missing.chop")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

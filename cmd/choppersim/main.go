@@ -1,0 +1,186 @@
+// Command choppersim compiles a CHOPPER program and executes it on the
+// functional DRAM simulator, printing per-lane results and timing.
+//
+// Usage:
+//
+//	choppersim [-target ...] [-opt ...] [-baseline] [-lanes N]
+//	           [-in name=v1,v2,... ...] file.chop
+//	choppersim -asm file.pud       # execute raw PUD assembly
+//
+// Inputs not supplied default to a deterministic ramp (lane index modulo
+// the operand's range), so quick experiments need no flags at all. In -asm
+// mode WRITE tags are fed lane-index ramps XORed with the tag, and READ
+// results are printed per tag.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	chopper "chopper"
+	"chopper/internal/dram"
+	"chopper/internal/isa"
+	"chopper/internal/obs"
+	"chopper/internal/sim"
+	"chopper/internal/transpose"
+)
+
+type inputFlags map[string][]uint64
+
+func (f inputFlags) String() string { return "" }
+
+func (f inputFlags) Set(s string) error {
+	name, vals, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=v1,v2,...")
+	}
+	for _, p := range strings.Split(vals, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 0, 64)
+		if err != nil {
+			return err
+		}
+		f[name] = append(f[name], v)
+	}
+	return nil
+}
+
+func main() {
+	asmMode := flag.Bool("asm", false, "treat the input as raw PUD assembly and execute it directly")
+	target := flag.String("target", "ambit", "PUD architecture: ambit, elp2im, simdram")
+	opt := flag.String("opt", "rename", "optimization level")
+	baselineFlag := flag.Bool("baseline", false, "use the hands-tuned methodology")
+	lanes := flag.Int("lanes", 16, "SIMD lanes to simulate")
+	show := flag.Int("show", 8, "lanes to print")
+	ins := inputFlags{}
+	flag.Var(ins, "in", "input operand values: name=v1,v2,... (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: choppersim [flags] file.chop")
+		os.Exit(2)
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	arch := map[string]isa.Arch{"ambit": isa.Ambit, "elp2im": isa.ELP2IM, "simdram": isa.SIMDRAM}[strings.ToLower(*target)]
+	if *asmMode {
+		runAsm(string(srcBytes), arch, *lanes)
+		return
+	}
+	var lv obs.Variant
+	found := false
+	for _, v := range obs.AllVariants {
+		if v.String() == *opt {
+			lv, found = v, true
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown -opt %q", *opt))
+	}
+
+	opts := chopper.Options{Target: arch}.WithOpt(lv)
+	var k *chopper.Kernel
+	if *baselineFlag {
+		k, err = chopper.CompileBaseline(string(srcBytes), opts)
+	} else {
+		k, err = chopper.Compile(string(srcBytes), opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	// Assemble inputs: flags first, ramps for the rest.
+	rows := make(map[string][][]uint64, len(k.Inputs))
+	inVals := make(map[string][]uint64, len(k.Inputs))
+	for _, in := range k.Inputs {
+		vals := ins[in.Name]
+		if vals == nil {
+			vals = make([]uint64, *lanes)
+			mask := ^uint64(0)
+			if in.Width < 64 {
+				mask = (uint64(1) << uint(in.Width)) - 1
+			}
+			for l := range vals {
+				vals[l] = uint64(l) & mask
+			}
+		}
+		if len(vals) < *lanes {
+			padded := make([]uint64, *lanes)
+			for l := range padded {
+				padded[l] = vals[l%len(vals)]
+			}
+			vals = padded
+		}
+		inVals[in.Name] = vals
+		w := in.Width
+		if w > 64 {
+			fatal(fmt.Errorf("input %s is %d bits; choppersim handles up to 64 (use the library's RunWide)", in.Name, w))
+		}
+		rows[in.Name] = transpose.ToVertical(vals, w, *lanes)
+	}
+
+	res, err := k.RunRows(rows, *lanes)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("compiled for %v (%s): %d micro-ops, %d D rows, %d spill slots\n",
+		arch, lv, len(k.Prog().Ops), k.Prog().DRowsUsed, k.Prog().SpillSlots)
+	fmt.Printf("single-subarray makespan: %.1f us (%d lanes)\n\n", res.TimeNs/1000, *lanes)
+
+	n := *show
+	if n > *lanes {
+		n = *lanes
+	}
+	for _, in := range k.Inputs {
+		fmt.Printf("%-8s in  %v\n", in.Name, inVals[in.Name][:n])
+	}
+	for _, out := range k.Outputs {
+		vals := transpose.FromVertical(res.Rows[out.Name], out.Width, *lanes)
+		fmt.Printf("%-8s out %v\n", out.Name, vals[:n])
+	}
+}
+
+// runAsm assembles and executes a raw micro-op program. Each WRITE tag t
+// receives the row pattern (laneIndex ^ t) & 1 replicated bitwise — i.e. a
+// deterministic but tag-dependent bit-row — and each READ is printed.
+func runAsm(text string, arch isa.Arch, lanes int) {
+	prog, err := isa.ParseProgram(text)
+	if err != nil {
+		fatal(err)
+	}
+	geom := dram.DefaultGeometry()
+	if prog.DRowsUsed > geom.DRows() {
+		fatal(fmt.Errorf("program uses %d D rows; subarray has %d", prog.DRowsUsed, geom.DRows()))
+	}
+	words := (lanes + 63) / 64
+	io := &sim.HostIO{
+		WriteData: func(tag int) []uint64 {
+			row := make([]uint64, words)
+			for l := 0; l < lanes; l++ {
+				if (l^tag)&1 == 1 {
+					row[l/64] |= 1 << uint(l%64)
+				}
+			}
+			return row
+		},
+		ReadSink: func(tag int, data []uint64) {
+			fmt.Printf("READ tag %d: %0*x\n", tag, words*16, data[0])
+		},
+	}
+	ns, err := sim.RunProgram(prog, arch, geom, lanes, io)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("executed %d micro-ops in %.1f us (%d lanes)\n", len(prog.Ops), ns/1000, lanes)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "choppersim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// DenseNet: compile a binary dense block (the paper's DNN workload) for
+// all three PUD architectures, run one tile, and compare code statistics
+// between CHOPPER and the hands-tuned methodology.
+//
+// Run with: go run ./examples/densenet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	chopper "chopper"
+	"chopper/internal/workloads"
+)
+
+func main() {
+	spec := workloads.Build("DenseNet", 16)
+	fmt.Printf("workload: %s — %s\n\n", spec.Name, spec.Desc)
+
+	lanes := 64
+	rng := rand.New(rand.NewSource(42))
+	x := make([]uint64, lanes)
+	for i := range x {
+		x[i] = rng.Uint64() & 0xF
+	}
+
+	for _, target := range []chopper.Target{chopper.Ambit, chopper.ELP2IM, chopper.SIMDRAM} {
+		k, err := chopper.Compile(spec.Src, chopper.Options{Target: target})
+		if err != nil {
+			log.Fatal(err)
+		}
+		kb, err := chopper.CompileBaseline(spec.Src, chopper.Options{Target: target})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := k.Run(map[string][]uint64{"x0": x}, lanes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8v CHOPPER: %6d ops, %3d rows | hands-tuned: %6d ops, %3d rows | y[0..7]=%v\n",
+			target,
+			len(k.Prog().Ops), k.Prog().DRowsUsed,
+			len(kb.Prog().Ops), kb.Prog().DRowsUsed,
+			out["y"][:8])
+	}
+
+	fmt.Println("\nThe dense block keeps every feature live for later layers (feature")
+	fmt.Println("reuse), which is why the hands-tuned full-width buffering needs so many")
+	fmt.Println("more rows — and why larger blocks push it into SSD spilling.")
+}

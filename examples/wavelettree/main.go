@@ -1,0 +1,98 @@
+// Wavelet Tree Construction: encode a document strip through an unbalanced
+// wavelet tree on the simulated PUD hardware and verify the encoding
+// against a plain Go implementation.
+//
+// Run with: go run ./examples/wavelettree
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	chopper "chopper"
+	"chopper/internal/workloads"
+)
+
+func main() {
+	const sigma = 64
+	spec := workloads.Build("WTC", sigma)
+	fmt.Printf("workload: %s — %s\n", spec.Name, spec.Desc)
+
+	k, err := chopper.Compile(spec.Src, chopper.Options{Target: chopper.SIMDRAM})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d micro-ops, %d D rows\n\n", len(k.Prog().Ops), k.Prog().DRowsUsed)
+
+	// One lane = one strip of sigma/2 characters. Fill 16 lanes randomly.
+	lanes := 16
+	chars := sigma / 2
+	rng := rand.New(rand.NewSource(7))
+	in := make(map[string][]uint64, chars)
+	for i := 0; i < chars; i++ {
+		vals := make([]uint64, lanes)
+		for l := range vals {
+			vals[l] = uint64(rng.Intn(2 * sigma))
+		}
+		in[fmt.Sprintf("c__%d", i)] = vals
+	}
+
+	out, err := k.Run(in, lanes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify lane 0's strip against the host-side encoder.
+	levels := 0
+	for 1<<levels < sigma {
+		levels++
+	}
+	mismatches := 0
+	for i := 0; i < chars; i++ {
+		c := in[fmt.Sprintf("c__%d", i)][0]
+		want := hostEncode(c, sigma)
+		for l := 0; l < levels; l++ {
+			got := out[fmt.Sprintf("b__%d", i*levels+l)][0]
+			if got != want[l] {
+				mismatches++
+			}
+		}
+	}
+	fmt.Printf("lane 0: %d characters x %d levels verified, %d mismatches\n", chars, levels, mismatches)
+	c0 := in["c__0"][0]
+	fmt.Printf("example: symbol %d encodes as %v\n", c0, hostEncode(c0, sigma))
+	if mismatches > 0 {
+		log.Fatal("encoding mismatch")
+	}
+}
+
+// hostEncode is the reference unbalanced wavelet-tree encoder.
+func hostEncode(c uint64, sigma int) []uint64 {
+	levels := 0
+	for 1<<levels < sigma {
+		levels++
+	}
+	span := 2 * sigma
+	cuts := make([]int, levels)
+	for l := 0; l < levels; l++ {
+		cuts[l] = span * 5 / 8
+		if cuts[l] < 1 {
+			cuts[l] = 1
+		}
+		span -= cuts[l]
+		if span < 2 {
+			span = 2
+		}
+	}
+	bits := make([]uint64, levels)
+	lo := uint64(0)
+	for l := 0; l < levels; l++ {
+		med := (lo + uint64(cuts[l])) & 1023
+		if c >= med {
+			bits[l] = 1
+			lo = med
+		}
+	}
+	return bits
+}

@@ -1,0 +1,3 @@
+module chopper
+
+go 1.22

@@ -1,0 +1,147 @@
+package chopper
+
+import (
+	"fmt"
+	"math/big"
+
+	"chopper/internal/bitslice"
+	"chopper/internal/codegen"
+	"chopper/internal/dfg"
+	"chopper/internal/dsl"
+	"chopper/internal/logic"
+	"chopper/internal/typecheck"
+)
+
+// CompileHorizontal compiles a purely bitwise kernel for the horizontal
+// (bit-parallel) data layout: each operand occupies ONE DRAM row with its
+// elements packed side by side, and every micro-op processes all of them
+// at once. No transposition is needed — this is the layout generalization
+// the paper's Section VI discusses for extending CHOPPER to other
+// processing-using-memory substrates.
+//
+// The trade-off is fundamental to the hardware: bitlines cannot propagate
+// carries, so only position-wise operations compile in this layout —
+// AND, OR, XOR, NOT (and whatever folds into them). Arithmetic,
+// comparisons, shifts, and multiplexing require the vertical (bit-serial)
+// layout and are rejected with an explanatory error.
+//
+// The returned kernel's interface has one 1-bit "lane" per packed data
+// bit: running it over `lanes` lanes processes lanes bits of each operand
+// (lanes/width elements).
+func CompileHorizontal(src string, opts Options) (*Kernel, error) {
+	opts = opts.normalize()
+	if err := opts.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	prog, err := dsl.ParseAndExpand(src)
+	if err != nil {
+		return nil, fmt.Errorf("chopper: parse: %w", err)
+	}
+	checked, err := typecheck.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("chopper: typecheck: %w", err)
+	}
+	entry := opts.Entry
+	if entry == "" {
+		entry = prog.Entry().Name
+	}
+	graph, err := dfg.BuildNode(checked, entry)
+	if err != nil {
+		return nil, fmt.Errorf("chopper: normalize: %w", err)
+	}
+	hg, err := horizontalGraph(graph)
+	if err != nil {
+		return nil, err
+	}
+	k, err := compileHorizontalGraph(hg, opts)
+	if err != nil {
+		return nil, err
+	}
+	k.Program = prog
+	return k, nil
+}
+
+// horizontalGraph converts a bitwise dataflow graph into its width-1
+// equivalent: each operand becomes a single "bit" whose row carries the
+// packed elements. Non-positionwise operations are rejected.
+func horizontalGraph(g *dfg.Graph) (*dfg.Graph, error) {
+	out := &dfg.Graph{}
+	for i := range g.Values {
+		v := g.Values[i]
+		switch v.Kind {
+		case dfg.OpInput, dfg.OpAnd, dfg.OpOr, dfg.OpXor, dfg.OpNot:
+			// Position-wise: legal in the horizontal layout.
+		case dfg.OpConst:
+			// A constant row is representable only when uniform across
+			// bit positions (all zeros or all ones): anything else would
+			// need per-position values, i.e. the vertical layout.
+			w := v.Width
+			allOnes := true
+			for b := 0; b < w; b++ {
+				if v.Imm.Bit(b) == 0 {
+					allOnes = false
+					break
+				}
+			}
+			if v.Imm.Sign() != 0 && !allOnes {
+				return nil, fmt.Errorf("chopper: constant %v is not uniform; the horizontal layout only holds all-0/all-1 constants", v.Imm)
+			}
+		default:
+			return nil, fmt.Errorf("chopper: operation %s needs carries or per-bit wiring across bitlines; it requires the vertical layout (use Compile)", v.Kind)
+		}
+		nv := dfg.Value{Kind: v.Kind, Width: 1, Name: v.Name}
+		if v.Kind == dfg.OpConst {
+			nv.Imm = v.Imm // sign carries the uniform value (0 vs nonzero)
+			if v.Imm.Sign() != 0 {
+				nv.Imm = bigOne
+			}
+		}
+		for _, a := range v.Args {
+			nv.Args = append(nv.Args, a)
+		}
+		out.Values = append(out.Values, nv)
+	}
+	out.Inputs = append([]dfg.ValueID(nil), g.Inputs...)
+	out.Outputs = append([]dfg.ValueID(nil), g.Outputs...)
+	out.OutputNames = append([]string(nil), g.OutputNames...)
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func compileHorizontalGraph(graph *dfg.Graph, opts Options) (*Kernel, error) {
+	opt := opts.Opt
+	net, err := bitslice.Lower(graph, bitslice.Options{Fold: opt.HasReuse()})
+	if err != nil {
+		return nil, fmt.Errorf("chopper: bitslice: %w", err)
+	}
+	leg, err := logic.Legalize(net, opts.Target, logic.BuilderOptions{Fold: opt.HasReuse(), CSE: true})
+	if err != nil {
+		return nil, fmt.Errorf("chopper: legalize: %w", err)
+	}
+	leg = leg.DCE()
+	code, err := codegen.Generate(leg, codegen.Options{
+		Arch:    opts.Target,
+		Variant: opt,
+		DRows:   opts.Geometry.DRows(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chopper: codegen: %w", err)
+	}
+	k := &Kernel{
+		Opts: opts, Graph: graph, Net: leg, Code: code,
+		prog: code.Prog, inputTag: code.InputTag, outputTag: code.OutputTag,
+		constPattern: code.ConstPattern,
+	}
+	for _, in := range graph.Inputs {
+		v := graph.Values[in]
+		k.Inputs = append(k.Inputs, IOSpec{Name: v.Name, Width: 1})
+	}
+	for i := range graph.Outputs {
+		k.Outputs = append(k.Outputs, IOSpec{Name: graph.OutputNames[i], Width: 1})
+	}
+	return k, nil
+}
+
+var bigOne = big.NewInt(1)

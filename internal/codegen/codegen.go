@@ -1,0 +1,764 @@
+// Package codegen translates a legalized bit-sliced logic net into a PUD
+// micro-op program for one subarray. It is where the three OBS
+// optimizations become row traffic:
+//
+//   - the gate execution order comes from obs.ScheduleGates (O1);
+//   - constant bitslices are sourced from the C-group rows instead of CPU
+//     writes when O2 is enabled, and are host-written, buffered rows when
+//     it is not;
+//   - with O3 enabled, stores are lazy: a TRA result stays in the compute
+//     rows and is only stored to a D-group row when the next operation
+//     would clobber it while uses remain ("Store-Copy-Compute" becomes
+//     "Store-Compute" for one-shot bitslices), and single-use inputs are
+//     host-written directly into the compute rows.
+//
+// Gate-to-micro-op mapping (the Ambit/SIMDRAM command idiom):
+//
+//	AND x,y  =>  AAP x->T0; AAP y->T1; AAP C0->T2; AP T0,T1,T2
+//	OR  x,y  =>  AAP x->T0; AAP y->T1; AAP C1->T2; AP T0,T1,T2
+//	MAJ x,y,z => AAP x->T0; AAP y->T1; AAP z->T2; AP T0,T1,T2  (SIMDRAM)
+//	NOT x    =>  AAP x->DCCi  (result available at ~DCCi)
+package codegen
+
+import (
+	"fmt"
+
+	"chopper/internal/alloc"
+	"chopper/internal/isa"
+	"chopper/internal/logic"
+	"chopper/internal/obs"
+)
+
+// Options configure code generation. The net must already be legalized for
+// Arch (see logic.Legalize); codegen verifies this.
+type Options struct {
+	Arch    isa.Arch
+	Variant obs.Variant
+	// DRows is the number of D-group rows the generator may allocate.
+	DRows int
+
+	// PoolBase offsets the allocatable region: rows [PoolBase,
+	// PoolBase+DRows) belong to the generator, rows below PoolBase to the
+	// caller (the baseline driver parks full-width operands there).
+	PoolBase int
+	// SlotBase offsets SSD spill slot numbering.
+	SlotBase int
+
+	// ExtIn declares inputs that do not come from the host: the value
+	// already resides in a caller-managed row, or sits in a caller-managed
+	// SSD spill slot. ExtOut routes outputs to caller-managed rows or
+	// slots instead of host READs.
+	ExtIn  map[string]ExtLoc
+	ExtOut map[string]ExtLoc
+}
+
+// ExtLoc locates an externally managed value: a resident row, or an SSD
+// spill slot when Spilled is set.
+type ExtLoc struct {
+	Row     isa.Row
+	Slot    int
+	Spilled bool
+}
+
+// Stats summarizes the generated program.
+type Stats struct {
+	AAPs, APs     int
+	Writes, Reads int
+	SpillOuts     int
+	SpillIns      int
+	Drops         int // input/const rows evicted without SSD traffic
+	StoresElided  int // TRA results never stored thanks to O3
+	DirectWrites  int // inputs host-written straight into compute rows (O3)
+	ConstCopies   int // constants sourced from the C-group (O2)
+	ConstWrites   int // constant rows written by the host (no O2)
+	MaxLiveRows   int // D-group high-water mark
+}
+
+// Result is a compiled single-subarray program plus its host interface.
+type Result struct {
+	Prog *isa.Program
+
+	// InputTag maps a net input name (e.g. "a[3]") to the WRITE tag the
+	// host must answer with that bit-row.
+	InputTag map[string]int
+	// OutputTag maps a net output name to the READ tag it arrives under.
+	OutputTag map[string]int
+	// ConstPattern maps WRITE tags above the input range to the fill
+	// pattern (0 or ^0) of host-materialized constant rows (O2 off).
+	ConstPattern map[int]uint64
+
+	// NextSlot is the first spill slot id not used by this program
+	// (callers generating multiple programs chain SlotBase through it).
+	NextSlot int
+
+	Stats Stats
+}
+
+type locKind uint8
+
+const (
+	locNowhere  locKind = iota // not materialized (pristine input/const)
+	locDRow                    // in a pool-allocated D-group row
+	locExternal                // in a caller-managed D-group row (pinned)
+	locB                       // in the T rows as the last TRA result
+	locDCC                     // in a dual-contact complement row
+	locSpilled                 // on the SSD
+	locDead                    // no uses remain
+)
+
+type location struct {
+	kind locKind
+	row  isa.Row // D row, or DCC0N/DCC1N for locDCC
+	slot int     // spill slot for locSpilled
+}
+
+type emitter struct {
+	net  *logic.Net
+	opts Options
+
+	prog isa.Program
+	pool *alloc.RowPool
+
+	loc    []location
+	usePos [][]int // consumption positions per node, ascending
+	useIdx []int   // cursor into usePos
+
+	lr logic.NodeID // node whose value currently fills T0..T2 (None if stale)
+
+	dccHold [2]logic.NodeID // node held by each DCC pair (None if free)
+
+	isConst  []bool
+	isInput  []bool
+	external []bool // value managed by the caller (never host-written)
+
+	constTag  map[logic.NodeID]int
+	inputTag  map[string]int
+	nodeTag   []int // WRITE tag per input node
+	nextTag   int
+	nextSlot  int
+	slotOf    map[logic.NodeID]int
+	constPats map[int]uint64
+
+	outPos int // schedule position at which outputs are consumed
+
+	// outIdx lists the output indices each node feeds, so results can be
+	// read back eagerly (as soon as final) instead of buffering every
+	// output row until the end of the program.
+	outIdx  map[logic.NodeID][]int
+	outDone []bool
+
+	// resident tracks nodes currently occupying a D-group row, so spill
+	// victim selection scans at most DRows candidates.
+	resident map[logic.NodeID]struct{}
+
+	stats Stats
+}
+
+// setLoc updates a node's location, maintaining the resident index.
+func (e *emitter) setLoc(n logic.NodeID, l location) {
+	if e.loc[n].kind == locDRow {
+		delete(e.resident, n)
+	}
+	if l.kind == locDRow {
+		e.resident[n] = struct{}{}
+	}
+	e.loc[n] = l
+}
+
+// Generate compiles the net into a single-subarray program.
+func Generate(net *logic.Net, opts Options) (*Result, error) {
+	if err := net.CheckGateSet(logic.NativeGates(opts.Arch)); err != nil {
+		return nil, fmt.Errorf("codegen: net not legalized for %v: %w", opts.Arch, err)
+	}
+	if opts.DRows < 4 {
+		return nil, fmt.Errorf("codegen: need at least 4 D-group rows, have %d", opts.DRows)
+	}
+	order := obs.ScheduleGates(net, opts.Variant.HasSchedule())
+
+	e := &emitter{
+		net:       net,
+		opts:      opts,
+		pool:      alloc.NewRowPoolAt(opts.PoolBase, opts.DRows),
+		loc:       make([]location, len(net.Gates)),
+		usePos:    make([][]int, len(net.Gates)),
+		useIdx:    make([]int, len(net.Gates)),
+		lr:        logic.None,
+		dccHold:   [2]logic.NodeID{logic.None, logic.None},
+		isConst:   make([]bool, len(net.Gates)),
+		isInput:   make([]bool, len(net.Gates)),
+		external:  make([]bool, len(net.Gates)),
+		constTag:  make(map[logic.NodeID]int),
+		inputTag:  make(map[string]int),
+		nodeTag:   make([]int, len(net.Gates)),
+		slotOf:    make(map[logic.NodeID]int),
+		constPats: make(map[int]uint64),
+		resident:  make(map[logic.NodeID]struct{}),
+		outPos:    len(order),
+		outIdx:    make(map[logic.NodeID][]int),
+		outDone:   make([]bool, len(net.Outputs)),
+	}
+	for i, o := range net.Outputs {
+		e.outIdx[o] = append(e.outIdx[o], i)
+	}
+	for i := range net.Gates {
+		switch net.Gates[i].Kind {
+		case logic.GConst0, logic.GConst1:
+			e.isConst[i] = true
+		case logic.GInput:
+			e.isInput[i] = true
+		}
+		e.nodeTag[i] = -1
+	}
+	for i, in := range net.Inputs {
+		if ext, ok := opts.ExtIn[net.InputNames[i]]; ok {
+			e.external[in] = true
+			if ext.Spilled {
+				e.loc[in] = location{kind: locSpilled, slot: ext.Slot}
+				e.slotOf[in] = ext.Slot
+			} else {
+				e.loc[in] = location{kind: locExternal, row: ext.Row}
+			}
+			continue
+		}
+		e.nodeTag[in] = i
+		e.inputTag[net.InputNames[i]] = i
+	}
+	e.nextTag = len(net.Inputs)
+	e.nextSlot = opts.SlotBase
+
+	// Consumption positions: one entry per (gate, distinct arg); outputs
+	// consume at outPos.
+	for pos, gid := range order {
+		g := &net.Gates[gid]
+		var seen [3]logic.NodeID
+		ns := 0
+		for a := 0; a < g.Kind.Arity(); a++ {
+			arg := g.Args[a]
+			dup := false
+			for s := 0; s < ns; s++ {
+				if seen[s] == arg {
+					dup = true
+				}
+			}
+			if !dup {
+				seen[ns] = arg
+				ns++
+				e.usePos[arg] = append(e.usePos[arg], pos)
+			}
+		}
+	}
+	for _, o := range net.Outputs {
+		e.usePos[o] = append(e.usePos[o], e.outPos)
+	}
+
+	res := &Result{
+		InputTag:     e.inputTag,
+		OutputTag:    make(map[string]int, len(net.Outputs)),
+		ConstPattern: e.constPats,
+	}
+	for i := range net.Outputs {
+		res.OutputTag[net.OutputNames[i]] = i
+	}
+	for pos, gid := range order {
+		if err := e.emitGate(pos, gid); err != nil {
+			return nil, err
+		}
+		if e.opts.Variant.HasRename() {
+			if err := e.eagerRead(pos, gid); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, o := range net.Outputs {
+		if e.outDone[i] {
+			continue
+		}
+		row, err := e.sourceRowForRead(o)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: output %s: %w", net.OutputNames[i], err)
+		}
+		if ext, ok := opts.ExtOut[net.OutputNames[i]]; ok {
+			if ext.Spilled {
+				e.prog.Append(isa.NewSpillOut(row, uint64(ext.Slot)))
+				e.stats.SpillOuts++
+			} else {
+				e.prog.Append(isa.NewAAP(row, ext.Row))
+				e.stats.AAPs++
+			}
+			e.outDone[i] = true
+			e.finishOutput(o)
+			continue
+		}
+		e.prog.Append(isa.NewRead(row, i))
+		e.stats.Reads++
+		e.outDone[i] = true
+		e.finishOutput(o)
+	}
+
+	e.stats.MaxLiveRows = e.pool.MaxUsed()
+	e.prog.DRowsUsed = e.pool.MaxUsed()
+	maxSlot := e.nextSlot
+	for name, ext := range opts.ExtOut {
+		if ext.Spilled && ext.Slot+1 > maxSlot {
+			maxSlot = ext.Slot + 1
+		}
+		_ = name
+	}
+	for name, ext := range opts.ExtIn {
+		if ext.Spilled && ext.Slot+1 > maxSlot {
+			maxSlot = ext.Slot + 1
+		}
+		_ = name
+	}
+	e.prog.SpillSlots = maxSlot
+	res.NextSlot = maxSlot
+	if err := e.prog.Validate(opts.PoolBase + opts.DRows); err != nil {
+		return nil, err
+	}
+	res.Prog = &e.prog
+	res.Stats = e.stats
+	return res, nil
+}
+
+// eagerRead retires outputs whose value just became final: the gate at pos
+// feeds one or more program outputs and has no further computational
+// consumers. Retiring now — a host READ, or a store to the caller's
+// external row/slot for ExtOut — releases the row immediately instead of
+// buffering every output until program end, which is essential for kernels
+// with many outputs.
+func (e *emitter) eagerRead(pos int, gid logic.NodeID) error {
+	outs := e.outIdx[gid]
+	if len(outs) == 0 {
+		return nil
+	}
+	// Remaining uses must be exactly the output pseudo-use.
+	if e.nextUse(gid) != e.outPos {
+		return nil
+	}
+	return e.retireOutputs(gid, pos)
+}
+
+// retireOutputs emits the host READ (or external store) for every output
+// fed by node n, then frees n's storage.
+func (e *emitter) retireOutputs(n logic.NodeID, pos int) error {
+	row, err := e.materialize(n, pos)
+	if err != nil {
+		return err
+	}
+	for _, oi := range e.outIdx[n] {
+		if e.outDone[oi] {
+			continue
+		}
+		if ext, ok := e.opts.ExtOut[e.net.OutputNames[oi]]; ok {
+			if ext.Spilled {
+				e.prog.Append(isa.NewSpillOut(row, uint64(ext.Slot)))
+				e.stats.SpillOuts++
+			} else {
+				e.prog.Append(isa.NewAAP(row, ext.Row))
+				e.stats.AAPs++
+			}
+		} else {
+			e.prog.Append(isa.NewRead(row, oi))
+			e.stats.Reads++
+		}
+		e.outDone[oi] = true
+	}
+	// The output pseudo-use is satisfied; free the storage.
+	e.useIdx[n] = len(e.usePos[n])
+	e.release(n)
+	return nil
+}
+
+// finishOutput releases node n's storage once every output it feeds has
+// been retired, so refills of later (spilled) outputs have rows to land in.
+func (e *emitter) finishOutput(n logic.NodeID) {
+	for _, oi := range e.outIdx[n] {
+		if !e.outDone[oi] {
+			return
+		}
+	}
+	if e.loc[n].kind != locDead {
+		e.useIdx[n] = len(e.usePos[n])
+		e.release(n)
+	}
+}
+
+// remaining returns the number of unconsumed uses of node n.
+func (e *emitter) remaining(n logic.NodeID) int {
+	return len(e.usePos[n]) - e.useIdx[n]
+}
+
+// nextUse returns the next consumption position of n (outPos+1 if none).
+func (e *emitter) nextUse(n logic.NodeID) int {
+	if e.useIdx[n] >= len(e.usePos[n]) {
+		return e.outPos + 1
+	}
+	return e.usePos[n][e.useIdx[n]]
+}
+
+// consume advances n's use cursor past position pos. If the only use left
+// is the output pseudo-use, the output is retired right away (with O3):
+// values that are both outputs and operands finalize here, not at their
+// defining gate.
+func (e *emitter) consume(n logic.NodeID, pos int) {
+	for e.useIdx[n] < len(e.usePos[n]) && e.usePos[n][e.useIdx[n]] <= pos {
+		e.useIdx[n]++
+	}
+	if e.remaining(n) == 0 && e.loc[n].kind != locDead {
+		e.release(n)
+		return
+	}
+	if e.opts.Variant.HasRename() && len(e.outIdx[n]) > 0 &&
+		e.remaining(n) == len(e.outIdx[n]) && e.nextUse(n) == e.outPos &&
+		e.loc[n].kind != locDead && e.loc[n].kind != locB {
+		// Ignore retire errors here; the end-of-program path will retry
+		// and report them with output context.
+		_ = e.retireOutputs(n, pos)
+	}
+}
+
+// release frees whatever storage a dead node occupies.
+func (e *emitter) release(n logic.NodeID) {
+	switch e.loc[n].kind {
+	case locDRow:
+		e.pool.Free(e.loc[n].row)
+	case locDCC:
+		for i := range e.dccHold {
+			if e.dccHold[i] == n {
+				e.dccHold[i] = logic.None
+			}
+		}
+	}
+	if e.lr == n {
+		e.lr = logic.None
+	}
+	e.setLoc(n, location{kind: locDead})
+}
+
+// allocD obtains a free D row, evicting by Belady order if necessary:
+// pristine-on-host rows (inputs/constants) are dropped for free; computed
+// values are spilled to the SSD.
+func (e *emitter) allocD(pos int) (isa.Row, error) {
+	if r, ok := e.pool.Alloc(); ok {
+		return r, nil
+	}
+	// Pick victims among nodes resident in D rows.
+	victim := logic.None
+	victimDrop := false
+	victimNext := -1
+	for id := range e.resident {
+		n := int(id)
+		nu := e.nextUse(id)
+		if nu <= pos {
+			// Needed by the operation being assembled right now: pinned.
+			continue
+		}
+		drop := (e.isInput[n] || e.isConst[n]) && !e.external[n]
+		// Prefer droppable rows; among equals, furthest next use.
+		better := false
+		switch {
+		case victim == logic.None:
+			better = true
+		case drop != victimDrop:
+			better = drop
+		default:
+			better = nu > victimNext
+		}
+		if better {
+			victim, victimDrop, victimNext = id, drop, nu
+		}
+	}
+	if victim == logic.None {
+		return isa.RowNone, fmt.Errorf("codegen: subarray too small: all %d D rows are needed at step %d", e.opts.DRows, pos)
+	}
+	row := e.loc[victim].row
+	if victimDrop {
+		// The host still has this data; just forget the row.
+		e.setLoc(victim, location{kind: locNowhere})
+		e.stats.Drops++
+	} else {
+		slot, ok := e.slotOf[victim]
+		if !ok {
+			slot = e.nextSlot
+			e.nextSlot++
+			e.slotOf[victim] = slot
+		}
+		e.prog.Append(isa.NewSpillOut(row, uint64(slot)))
+		e.stats.SpillOuts++
+		e.setLoc(victim, location{kind: locSpilled, slot: slot})
+	}
+	e.pool.Free(row)
+	r, ok := e.pool.Alloc()
+	if !ok {
+		return isa.RowNone, fmt.Errorf("codegen: allocator inconsistency")
+	}
+	return r, nil
+}
+
+// materialize ensures node n's value lives in an addressable row and
+// returns that row. It never places into B-group (callers copy from the
+// returned row into compute rows). pos is the current schedule position.
+func (e *emitter) materialize(n logic.NodeID, pos int) (isa.Row, error) {
+	switch e.loc[n].kind {
+	case locDRow, locExternal:
+		return e.loc[n].row, nil
+	case locDCC:
+		return e.loc[n].row, nil
+	case locB:
+		return isa.T0, nil
+	case locSpilled:
+		row, err := e.allocD(pos)
+		if err != nil {
+			return isa.RowNone, err
+		}
+		slot := e.loc[n].slot
+		e.prog.Append(isa.NewSpillIn(row, uint64(slot)))
+		e.stats.SpillIns++
+		e.setLoc(n, location{kind: locDRow, row: row})
+		return row, nil
+	case locNowhere:
+		switch {
+		case e.isConst[n]:
+			if e.opts.Variant.HasReuse() {
+				// O2: the constant is architecturally present.
+				if e.net.Gates[n].Kind == logic.GConst1 {
+					return isa.C1, nil
+				}
+				return isa.C0, nil
+			}
+			// Host writes and buffers a constant row.
+			tag, ok := e.constTag[n]
+			if !ok {
+				tag = e.nextTag
+				e.nextTag++
+				e.constTag[n] = tag
+				pat := uint64(0)
+				if e.net.Gates[n].Kind == logic.GConst1 {
+					pat = ^uint64(0)
+				}
+				e.constPats[tag] = pat
+			}
+			row, err := e.allocD(pos)
+			if err != nil {
+				return isa.RowNone, err
+			}
+			e.prog.Append(isa.NewWrite(row, tag))
+			e.stats.Writes++
+			e.stats.ConstWrites++
+			e.setLoc(n, location{kind: locDRow, row: row})
+			return row, nil
+		case e.isInput[n]:
+			row, err := e.allocD(pos)
+			if err != nil {
+				return isa.RowNone, err
+			}
+			e.prog.Append(isa.NewWrite(row, e.nodeTag[n]))
+			e.stats.Writes++
+			e.setLoc(n, location{kind: locDRow, row: row})
+			return row, nil
+		}
+		return isa.RowNone, fmt.Errorf("codegen: node %d has no value to materialize", n)
+	}
+	return isa.RowNone, fmt.Errorf("codegen: node %d is dead but referenced", n)
+}
+
+// sourceRowForRead is materialize for output reads (B results read from T0,
+// NOT results from their complement row).
+func (e *emitter) sourceRowForRead(n logic.NodeID) (isa.Row, error) {
+	return e.materialize(n, e.outPos)
+}
+
+// flushLR stores the last TRA result to a D row if uses remain beyond the
+// current gate's own consumption. consumedNow is how it is referenced by
+// the gate about to execute.
+func (e *emitter) flushLR(pos int, consumedNow bool) error {
+	if e.lr == logic.None {
+		return nil
+	}
+	n := e.lr
+	rem := e.remaining(n)
+	if consumedNow {
+		rem-- // this gate's consumption doesn't require a buffered copy
+	}
+	if rem > 0 && e.loc[n].kind == locB {
+		row, err := e.allocD(pos)
+		if err != nil {
+			return err
+		}
+		e.prog.Append(isa.NewAAP(isa.T0, row))
+		e.stats.AAPs++
+		e.setLoc(n, location{kind: locDRow, row: row})
+	} else if rem <= 0 && e.loc[n].kind == locB && e.opts.Variant.HasRename() {
+		e.stats.StoresElided++
+	}
+	// Either way, the T rows are about to be clobbered.
+	if e.loc[n].kind == locB {
+		if rem > 0 {
+			return fmt.Errorf("codegen: losing live value %d", n)
+		}
+		e.setLoc(n, location{kind: locDead})
+	}
+	e.lr = logic.None
+	return nil
+}
+
+// dccFor picks a DCC pair for a NOT result, storing the current holder
+// first if it is still live and unbuffered.
+func (e *emitter) dccFor(pos int) (int, error) {
+	// Prefer a free pair.
+	for i, h := range e.dccHold {
+		if h == logic.None {
+			return i, nil
+		}
+		if e.loc[h].kind != locDCC {
+			// Holder moved (stored/spilled/dead); pair is reusable.
+			e.dccHold[i] = logic.None
+			return i, nil
+		}
+	}
+	// Evict the holder with the furthest next use.
+	iv := 0
+	if e.nextUse(e.dccHold[1]) > e.nextUse(e.dccHold[0]) {
+		iv = 1
+	}
+	h := e.dccHold[iv]
+	if e.remaining(h) > 0 {
+		row, err := e.allocD(pos)
+		if err != nil {
+			return 0, err
+		}
+		e.prog.Append(isa.NewAAP(e.loc[h].row, row))
+		e.stats.AAPs++
+		e.setLoc(h, location{kind: locDRow, row: row})
+	} else {
+		e.setLoc(h, location{kind: locDead})
+	}
+	e.dccHold[iv] = logic.None
+	return iv, nil
+}
+
+var dccRows = [2][2]isa.Row{{isa.DCC0, isa.DCC0N}, {isa.DCC1, isa.DCC1N}}
+
+func (e *emitter) emitGate(pos int, gid logic.NodeID) error {
+	g := &e.net.Gates[gid]
+	rename := e.opts.Variant.HasRename()
+
+	switch g.Kind {
+	case logic.GNot:
+		arg := g.Args[0]
+		chained := rename && e.lr == arg && e.loc[arg].kind == locB
+		if err := e.flushLR(pos, e.lr == arg); err != nil {
+			return err
+		}
+		pair, err := e.dccFor(pos)
+		if err != nil {
+			return err
+		}
+		if chained {
+			e.prog.Append(isa.NewAAP(isa.T0, dccRows[pair][0]))
+			e.stats.AAPs++
+		} else if err := e.fillSlot(arg, dccRows[pair][0], pos); err != nil {
+			return err
+		}
+		e.consume(arg, pos)
+		e.dccHold[pair] = gid
+		e.setLoc(gid, location{kind: locDCC, row: dccRows[pair][1]})
+		if !rename {
+			// Baseline behavior: store the result immediately.
+			row, err := e.allocD(pos)
+			if err != nil {
+				return err
+			}
+			e.prog.Append(isa.NewAAP(dccRows[pair][1], row))
+			e.stats.AAPs++
+			e.dccHold[pair] = logic.None
+			e.setLoc(gid, location{kind: locDRow, row: row})
+		}
+		return nil
+
+	case logic.GAnd, logic.GOr, logic.GMaj:
+		// Determine the three TRA operands.
+		type slotSrc struct {
+			node    logic.NodeID // None for the control row
+			control isa.Row
+		}
+		var slots [3]slotSrc
+		switch g.Kind {
+		case logic.GAnd:
+			slots = [3]slotSrc{{node: g.Args[0]}, {node: g.Args[1]}, {node: logic.None, control: isa.C0}}
+		case logic.GOr:
+			slots = [3]slotSrc{{node: g.Args[0]}, {node: g.Args[1]}, {node: logic.None, control: isa.C1}}
+		case logic.GMaj:
+			slots = [3]slotSrc{{node: g.Args[0]}, {node: g.Args[1]}, {node: g.Args[2]}}
+		}
+		consumesLR := false
+		if e.lr != logic.None && e.loc[e.lr].kind == locB {
+			for _, s := range slots {
+				if s.node == e.lr {
+					consumesLR = true
+				}
+			}
+		}
+		lrNode := e.lr
+		if err := e.flushLR(pos, consumesLR); err != nil {
+			return err
+		}
+
+		tRows := [3]isa.Row{isa.T0, isa.T1, isa.T2}
+		// Fill slots; with O3, slots holding the last result need no copy
+		// (the value is in every T row after the previous TRA).
+		for i, s := range slots {
+			if s.node == logic.None {
+				e.prog.Append(isa.NewAAP(s.control, tRows[i]))
+				e.stats.AAPs++
+				continue
+			}
+			if rename && consumesLR && s.node == lrNode {
+				// The previous TRA left its result in all three T rows,
+				// so this slot is already filled — claim it copy-free.
+				continue
+			}
+			if err := e.fillSlot(s.node, tRows[i], pos); err != nil {
+				return err
+			}
+		}
+		e.prog.Append(isa.NewAP(isa.T0, isa.T1, isa.T2))
+		e.stats.APs++
+		for a := 0; a < g.Kind.Arity(); a++ {
+			e.consume(g.Args[a], pos)
+		}
+		e.lr = gid
+		e.setLoc(gid, location{kind: locB})
+		if !rename {
+			// Baseline behavior: store every result immediately.
+			if err := e.flushLR(pos+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("codegen: unexpected gate kind %s at %d", g.Kind, gid)
+}
+
+// fillSlot places node n's value into the compute row target. With O3, a
+// pristine single-use input is host-written straight into the compute row
+// (eliminating both its D-group buffer and the copy); otherwise the value
+// is materialized into an addressable row and copied in with an AAP.
+func (e *emitter) fillSlot(n logic.NodeID, target isa.Row, pos int) error {
+	if e.opts.Variant.HasRename() && e.isInput[n] && !e.external[n] && e.loc[n].kind == locNowhere && len(e.usePos[n]) == 1 {
+		e.prog.Append(isa.NewWrite(target, e.nodeTag[n]))
+		e.stats.Writes++
+		e.stats.DirectWrites++
+		return nil
+	}
+	src, err := e.materialize(n, pos)
+	if err != nil {
+		return err
+	}
+	if src.IsCGroup() {
+		e.stats.ConstCopies++
+	}
+	e.prog.Append(isa.NewAAP(src, target))
+	e.stats.AAPs++
+	return nil
+}

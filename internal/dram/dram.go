@@ -1,0 +1,377 @@
+// Package dram models the DRAM device that hosts Bit-serial SIMD PUD
+// computation: its geometry (channel/rank/bank/subarray/row/bitline), its
+// DDR4 command timing, and a command-level timing engine that accounts for
+// Bank-Level Parallelism (BLP) and, optionally, Subarray-Level Parallelism
+// (SALP) in the style of Kim et al. (ISCA 2012).
+//
+// The engine is deliberately command-level rather than cycle-level: every
+// figure in the CHOPPER evaluation is driven by the number of AAP/AP/transfer
+// commands issued per subarray and by how transfers overlap computation, so a
+// model of per-command latencies plus shared-bus serialization reproduces the
+// quantities the paper measures.
+package dram
+
+import (
+	"fmt"
+	"time"
+
+	"chopper/internal/isa"
+)
+
+// Geometry describes the DRAM organization visible to the compiler.
+type Geometry struct {
+	Banks        int // banks per rank (evaluation default: 16)
+	SubarraysPB  int // subarrays per bank
+	RowsPerSub   int // rows per subarray (512 / 1024 / 2048 in Fig. 11)
+	RowBytes     int // bytes per row (8 KB in the evaluation)
+	ReservedRows int // rows reserved for C-group + B-group bookkeeping
+}
+
+// DefaultGeometry returns the evaluation default: 16 banks, 64 subarrays per
+// bank, 1024 rows per subarray, 8 KB rows. Of the 1024 rows, 18 are reserved
+// (2 C-group + 16 B-group), leaving 1006 D-group rows, matching the Ambit
+// row-address split described in the paper.
+func DefaultGeometry() Geometry {
+	return Geometry{Banks: 16, SubarraysPB: 64, RowsPerSub: 1024, RowBytes: 8192, ReservedRows: 18}
+}
+
+// WithRowsPerSub returns a copy with the subarray size changed while keeping
+// the total per-bank capacity fixed (as Fig. 11 does): halving the rows per
+// subarray doubles the subarray count.
+func (g Geometry) WithRowsPerSub(rows int) Geometry {
+	total := g.SubarraysPB * g.RowsPerSub
+	g.RowsPerSub = rows
+	g.SubarraysPB = total / rows
+	return g
+}
+
+// DRows returns the number of usable data rows per subarray.
+func (g Geometry) DRows() int { return g.RowsPerSub - g.ReservedRows }
+
+// Bitlines returns the SIMD width of one subarray in lanes (bitlines).
+func (g Geometry) Bitlines() int { return g.RowBytes * 8 }
+
+// Validate rejects degenerate geometries.
+func (g Geometry) Validate() error {
+	if g.Banks <= 0 || g.SubarraysPB <= 0 || g.RowBytes <= 0 {
+		return fmt.Errorf("dram: non-positive geometry %+v", g)
+	}
+	if g.DRows() <= 0 {
+		return fmt.Errorf("dram: no data rows left (rows=%d reserved=%d)", g.RowsPerSub, g.ReservedRows)
+	}
+	return nil
+}
+
+// Timing holds per-command latencies for one PUD architecture on a DDR4-2400
+// substrate. All values are in nanoseconds.
+type Timing struct {
+	TRCD float64 // ACTIVATE to column command
+	TRAS float64 // ACTIVATE to PRECHARGE
+	TRP  float64 // PRECHARGE period
+	TRC  float64 // full row cycle (TRAS + TRP)
+
+	AAP     float64 // row-copy (ACTIVATE-ACTIVATE-PRECHARGE)
+	AP      float64 // triple-row activation compute step
+	RowInit float64 // constant-row initialization (a single AAP from C-group)
+
+	// RowXferNs is the pure bus-transfer time for one row (RowBytes over
+	// the DDR4-2400 channel), excluding the activation overhead, which is
+	// added separately because under BLP the activation happens inside the
+	// target bank while the bus is busy with another bank's burst.
+	RowXferNs float64
+	// XferOverheadNs is the per-row activation + command overhead of a
+	// host transfer (tRCD + tRP amortized over a full-row burst).
+	XferOverheadNs float64
+
+	// Per-command energies in picojoules. In-DRAM computation costs row
+	// activations; host transfers additionally pay I/O energy per bit —
+	// the dominant term, and the reason processing-using-DRAM saves
+	// energy at all.
+	AAPEnergyPJ  float64
+	APEnergyPJ   float64
+	XferEnergyPJ float64 // full-row transfer over the channel
+}
+
+// DDR4-2400 base timings (ns), CL17 speed grade.
+const (
+	ddr4TRCD = 14.16
+	ddr4TRAS = 32.0
+	ddr4TRP  = 14.16
+	ddr4TRC  = ddr4TRAS + ddr4TRP
+
+	// 19.2 GB/s channel; one 8 KB row burst = 8192 / 19.2 ns/B.
+	ddr4RowXfer8K = 8192.0 / 19.2
+
+	// Refresh: one tRFC-long all-bank refresh every tREFI (8 Gb devices).
+	ddr4TRFC  = 350.0
+	ddr4TREFI = 7800.0
+)
+
+// RefreshOverhead is the fraction of time the device is unavailable due to
+// periodic refresh; the engine stretches makespans by 1 + this factor.
+// Bit-serial PUD architectures keep standard refresh (their cells are
+// ordinary DRAM cells), so compute time dilates the same way.
+const RefreshOverhead = ddr4TRFC / ddr4TREFI
+
+// TimingFor returns the command timing table for arch. The relative costs
+// follow the source papers: Ambit's AAP takes roughly two back-to-back row
+// activations plus a precharge; its AP (TRA) is one row cycle. ELP2IM
+// performs logic with precharge-unit state in the local row buffer and so
+// avoids one full activation per operation relative to Ambit. SIMDRAM uses
+// the Ambit substrate (identical command costs) but needs fewer commands per
+// arithmetic op because majority is its primitive — that difference
+// materializes in code generation, not in this table.
+func TimingFor(arch isa.Arch, g Geometry) Timing {
+	scale := float64(g.RowBytes) / 8192.0
+	t := Timing{
+		TRCD: ddr4TRCD, TRAS: ddr4TRAS, TRP: ddr4TRP, TRC: ddr4TRC,
+		RowXferNs:      ddr4RowXfer8K * scale,
+		XferOverheadNs: ddr4TRCD + ddr4TRP,
+	}
+	// One full-row activate/precharge cycle moves ~RowBytes of charge:
+	// about 909 pJ for an 8 KB row on DDR4; channel I/O costs ~16 pJ/bit.
+	actPJ := 909.0 * scale
+	ioPJ := 16.0 * float64(g.RowBytes) * 8
+	switch arch {
+	case isa.Ambit, isa.SIMDRAM:
+		t.AAP = 2*ddr4TRAS + ddr4TRP // 78.2 ns
+		t.AP = ddr4TRC               // 46.2 ns
+		t.AAPEnergyPJ = 2 * actPJ
+		t.APEnergyPJ = 3 * actPJ // triple-row activation
+	case isa.ELP2IM:
+		// ELP2IM's pseudo-precharge scheme removes one activation from
+		// the copy path and shortens the compute step, which is where
+		// its energy savings come from.
+		t.AAP = ddr4TRAS + ddr4TRP + 0.5*ddr4TRAS // 62.2 ns
+		t.AP = ddr4TRAS + 0.5*ddr4TRP             // 39.1 ns
+		t.AAPEnergyPJ = 1.5 * actPJ
+		t.APEnergyPJ = 1.5 * actPJ
+	default:
+		panic(fmt.Sprintf("dram: unknown arch %v", arch))
+	}
+	t.RowInit = t.AAP
+	t.XferEnergyPJ = actPJ + ioPJ
+	return t
+}
+
+// OpLatency returns the latency in nanoseconds of a single micro-op,
+// excluding any SSD time (spill ops report only their DRAM/bus component;
+// the SSD component is charged by the ssd package).
+func (t Timing) OpLatency(op *isa.Op) float64 {
+	switch op.Kind {
+	case isa.OpAAP:
+		return t.AAP
+	case isa.OpAP:
+		return t.AP
+	case isa.OpRowInit:
+		return t.RowInit
+	case isa.OpWrite, isa.OpRead, isa.OpSpillOut, isa.OpSpillIn:
+		return t.RowXferNs + t.XferOverheadNs
+	}
+	return 0
+}
+
+// OpEnergyPJ returns the energy of one micro-op in picojoules (excluding
+// any SSD component).
+func (t Timing) OpEnergyPJ(op *isa.Op) float64 {
+	switch op.Kind {
+	case isa.OpAAP, isa.OpRowInit:
+		return t.AAPEnergyPJ
+	case isa.OpAP:
+		return t.APEnergyPJ
+	case isa.OpWrite, isa.OpRead, isa.OpSpillOut, isa.OpSpillIn:
+		return t.XferEnergyPJ
+	}
+	return 0
+}
+
+// BusLatency returns the time the op occupies the shared channel bus
+// (zero for in-subarray computation).
+func (t Timing) BusLatency(op *isa.Op) float64 {
+	if op.IsTransfer() {
+		return t.RowXferNs
+	}
+	return 0
+}
+
+// Placed is a micro-op bound to a physical subarray.
+type Placed struct {
+	Bank     int
+	Subarray int
+	Op       isa.Op
+}
+
+// Engine computes the makespan of a placed micro-op stream. Resources:
+//
+//   - the host issues commands IN ORDER: an op cannot start before the
+//     previous op in the stream has started (plus a small issue gap). This
+//     models the sequential command stream a host program produces, and is
+//     why code emission order — what VIRCOE optimizes — matters: a transfer
+//     buried behind another subarray's compute tail cannot start early;
+//   - the channel bus is shared by all transfers (WRITE/READ/SPILL);
+//   - without SALP, each bank executes one command at a time;
+//   - with SALP, each subarray executes one command at a time and the
+//     bank-level constraint is relaxed to the subarray level (the global
+//     structures a bank still shares are folded into the per-op latencies).
+//
+// Ops must be presented in issue order; the engine preserves per-subarray
+// program order regardless of resource availability.
+type Engine struct {
+	geom   Geometry
+	timing Timing
+	salp   bool
+
+	// IssueGapNs is the minimum spacing between consecutive command
+	// issues (one DDR4-2400 clock by default).
+	IssueGapNs float64
+
+	busFree   float64
+	lastStart float64
+	unit      map[unitKey]float64 // next-free time per bank (or subarray)
+	subSeq    map[unitKey]float64 // per-subarray completion (program order)
+	now       float64
+
+	// SSDDelay, when non-nil, is consulted for the extra latency of spill
+	// ops; it receives the direction, the spill slot, and the time the
+	// request reaches the SSD, and returns the extra nanoseconds beyond
+	// the DRAM/bus component. Wired to the ssd package by the simulator so
+	// this package stays dependency-light.
+	SSDDelay func(out bool, slot uint64, startNs float64) float64
+
+	stats EngineStats
+}
+
+type unitKey struct{ bank, sub int }
+
+// EngineStats aggregates what the engine observed; used by the breakdown
+// experiments.
+type EngineStats struct {
+	Ops          int
+	Transfers    int
+	ComputeNs    float64 // sum of compute-op latencies (ignores overlap)
+	TransferNs   float64 // sum of transfer-op latencies (ignores overlap)
+	SSDNs        float64 // sum of SSD components of spills
+	BusBusyNs    float64
+	MakespanNs   float64
+	SpillIns     int
+	SpillOuts    int
+	EnergyPJ     float64 // DRAM energy (activations + channel I/O)
+	MaxUnitBusy  float64
+	UnitBusySum  float64
+	DistinctUnit int
+}
+
+// NewEngine builds an engine for the geometry/timing pair. salp enables
+// Subarray-Level Parallelism.
+func NewEngine(g Geometry, t Timing, salp bool) *Engine {
+	return &Engine{
+		geom: g, timing: t, salp: salp,
+		IssueGapNs: 0.833, // one DDR4-2400 clock
+		unit:       make(map[unitKey]float64),
+		subSeq:     make(map[unitKey]float64),
+	}
+}
+
+func (e *Engine) unitKeyFor(p *Placed) unitKey {
+	if e.salp {
+		return unitKey{p.Bank, p.Subarray}
+	}
+	return unitKey{p.Bank, 0}
+}
+
+// Issue schedules one placed op and returns its completion time (ns since
+// engine start).
+func (e *Engine) Issue(p Placed) float64 {
+	lat := e.timing.OpLatency(&p.Op)
+	bus := e.timing.BusLatency(&p.Op)
+
+	uk := e.unitKeyFor(&p)
+	sk := unitKey{p.Bank, p.Subarray}
+
+	start := e.unit[uk]
+	if s := e.subSeq[sk]; s > start {
+		start = s
+	}
+	if s := e.lastStart + e.IssueGapNs; s > start && e.stats.Ops > 0 {
+		start = s
+	}
+
+	if bus > 0 {
+		if e.busFree > start {
+			start = e.busFree
+		}
+		e.busFree = start + bus
+		e.stats.BusBusyNs += bus
+	}
+
+	var ssdNs float64
+	switch p.Op.Kind {
+	case isa.OpSpillOut:
+		e.stats.SpillOuts++
+		if e.SSDDelay != nil {
+			ssdNs = e.SSDDelay(true, p.Op.Imm, start)
+		}
+	case isa.OpSpillIn:
+		e.stats.SpillIns++
+		if e.SSDDelay != nil {
+			ssdNs = e.SSDDelay(false, p.Op.Imm, start)
+		}
+	}
+
+	end := start + lat + ssdNs
+	e.lastStart = start
+	if _, seen := e.unit[uk]; !seen {
+		e.stats.DistinctUnit++
+	}
+	e.unit[uk] = end
+	e.subSeq[sk] = end
+	if end > e.now {
+		e.now = end
+	}
+
+	e.stats.Ops++
+	e.stats.EnergyPJ += e.timing.OpEnergyPJ(&p.Op)
+	if p.Op.IsTransfer() {
+		e.stats.Transfers++
+		e.stats.TransferNs += lat
+	} else {
+		e.stats.ComputeNs += lat
+	}
+	e.stats.SSDNs += ssdNs
+	busy := e.unit[uk]
+	if busy > e.stats.MaxUnitBusy {
+		e.stats.MaxUnitBusy = busy
+	}
+	return end
+}
+
+// Run issues a whole stream and returns the makespan in nanoseconds,
+// including refresh dilation.
+func (e *Engine) Run(stream []Placed) float64 {
+	for i := range stream {
+		e.Issue(stream[i])
+	}
+	e.stats.MakespanNs = e.Makespan()
+	return e.stats.MakespanNs
+}
+
+// Makespan returns the completion time of everything issued so far,
+// stretched by the refresh overhead (the memory controller steals a tRFC
+// window every tREFI regardless of what the subarrays are doing).
+func (e *Engine) Makespan() float64 { return e.now * (1 + RefreshOverhead) }
+
+// Stats returns aggregate counters (MakespanNs reflects ops issued so far).
+func (e *Engine) Stats() EngineStats {
+	s := e.stats
+	s.MakespanNs = e.Makespan()
+	return s
+}
+
+// Duration converts a nanosecond figure into a time.Duration, saturating on
+// overflow (useful only for display).
+func Duration(ns float64) time.Duration {
+	if ns > float64(1<<62) {
+		return time.Duration(1 << 62)
+	}
+	return time.Duration(ns)
+}

@@ -1,0 +1,239 @@
+package dram
+
+import (
+	"testing"
+
+	"chopper/internal/isa"
+)
+
+func TestDefaultGeometry(t *testing.T) {
+	g := DefaultGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.DRows() != 1006 {
+		t.Errorf("DRows = %d, want 1006 (1024 - 2 C - 16 B)", g.DRows())
+	}
+	if g.Bitlines() != 65536 {
+		t.Errorf("Bitlines = %d, want 65536 (8 KB row)", g.Bitlines())
+	}
+}
+
+func TestWithRowsPerSubKeepsCapacity(t *testing.T) {
+	g := DefaultGeometry()
+	total := g.SubarraysPB * g.RowsPerSub
+	for _, rows := range []int{512, 1024, 2048} {
+		g2 := g.WithRowsPerSub(rows)
+		if g2.SubarraysPB*g2.RowsPerSub != total {
+			t.Errorf("rows=%d: capacity changed: %d*%d != %d", rows, g2.SubarraysPB, g2.RowsPerSub, total)
+		}
+		if err := g2.Validate(); err != nil {
+			t.Errorf("rows=%d: %v", rows, err)
+		}
+	}
+}
+
+func TestGeometryValidateRejectsBad(t *testing.T) {
+	bad := Geometry{Banks: 0, SubarraysPB: 1, RowsPerSub: 64, RowBytes: 8192}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero banks accepted")
+	}
+	bad2 := Geometry{Banks: 1, SubarraysPB: 1, RowsPerSub: 10, RowBytes: 8192, ReservedRows: 18}
+	if err := bad2.Validate(); err == nil {
+		t.Error("no data rows accepted")
+	}
+}
+
+func TestTimingOrdering(t *testing.T) {
+	g := DefaultGeometry()
+	amb := TimingFor(isa.Ambit, g)
+	elp := TimingFor(isa.ELP2IM, g)
+	sd := TimingFor(isa.SIMDRAM, g)
+
+	if amb.AAP != sd.AAP || amb.AP != sd.AP {
+		t.Error("SIMDRAM must share the Ambit substrate timings")
+	}
+	if elp.AAP >= amb.AAP {
+		t.Errorf("ELP2IM AAP (%.1f) not cheaper than Ambit (%.1f)", elp.AAP, amb.AAP)
+	}
+	if elp.AP >= amb.AP {
+		t.Errorf("ELP2IM AP (%.1f) not cheaper than Ambit (%.1f)", elp.AP, amb.AP)
+	}
+	if amb.AAP <= amb.AP {
+		t.Error("AAP (two activations) must cost more than AP (one)")
+	}
+	if amb.RowXferNs <= 0 {
+		t.Error("row transfer time must be positive")
+	}
+}
+
+func TestOpLatencies(t *testing.T) {
+	tm := TimingFor(isa.Ambit, DefaultGeometry())
+	aap := isa.NewAAP(isa.Row(0), isa.T0)
+	ap := isa.NewAP(isa.T0, isa.T1, isa.T2)
+	wr := isa.NewWrite(isa.Row(0), 0)
+	if tm.OpLatency(&aap) != tm.AAP {
+		t.Error("AAP latency mismatch")
+	}
+	if tm.OpLatency(&ap) != tm.AP {
+		t.Error("AP latency mismatch")
+	}
+	if tm.OpLatency(&wr) != tm.RowXferNs+tm.XferOverheadNs {
+		t.Error("WRITE latency mismatch")
+	}
+	if tm.BusLatency(&ap) != 0 {
+		t.Error("compute op should not use the bus")
+	}
+	if tm.BusLatency(&wr) != tm.RowXferNs {
+		t.Error("transfer op must occupy the bus")
+	}
+}
+
+// Two banks computing in parallel must take about as long as one bank, not
+// twice as long.
+func TestEngineBankLevelParallelism(t *testing.T) {
+	g := DefaultGeometry()
+	tm := TimingFor(isa.Ambit, g)
+	mkStream := func(banks int) []Placed {
+		var s []Placed
+		for i := 0; i < 100; i++ {
+			for bk := 0; bk < banks; bk++ {
+				s = append(s, Placed{Bank: bk, Subarray: 0, Op: isa.NewAP(isa.T0, isa.T1, isa.T2)})
+			}
+		}
+		return s
+	}
+	e1 := NewEngine(g, tm, false)
+	t1 := e1.Run(mkStream(1))
+	e2 := NewEngine(g, tm, false)
+	t2 := e2.Run(mkStream(2))
+	if t2 > t1*1.01 {
+		t.Errorf("2-bank compute (%.0f ns) slower than 1-bank (%.0f ns): BLP broken", t2, t1)
+	}
+}
+
+// Transfers serialize on the shared bus even across banks.
+func TestEngineBusSerialization(t *testing.T) {
+	g := DefaultGeometry()
+	tm := TimingFor(isa.Ambit, g)
+	var s []Placed
+	const n = 50
+	for i := 0; i < n; i++ {
+		s = append(s, Placed{Bank: i % 8, Subarray: 0, Op: isa.NewWrite(isa.Row(0), i)})
+	}
+	e := NewEngine(g, tm, false)
+	mk := e.Run(s)
+	lower := float64(n) * tm.RowXferNs
+	if mk < lower {
+		t.Errorf("makespan %.0f ns below bus lower bound %.0f ns", mk, lower)
+	}
+}
+
+// Overlap: transfers to bank 1 while bank 0 computes should beat the serial
+// sum. This is the effect VIRCOE exploits.
+func TestEngineTransferComputeOverlap(t *testing.T) {
+	g := DefaultGeometry()
+	tm := TimingFor(isa.Ambit, g)
+	const n = 40
+	// Serial: all writes then all computes, same bank.
+	var serial []Placed
+	for i := 0; i < n; i++ {
+		serial = append(serial, Placed{Bank: 0, Subarray: 0, Op: isa.NewWrite(isa.Row(i), i)})
+	}
+	for i := 0; i < n; i++ {
+		serial = append(serial, Placed{Bank: 0, Subarray: 0, Op: isa.NewAP(isa.T0, isa.T1, isa.T2)})
+	}
+	eS := NewEngine(g, tm, false)
+	tS := eS.Run(serial)
+
+	// Interleaved across two banks: bank 0 computes while bank 1 receives.
+	var inter []Placed
+	for i := 0; i < n; i++ {
+		inter = append(inter, Placed{Bank: 1, Subarray: 0, Op: isa.NewWrite(isa.Row(i), i)})
+		inter = append(inter, Placed{Bank: 0, Subarray: 0, Op: isa.NewAP(isa.T0, isa.T1, isa.T2)})
+	}
+	eI := NewEngine(g, tm, false)
+	tI := eI.Run(inter)
+	if tI >= tS {
+		t.Errorf("interleaved (%.0f ns) not faster than serial (%.0f ns)", tI, tS)
+	}
+}
+
+// Without SALP, two subarrays of one bank serialize; with SALP they overlap.
+func TestEngineSALP(t *testing.T) {
+	g := DefaultGeometry()
+	tm := TimingFor(isa.Ambit, g)
+	var s []Placed
+	for i := 0; i < 60; i++ {
+		s = append(s, Placed{Bank: 0, Subarray: i % 2, Op: isa.NewAP(isa.T0, isa.T1, isa.T2)})
+	}
+	eNo := NewEngine(g, tm, false)
+	tNo := eNo.Run(s)
+	eYes := NewEngine(g, tm, true)
+	tYes := eYes.Run(s)
+	if tYes >= tNo*0.75 {
+		t.Errorf("SALP (%.0f ns) should be well below no-SALP (%.0f ns)", tYes, tNo)
+	}
+}
+
+// Per-subarray program order is preserved even under SALP.
+func TestEngineProgramOrder(t *testing.T) {
+	g := DefaultGeometry()
+	tm := TimingFor(isa.Ambit, g)
+	e := NewEngine(g, tm, true)
+	first := e.Issue(Placed{Bank: 0, Subarray: 0, Op: isa.NewAP(isa.T0, isa.T1, isa.T2)})
+	second := e.Issue(Placed{Bank: 0, Subarray: 0, Op: isa.NewAP(isa.T0, isa.T1, isa.T2)})
+	if second <= first {
+		t.Errorf("program order violated: %f then %f", first, second)
+	}
+}
+
+func TestEngineSSDHook(t *testing.T) {
+	g := DefaultGeometry()
+	tm := TimingFor(isa.Ambit, g)
+	e := NewEngine(g, tm, false)
+	var sawOut, sawIn bool
+	e.SSDDelay = func(out bool, slot uint64, start float64) float64 {
+		if out {
+			sawOut = true
+		} else {
+			sawIn = true
+		}
+		return 1000
+	}
+	so := e.Issue(Placed{Bank: 0, Subarray: 0, Op: isa.NewSpillOut(isa.Row(0), 1)})
+	si := e.Issue(Placed{Bank: 0, Subarray: 0, Op: isa.NewSpillIn(isa.Row(0), 1)})
+	if !sawOut || !sawIn {
+		t.Error("SSD hook not invoked for spills")
+	}
+	if si <= so {
+		t.Error("spill-in must complete after spill-out")
+	}
+	st := e.Stats()
+	if st.SpillOuts != 1 || st.SpillIns != 1 {
+		t.Errorf("spill stats wrong: %+v", st)
+	}
+	if st.SSDNs != 2000 {
+		t.Errorf("SSDNs = %f, want 2000", st.SSDNs)
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	g := DefaultGeometry()
+	tm := TimingFor(isa.Ambit, g)
+	e := NewEngine(g, tm, false)
+	e.Run([]Placed{
+		{Bank: 0, Subarray: 0, Op: isa.NewWrite(isa.Row(0), 0)},
+		{Bank: 0, Subarray: 0, Op: isa.NewAP(isa.T0, isa.T1, isa.T2)},
+	})
+	st := e.Stats()
+	if st.Ops != 2 || st.Transfers != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.ComputeNs != tm.AP {
+		t.Errorf("ComputeNs = %f, want %f", st.ComputeNs, tm.AP)
+	}
+	if st.MakespanNs <= 0 {
+		t.Error("zero makespan")
+	}
+}

@@ -1,0 +1,216 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("node f(a: u8) returns (b: u8) let b = a + 1; tel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokNode, TokIdent, TokLParen, TokIdent, TokColon, TokIdent,
+		TokRParen, TokReturn, TokLParen, TokIdent, TokColon, TokIdent, TokRParen,
+		TokLet, TokIdent, TokAssign, TokIdent, TokPlus, TokInt, TokSemi, TokTel, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexOperatorsAndComments(t *testing.T) {
+	toks, err := LexAll("<< >> <= >= == != < > ~ ^ & | ? : @ // comment\n0x1F 42 1_000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokShl, TokShr, TokLe, TokGe, TokEq, TokNe, TokLt, TokGt,
+		TokTilde, TokCaret, TokAmp, TokPipe, TokQuestion, TokColon, TokAt,
+		TokInt, TokInt, TokInt, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+	if toks[15].Text != "0x1F" || toks[17].Text != "1_000" {
+		t.Errorf("literal texts: %q %q", toks[15].Text, toks[17].Text)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := LexAll("a $ b"); err == nil {
+		t.Error("'$' accepted")
+	}
+	if _, err := LexAll("a ! b"); err == nil {
+		t.Error("bare '!' accepted")
+	}
+	if _, err := LexAll("0x"); err == nil {
+		t.Error("bare 0x accepted")
+	}
+}
+
+const exampleSrc = `
+// Packed add/sub with predication, the Figure 3 example.
+node addsub(a: u8, b: u8) returns (s: u8, d: u8)
+let
+  s = a + b;
+  d = a - b;
+tel
+
+@reuse
+node main(a: u8, b: u8, pred: u8) returns (c: u8)
+vars
+  s: u8, d: u8, f: u1;
+let
+  (s, d) = addsub(a, b);
+  f = a > pred;
+  c = f ? s : d;
+tel
+`
+
+func TestParseExample(t *testing.T) {
+	prog, err := Parse(exampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Nodes) != 2 {
+		t.Fatalf("got %d nodes", len(prog.Nodes))
+	}
+	addsub := prog.Lookup("addsub")
+	if addsub == nil || len(addsub.Params) != 2 || len(addsub.Returns) != 2 || len(addsub.Eqs) != 2 {
+		t.Fatalf("addsub parsed wrong: %+v", addsub)
+	}
+	main := prog.Entry()
+	if main.Name != "main" {
+		t.Fatalf("entry = %q", main.Name)
+	}
+	if !main.HasAttr("reuse") {
+		t.Error("@reuse attribute lost")
+	}
+	if len(main.Locals) != 3 {
+		t.Errorf("locals = %d, want 3", len(main.Locals))
+	}
+	if main.Locals[2].Type.Bits != 1 {
+		t.Errorf("f type = %v", main.Locals[2].Type)
+	}
+	if len(main.Eqs[0].Lhs) != 2 {
+		t.Errorf("multi-assign LHS = %v", main.Eqs[0].Lhs)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse("node f(a: u8, b: u8, c: u8) returns (z: u8) let z = a + b * c; tel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := prog.Nodes[0].Eqs[0].Rhs.String()
+	if rhs != "(a + (b * c))" {
+		t.Errorf("precedence: %s", rhs)
+	}
+
+	prog2, err := Parse("node f(a: u8, b: u8) returns (z: u1) let z = a + b == a & a < b; tel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs2 := prog2.Nodes[0].Eqs[0].Rhs.String()
+	// & binds looser than ==, which binds looser than <... per our levels:
+	// | ^ & (==/!=) (</>) (<</>>) (+/-) *
+	if rhs2 != "(((a + b) == a) & (a < b))" {
+		t.Errorf("precedence: %s", rhs2)
+	}
+}
+
+func TestParseTernaryRightAssoc(t *testing.T) {
+	prog, err := Parse("node f(c: u1, d: u1, a: u8, b: u8, e: u8) returns (z: u8) let z = c ? a : d ? b : e; tel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := prog.Nodes[0].Eqs[0].Rhs.String()
+	if rhs != "(c ? a : (d ? b : e))" {
+		t.Errorf("ternary: %s", rhs)
+	}
+}
+
+func TestParseWideLiteralsAndAscription(t *testing.T) {
+	prog, err := Parse("node f(a: u128) returns (z: u128) let z = a + 0x1_0000_0000_0000_0000:u128; tel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := prog.Nodes[0].Eqs[0].Rhs.(*Binary)
+	lit := bin.Y.(*IntLit)
+	if lit.Width != 128 {
+		t.Errorf("width = %d", lit.Width)
+	}
+	if lit.Value.BitLen() != 65 {
+		t.Errorf("literal bitlen = %d", lit.Value.BitLen())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing tel":      "node f(a: u8) returns (z: u8) let z = a;",
+		"no returns":       "node f(a: u8) returns () let tel",
+		"bad type":         "node f(a: v8) returns (z: u8) let z = a; tel",
+		"huge type":        "node f(a: u99999) returns (z: u8) let z = a; tel",
+		"redefined":        "node f(a: u8) returns (z: u8) let z = a; tel node f(a: u8) returns (z: u8) let z = a; tel",
+		"empty":            "   // nothing\n",
+		"lit overflow":     "node f(a: u8) returns (z: u8) let z = 300:u8; tel",
+		"paren single lhs": "node f(a: u8) returns (z: u8) let (z) = a; tel",
+		"missing semi":     "node f(a: u8) returns (z: u8) let z = a tel",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("node f(a: u8) returns (z: u8)\nlet\n  z = a +;\ntel")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "3:") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}
+
+func TestEntrySelection(t *testing.T) {
+	prog, err := Parse(`
+node helper(a: u8) returns (z: u8) let z = a; tel
+node last(a: u8) returns (z: u8) let z = helper(a); tel`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Entry().Name != "last" {
+		t.Errorf("entry = %q, want last node when no main", prog.Entry().Name)
+	}
+}
+
+func TestAttrWithArgs(t *testing.T) {
+	prog, err := Parse("@reuse(c0, c1) node f(a: u8) returns (z: u8) let z = a; tel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := prog.Nodes[0].Attrs[0]
+	if a.Name != "reuse" || len(a.Args) != 2 || a.Args[0] != "c0" {
+		t.Errorf("attr = %+v", a)
+	}
+}

@@ -1,0 +1,164 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program back to canonical source text. The output
+// parses to an equivalent program (Format ∘ Parse is idempotent on its own
+// output), making it usable as a formatter for hand-written sources and as
+// a readable dump of expanded programs.
+func Format(p *Program) string {
+	var sb strings.Builder
+	for i, n := range p.Nodes {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		formatNode(&sb, n)
+	}
+	return sb.String()
+}
+
+func formatNode(sb *strings.Builder, n *Node) {
+	for _, a := range n.Attrs {
+		sb.WriteString("@" + a.Name)
+		if len(a.Args) > 0 {
+			sb.WriteString("(" + strings.Join(a.Args, ", ") + ")")
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(sb, "node %s(%s) returns (%s)\n",
+		n.Name, formatParams(n.Params), formatParams(n.Returns))
+	if len(n.Locals) > 0 {
+		fmt.Fprintf(sb, "vars\n  %s;\n", formatParams(n.Locals))
+	}
+	for _, ct := range n.Consts {
+		vals := make([]string, len(ct.Values))
+		for i, v := range ct.Values {
+			vals[i] = v.String()
+		}
+		fmt.Fprintf(sb, "const %s: %s = {%s};\n", ct.Name, ct.Type, strings.Join(vals, ", "))
+	}
+	sb.WriteString("let\n")
+	for _, eq := range n.Eqs {
+		formatEquation(sb, eq, 1)
+	}
+	for _, fa := range n.Loops {
+		formatForAll(sb, fa, 1)
+	}
+	sb.WriteString("tel\n")
+}
+
+// formatParams groups consecutive same-type parameters ("a, b: u8, c: u4").
+func formatParams(ps []Param) string {
+	var parts []string
+	for i := 0; i < len(ps); {
+		j := i
+		for j < len(ps) && ps[j].Type == ps[i].Type {
+			j++
+		}
+		names := make([]string, 0, j-i)
+		for _, p := range ps[i:j] {
+			names = append(names, p.Name)
+		}
+		parts = append(parts, strings.Join(names, ", ")+": "+ps[i].Type.String())
+		i = j
+	}
+	return strings.Join(parts, ", ")
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func formatEquation(sb *strings.Builder, eq *Equation, depth int) {
+	indent(sb, depth)
+	refs := make([]string, len(eq.Lhs))
+	for i, name := range eq.Lhs {
+		refs[i] = name
+		if i < len(eq.LhsIdx) && eq.LhsIdx[i] != nil {
+			refs[i] = fmt.Sprintf("%s[%s]", name, formatExpr(eq.LhsIdx[i], 0))
+		}
+	}
+	lhs := refs[0]
+	if len(refs) > 1 {
+		lhs = "(" + strings.Join(refs, ", ") + ")"
+	}
+	fmt.Fprintf(sb, "%s = %s;\n", lhs, formatExpr(eq.Rhs, 0))
+}
+
+func formatForAll(sb *strings.Builder, fa *ForAll, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "forall %s in %d..%d {\n", fa.Var, fa.From, fa.To)
+	for _, eq := range fa.Eqs {
+		formatEquation(sb, eq, depth+1)
+	}
+	for _, inner := range fa.Loops {
+		formatForAll(sb, inner, depth+1)
+	}
+	indent(sb, depth)
+	sb.WriteString("}\n")
+}
+
+// Operator precedence levels matching the parser (higher binds tighter).
+func binPrec(op BinOp) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpXor:
+		return 2
+	case OpAnd:
+		return 3
+	case OpEq, OpNe:
+		return 4
+	case OpLt, OpGt, OpLe, OpGe:
+		return 5
+	case OpShl, OpShr:
+		return 6
+	case OpAdd, OpSub:
+		return 7
+	case OpMul:
+		return 8
+	}
+	return 9
+}
+
+// formatExpr renders with minimal parentheses: parenthesize when the child
+// binds looser than the context requires.
+func formatExpr(e Expr, ctx int) string {
+	switch e := e.(type) {
+	case *Ident:
+		return e.Name
+	case *IntLit:
+		return e.String()
+	case *Index:
+		return fmt.Sprintf("%s[%s]", e.Name, formatExpr(e.Idx, 0))
+	case *Unary:
+		return e.Op.String() + formatExpr(e.X, 9)
+	case *Binary:
+		p := binPrec(e.Op)
+		// Children at the same level re-parenthesize on the right to
+		// keep left associativity explicit.
+		s := fmt.Sprintf("%s %s %s", formatExpr(e.X, p), e.Op, formatExpr(e.Y, p+1))
+		if p < ctx {
+			return "(" + s + ")"
+		}
+		return s
+	case *Cond:
+		s := fmt.Sprintf("%s ? %s : %s", formatExpr(e.C, 1), formatExpr(e.T, 0), formatExpr(e.F, 0))
+		if ctx > 0 {
+			return "(" + s + ")"
+		}
+		return s
+	case *Call:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = formatExpr(a, 0)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	}
+	return "?"
+}

@@ -1,0 +1,77 @@
+package dsl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The parser must never panic, whatever bytes it is fed: errors only.
+func TestParserRobustOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := "node main returns vars let tel forall in const " +
+		"( ) [ ] { } , ; : = + - * & | ^ ~ ? < > << >> <= >= == != .. @ " +
+		"a b c u8 u16 u1 0 1 42 0xFF x y z "
+	words := strings.Fields(alphabet)
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(40)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			prog, err := ParseAndExpand(src)
+			_ = prog
+			_ = err
+		}()
+	}
+}
+
+// Random byte soup, including invalid UTF-8 and control characters.
+func TestLexerRobustOnBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(60)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", b, r)
+				}
+			}()
+			_, _ = LexAll(string(b))
+		}()
+	}
+}
+
+// Structured near-miss programs: valid skeletons with one token mutated.
+func TestParserRobustOnMutations(t *testing.T) {
+	base := "node main(a: u8, b: u8) returns (z: u8) vars t: u8; let t = a + b; z = mux(a < b, t, a); tel"
+	toks := strings.Fields(base)
+	rng := rand.New(rand.NewSource(3))
+	junk := []string{"", "(", ")", "tel", "node", "??", "[", "]", "{", "..", "0x", "u0", "u99999"}
+	for trial := 0; trial < 500; trial++ {
+		mutated := append([]string(nil), toks...)
+		i := rng.Intn(len(mutated))
+		mutated[i] = junk[rng.Intn(len(junk))]
+		src := strings.Join(mutated, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = ParseAndExpand(src)
+		}()
+	}
+}

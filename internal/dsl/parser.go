@@ -1,0 +1,648 @@
+package dsl
+
+import (
+	"math/big"
+	"strings"
+)
+
+// Parser builds the AST via recursive descent with precedence climbing.
+type Parser struct {
+	lex *Lexer
+	tok Token
+	err error
+}
+
+// Parse parses a full program.
+func Parse(src string) (*Program, error) {
+	p := &Parser{lex: NewLexer(src)}
+	p.next()
+	prog := &Program{}
+	for p.tok.Kind != TokEOF {
+		n, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		if prog.Lookup(n.Name) != nil {
+			return nil, errf(n.Pos, "node %q redefined", n.Name)
+		}
+		prog.Nodes = append(prog.Nodes, n)
+	}
+	if len(prog.Nodes) == 0 {
+		return nil, errf(Pos{1, 1}, "empty program: no nodes")
+	}
+	return prog, nil
+}
+
+func (p *Parser) next() {
+	if p.err != nil {
+		return
+	}
+	t, err := p.lex.Next()
+	if err != nil {
+		p.err = err
+		p.tok = Token{Kind: TokEOF, Pos: p.tok.Pos}
+		return
+	}
+	p.tok = t
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.err != nil {
+		return Token{}, p.err
+	}
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %s, found %s %q", k, p.tok.Kind, p.tok.Text)
+	}
+	t := p.tok
+	p.next()
+	return t, p.err
+}
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.err == nil && p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseNode() (*Node, error) {
+	var attrs []Attr
+	for p.tok.Kind == TokAt {
+		a, err := p.parseAttr()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a)
+	}
+	kw, err := p.expect(TokNode)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Name: name.Text, Attrs: attrs, Pos: kw.Pos}
+
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if n.Params, err = p.parseParams(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokReturn); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if n.Returns, err = p.parseParams(TokRParen); err != nil {
+		return nil, err
+	}
+	if len(n.Returns) == 0 {
+		return nil, errf(p.tok.Pos, "node %q returns nothing", n.Name)
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if p.accept(TokVars) {
+		if n.Locals, err = p.parseParams(TokLet); err != nil {
+			return nil, err
+		}
+		p.accept(TokSemi)
+	}
+	for p.tok.Kind == TokConst {
+		ct, err := p.parseConstTable()
+		if err != nil {
+			return nil, err
+		}
+		n.Consts = append(n.Consts, ct)
+	}
+	if _, err := p.expect(TokLet); err != nil {
+		return nil, err
+	}
+	if err := p.parseStmts(n, nil, TokTel); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokTel); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// parseStmts parses equations and forall loops until stop (not consumed),
+// appending either to the node (loop == nil) or to the enclosing loop.
+func (p *Parser) parseStmts(n *Node, loop *ForAll, stop TokKind) error {
+	for p.tok.Kind != stop && p.tok.Kind != TokEOF {
+		if p.tok.Kind == TokForall {
+			fa, err := p.parseForAll(n)
+			if err != nil {
+				return err
+			}
+			if loop != nil {
+				loop.Loops = append(loop.Loops, fa)
+			} else {
+				n.Loops = append(n.Loops, fa)
+			}
+			continue
+		}
+		eq, err := p.parseEquation()
+		if err != nil {
+			return err
+		}
+		if loop != nil {
+			loop.Eqs = append(loop.Eqs, eq)
+		} else {
+			n.Eqs = append(n.Eqs, eq)
+		}
+	}
+	if p.err != nil {
+		return p.err
+	}
+	return nil
+}
+
+// parseForAll parses "forall i in a..b { stmts }".
+func (p *Parser) parseForAll(n *Node) (*ForAll, error) {
+	kw, err := p.expect(TokForall)
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokIn); err != nil {
+		return nil, err
+	}
+	from, err := p.parseBoundInt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokDotDot); err != nil {
+		return nil, err
+	}
+	to, err := p.parseBoundInt()
+	if err != nil {
+		return nil, err
+	}
+	if to < from {
+		return nil, errf(kw.Pos, "empty loop range %d..%d", from, to)
+	}
+	if to-from >= 1<<20 {
+		return nil, errf(kw.Pos, "loop range %d..%d too large", from, to)
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	fa := &ForAll{Var: v.Text, From: from, To: to, Pos: kw.Pos}
+	if err := p.parseStmts(n, fa, TokRBrace); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return fa, nil
+}
+
+// isTypeName reports whether s is a uN type name.
+func isTypeName(s string) bool {
+	if len(s) < 2 || s[0] != 'u' {
+		return false
+	}
+	for _, c := range s[1:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Parser) parseBoundInt() (int, error) {
+	t, err := p.expect(TokInt)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := new(big.Int).SetString(strings.ReplaceAll(t.Text, "_", ""), 0)
+	if !ok || !v.IsInt64() {
+		return 0, errf(t.Pos, "malformed loop bound %q", t.Text)
+	}
+	return int(v.Int64()), nil
+}
+
+// parseConstTable parses "const name: uN[K] = {v0, v1, ...};".
+func (p *Parser) parseConstTable() (*ConstTable, error) {
+	kw, err := p.expect(TokConst)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if !ty.IsArray() {
+		return nil, errf(kw.Pos, "const table %q needs an array type (uN[K])", name.Text)
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	ct := &ConstTable{Name: name.Text, Type: ty, Pos: kw.Pos}
+	for {
+		t, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		v, ok := new(big.Int).SetString(strings.ReplaceAll(t.Text, "_", ""), 0)
+		if !ok {
+			return nil, errf(t.Pos, "malformed constant %q", t.Text)
+		}
+		if v.BitLen() > ty.Bits {
+			return nil, errf(t.Pos, "constant %s does not fit in u%d", v, ty.Bits)
+		}
+		ct.Values = append(ct.Values, v)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	if len(ct.Values) != ty.Count {
+		return nil, errf(kw.Pos, "const table %q declares %d entries but lists %d", name.Text, ty.Count, len(ct.Values))
+	}
+	p.accept(TokSemi)
+	return ct, nil
+}
+
+func (p *Parser) parseAttr() (Attr, error) {
+	at, err := p.expect(TokAt)
+	if err != nil {
+		return Attr{}, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return Attr{}, err
+	}
+	a := Attr{Name: name.Text, Pos: at.Pos}
+	if p.accept(TokLParen) {
+		for {
+			arg, err := p.expect(TokIdent)
+			if err != nil {
+				// allow integer args too
+				if p.tok.Kind == TokInt {
+					arg = p.tok
+					p.next()
+				} else {
+					return Attr{}, err
+				}
+			}
+			a.Args = append(a.Args, arg.Text)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return Attr{}, err
+		}
+	}
+	return a, nil
+}
+
+// parseParams parses "a, b : u8, c : u16" until stop (not consumed).
+func (p *Parser) parseParams(stop TokKind) ([]Param, error) {
+	var out []Param
+	for p.tok.Kind != stop && p.tok.Kind != TokEOF {
+		var group []Token
+		for {
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			group = append(group, id)
+			if !p.accept(TokComma) {
+				break
+			}
+			// A comma may separate names within one group or whole
+			// param groups; lookahead on ':' disambiguates at the
+			// next ident. Since both forms interleave the same way,
+			// just keep accumulating names until a colon.
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range group {
+			out = append(out, Param{Name: id.Text, Type: ty, Pos: id.Pos})
+		}
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (p *Parser) parseType() (Type, error) {
+	id, err := p.expect(TokIdent)
+	if err != nil {
+		return Type{}, err
+	}
+	if !strings.HasPrefix(id.Text, "u") || len(id.Text) < 2 {
+		return Type{}, errf(id.Pos, "unknown type %q (expected uN)", id.Text)
+	}
+	bits := 0
+	for _, c := range id.Text[1:] {
+		if c < '0' || c > '9' {
+			return Type{}, errf(id.Pos, "unknown type %q (expected uN)", id.Text)
+		}
+		bits = bits*10 + int(c-'0')
+		if bits > MaxBits {
+			return Type{}, errf(id.Pos, "type %q exceeds u%d", id.Text, MaxBits)
+		}
+	}
+	t := Type{Bits: bits}
+	if !t.Valid() {
+		return Type{}, errf(id.Pos, "invalid type %q", id.Text)
+	}
+	if p.accept(TokLBracket) {
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return Type{}, err
+		}
+		count := 0
+		for _, c := range n.Text {
+			if c < '0' || c > '9' {
+				return Type{}, errf(n.Pos, "array length must be a decimal literal")
+			}
+			count = count*10 + int(c-'0')
+		}
+		if count < 1 || count > 1<<20 {
+			return Type{}, errf(n.Pos, "array length %d out of range", count)
+		}
+		t.Count = count
+		if _, err := p.expect(TokRBracket); err != nil {
+			return Type{}, err
+		}
+	}
+	return t, nil
+}
+
+func (p *Parser) parseEquation() (*Equation, error) {
+	eq := &Equation{Pos: p.tok.Pos}
+	parseLref := func() error {
+		id, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		eq.Lhs = append(eq.Lhs, id.Text)
+		var idx Expr
+		if p.accept(TokLBracket) {
+			if idx, err = p.parseExpr(); err != nil {
+				return err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return err
+			}
+		}
+		eq.LhsIdx = append(eq.LhsIdx, idx)
+		return nil
+	}
+	if p.tok.Kind == TokLParen {
+		p.next()
+		for {
+			if err := parseLref(); err != nil {
+				return nil, err
+			}
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if len(eq.Lhs) < 2 {
+			return nil, errf(eq.Pos, "parenthesized left-hand side needs at least two variables")
+		}
+	} else {
+		if err := parseLref(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	eq.Rhs = rhs
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return eq, nil
+}
+
+// Precedence levels, loosest first:
+//
+//	?:   (right-assoc, handled by parseExpr)
+//	|
+//	^
+//	&
+//	== !=
+//	< > <= >=
+//	<< >>
+//	+ -
+//	*
+//	unary ~ -
+func (p *Parser) parseExpr() (Expr, error) {
+	c, err := p.parseBin(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == TokQuestion {
+		pos := p.tok.Pos
+		p.next()
+		t, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		f, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{C: c, T: t, F: f, Pos: pos}, nil
+	}
+	return c, nil
+}
+
+type binLevel struct {
+	toks []TokKind
+	ops  []BinOp
+}
+
+var binLevels = []binLevel{
+	{[]TokKind{TokPipe}, []BinOp{OpOr}},
+	{[]TokKind{TokCaret}, []BinOp{OpXor}},
+	{[]TokKind{TokAmp}, []BinOp{OpAnd}},
+	{[]TokKind{TokEq, TokNe}, []BinOp{OpEq, OpNe}},
+	{[]TokKind{TokLt, TokGt, TokLe, TokGe}, []BinOp{OpLt, OpGt, OpLe, OpGe}},
+	{[]TokKind{TokShl, TokShr}, []BinOp{OpShl, OpShr}},
+	{[]TokKind{TokPlus, TokMinus}, []BinOp{OpAdd, OpSub}},
+	{[]TokKind{TokStar}, []BinOp{OpMul}},
+}
+
+func (p *Parser) parseBin(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	lv := binLevels[level]
+	for {
+		matched := false
+		for i, tk := range lv.toks {
+			if p.tok.Kind == tk {
+				pos := p.tok.Pos
+				p.next()
+				rhs, err := p.parseBin(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				lhs = &Binary{Op: lv.ops[i], X: lhs, Y: rhs, Pos: pos}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokTilde:
+		pos := p.tok.Pos
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNotU, X: x, Pos: pos}, nil
+	case TokMinus:
+		pos := p.tok.Pos
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNegU, X: x, Pos: pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokIdent:
+		id := p.tok
+		p.next()
+		if p.tok.Kind == TokLBracket {
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &Index{Name: id.Text, Idx: idx, Pos: id.Pos}, nil
+		}
+		if p.tok.Kind == TokLParen {
+			p.next()
+			call := &Call{Name: id.Text, Pos: id.Pos}
+			if p.tok.Kind != TokRParen {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Name: id.Text, Pos: id.Pos}, nil
+
+	case TokInt:
+		tok := p.tok
+		p.next()
+		val, ok := new(big.Int).SetString(strings.ReplaceAll(tok.Text, "_", ""), 0)
+		if !ok {
+			return nil, errf(tok.Pos, "malformed integer literal %q", tok.Text)
+		}
+		lit := &IntLit{Value: val, Pos: tok.Pos}
+		if p.tok.Kind == TokColon {
+			// A colon after a literal is a width ascription only when a
+			// uN type follows; otherwise it belongs to an enclosing
+			// ternary ("c ? 100 : x"). One token of backtracking
+			// disambiguates.
+			savedTok, savedLex := p.tok, *p.lex
+			p.next()
+			if p.tok.Kind == TokIdent && isTypeName(p.tok.Text) {
+				ty, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				lit.Width = ty.Bits
+				if val.BitLen() > ty.Bits {
+					return nil, errf(tok.Pos, "literal %s does not fit in u%d", val, ty.Bits)
+				}
+			} else {
+				p.tok, *p.lex = savedTok, savedLex
+			}
+		}
+		return lit, nil
+
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return nil, errf(p.tok.Pos, "expected expression, found %s %q", p.tok.Kind, p.tok.Text)
+}

@@ -1,0 +1,121 @@
+// Package dsl implements the CHOPPER programming interface: a synchronous
+// dataflow language in the tradition of Usuba/Lustre. Programs are sets of
+// nodes; a node equates output and local variables to expressions over its
+// inputs. There is no control flow and every variable is assigned exactly
+// once, which is what makes whole-program analysis — automatic memory
+// allocation and bit-slicing — tractable for the compiler.
+//
+// Grammar sketch:
+//
+//	program  := node*
+//	node     := attr* "node" ident "(" params ")" "returns" "(" params ")"
+//	            ("vars" params ";")? "let" equation* "tel"
+//	attr     := "@" ident ("(" ident ("," ident)* ")")?
+//	params   := param ("," param)*
+//	param    := ident (","" ident)* ":" type
+//	type     := "u" digits ("[" digits "]")?
+//	node     also admits "const" tables before "let":
+//	           "const" ident ":" type "=" "{" int ("," int)* "}" ";"
+//	stmt     := equation | "forall" ident "in" int ".." int "{" stmt* "}"
+//	equation := lhs "=" expr ";"
+//	lhs      := lref | "(" lref ("," lref)+ ")"
+//	lref     := ident ("[" expr "]")?
+//	expr     := ternary over |, ^, &, == !=, < > <= >=, << >>, + -, *,
+//	            unary ~ -, calls, parens, identifiers, integer literals
+//	literal  := digits | 0x hex | literal ":" type (width ascription)
+package dsl
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt    // integer literal (value in Text, parsed lazily: may exceed 64 bits)
+	TokNode   // "node"
+	TokReturn // "returns"
+	TokVars   // "vars"
+	TokLet    // "let"
+	TokTel    // "tel"
+	TokAt     // '@'
+	TokLParen
+	TokRParen
+	TokComma
+	TokSemi
+	TokColon
+	TokAssign // '='
+	TokPlus
+	TokMinus
+	TokStar
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTilde
+	TokShl // "<<"
+	TokShr // ">>"
+	TokLt
+	TokGt
+	TokLe // "<="
+	TokGe // ">="
+	TokEq // "=="
+	TokNe // "!="
+	TokQuestion
+	TokForall // "forall"
+	TokIn     // "in"
+	TokConst  // "const"
+	TokLBracket
+	TokRBracket
+	TokLBrace
+	TokRBrace
+	TokDotDot // ".."
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "end of input", TokIdent: "identifier", TokInt: "integer",
+	TokNode: "'node'", TokReturn: "'returns'", TokVars: "'vars'",
+	TokLet: "'let'", TokTel: "'tel'", TokAt: "'@'",
+	TokLParen: "'('", TokRParen: "')'", TokComma: "','", TokSemi: "';'",
+	TokColon: "':'", TokAssign: "'='", TokPlus: "'+'", TokMinus: "'-'",
+	TokStar: "'*'", TokAmp: "'&'", TokPipe: "'|'", TokCaret: "'^'",
+	TokTilde: "'~'", TokShl: "'<<'", TokShr: "'>>'", TokLt: "'<'",
+	TokGt: "'>'", TokLe: "'<='", TokGe: "'>='", TokEq: "'=='",
+	TokNe: "'!='", TokQuestion: "'?'",
+	TokForall: "'forall'", TokIn: "'in'", TokConst: "'const'",
+	TokLBracket: "'['", TokRBracket: "']'",
+	TokLBrace: "'{'", TokRBrace: "'}'", TokDotDot: "'..'",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token?%d", int(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// Error is a positioned front-end error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,86 @@
+// Package hostmodel provides analytic (roofline-style) execution-time
+// models for the two real machines the paper compares against: the Intel
+// Skylake multi-core CPU and the NVIDIA TITAN V GPU of Table I.
+//
+// The paper measures these baselines on real hardware running tuned
+// software (PyTorch, LevelWT, hand-tuned kernels). That hardware is not
+// available here, so — per the reproduction's substitution policy — each
+// machine is modeled as the max of its memory-traffic time and its
+// compute time, with an efficiency factor representing how well tuned
+// software approaches peak. The CPU serves as the normalization
+// denominator of every figure, so what matters is that its throughput is
+// stable and in the right regime (memory-bound for these streaming
+// workloads), not cycle-exact.
+package hostmodel
+
+import "fmt"
+
+// Machine is an analytic machine model.
+type Machine struct {
+	Name string
+	// MemBWGBs is sustained memory bandwidth in GB/s.
+	MemBWGBs float64
+	// GopsPerSec is sustained element-operation throughput in Gop/s
+	// (SIMD integer ops across all cores/SMs).
+	GopsPerSec float64
+	// Efficiency derates both peaks for real tuned software.
+	Efficiency float64
+	// LaunchOverheadNs is fixed per-invocation overhead (kernel launch,
+	// thread pool wake-up).
+	LaunchOverheadNs float64
+}
+
+// Skylake returns the Table I CPU: 8-core out-of-order x86 at 4 GHz with
+// 4-channel DDR4-2400 (76.8 GB/s peak). Compute peak assumes AVX2 integer
+// lanes: 8 cores x 32 B/cycle x 4 GHz = 1024 Gop/s on byte elements.
+func Skylake() Machine {
+	return Machine{
+		Name:             "Skylake-8c",
+		MemBWGBs:         76.8,
+		GopsPerSec:       1024,
+		Efficiency:       0.65,
+		LaunchOverheadNs: 2_000,
+	}
+}
+
+// TitanV returns the Table I GPU: 5120 CUDA cores at 1.2 GHz with HBM2
+// (652.8 GB/s). Compute peak 5120 x 1.2 GHz = 6144 Gop/s on word
+// elements.
+func TitanV() Machine {
+	return Machine{
+		Name:             "TITAN-V",
+		MemBWGBs:         652.8,
+		GopsPerSec:       6144,
+		Efficiency:       0.55,
+		LaunchOverheadNs: 10_000,
+	}
+}
+
+// Validate rejects degenerate models.
+func (m Machine) Validate() error {
+	if m.MemBWGBs <= 0 || m.GopsPerSec <= 0 || m.Efficiency <= 0 || m.Efficiency > 1 {
+		return fmt.Errorf("hostmodel: bad machine %+v", m)
+	}
+	return nil
+}
+
+// TimeNs estimates the execution time of a workload touching `bytes` of
+// memory and performing `ops` element operations.
+func (m Machine) TimeNs(bytes, ops float64) float64 {
+	memNs := bytes / (m.MemBWGBs * m.Efficiency) // GB/s == B/ns
+	cmpNs := ops / (m.GopsPerSec * m.Efficiency)
+	t := memNs
+	if cmpNs > t {
+		t = cmpNs
+	}
+	return t + m.LaunchOverheadNs
+}
+
+// Cost describes a workload's host-side resource demands.
+type Cost struct {
+	Bytes float64 // memory traffic (reads + writes)
+	Ops   float64 // element operations
+}
+
+// TimeNsFor is TimeNs over a Cost.
+func (m Machine) TimeNsFor(c Cost) float64 { return m.TimeNs(c.Bytes, c.Ops) }

@@ -1,0 +1,62 @@
+package hostmodel
+
+import "testing"
+
+func TestMachinesValid(t *testing.T) {
+	for _, m := range []Machine{Skylake(), TitanV()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	bad := Machine{MemBWGBs: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad machine accepted")
+	}
+}
+
+func TestRooflineRegimes(t *testing.T) {
+	m := Skylake()
+	// Memory-bound: lots of bytes, few ops.
+	memBound := m.TimeNs(1e9, 1)
+	// Compute-bound: few bytes, lots of ops.
+	cmpBound := m.TimeNs(1, 1e12)
+	wantMem := 1e9 / (m.MemBWGBs * m.Efficiency)
+	if memBound < wantMem {
+		t.Errorf("memory-bound time %.0f below bandwidth bound %.0f", memBound, wantMem)
+	}
+	wantCmp := 1e12 / (m.GopsPerSec * m.Efficiency)
+	if cmpBound < wantCmp {
+		t.Errorf("compute-bound time %.0f below throughput bound %.0f", cmpBound, wantCmp)
+	}
+}
+
+func TestGPUFasterThanCPUOnStreaming(t *testing.T) {
+	c := Cost{Bytes: 4e9, Ops: 1e9}
+	cpu := Skylake().TimeNsFor(c)
+	gpu := TitanV().TimeNsFor(c)
+	if gpu >= cpu {
+		t.Errorf("GPU (%.0f) not faster than CPU (%.0f) on a streaming workload", gpu, cpu)
+	}
+	// The ratio should be in the bandwidth-ratio ballpark (~7x), not 1000x.
+	if r := cpu / gpu; r < 3 || r > 15 {
+		t.Errorf("GPU/CPU ratio %.1f outside the bandwidth-ratio ballpark", r)
+	}
+}
+
+func TestLaunchOverheadDominatesTinyWork(t *testing.T) {
+	m := TitanV()
+	tiny := m.TimeNs(64, 64)
+	if tiny < m.LaunchOverheadNs {
+		t.Errorf("tiny kernel (%.0f ns) below launch overhead", tiny)
+	}
+}
+
+func TestTimeMonotonic(t *testing.T) {
+	m := Skylake()
+	if m.TimeNs(2e9, 0) <= m.TimeNs(1e9, 0) {
+		t.Error("time not monotonic in bytes")
+	}
+	if m.TimeNs(0, 2e12) <= m.TimeNs(0, 1e12) {
+		t.Error("time not monotonic in ops")
+	}
+}

@@ -1,0 +1,370 @@
+// Package isa defines the micro-operation instruction set for Bit-serial
+// SIMD Processing-Using-DRAM (PUD) architectures, following the command
+// vocabulary of Ambit, ELP2IM and SIMDRAM: row-to-row copies implemented as
+// ACTIVATE-ACTIVATE-PRECHARGE (AAP), in-DRAM computation implemented as a
+// triple-row ACTIVATE-PRECHARGE (AP, a.k.a. TRA), and host-mediated row
+// transfers (WRITE/READ) over the memory bus.
+//
+// Row addresses within a subarray are split into three groups, mirroring the
+// Ambit subarray organization:
+//
+//   - D-group: regular data rows, selected by the regular row decoder.
+//   - C-group: two constant rows C0 (all zeros) and C1 (all ones).
+//   - B-group: compute rows T0..T3 plus two dual-contact cell pairs
+//     (DCC0, ~DCC0) and (DCC1, ~DCC1), driven by a special decoder that can
+//     activate up to three rows at once (a TRA).
+package isa
+
+import "fmt"
+
+// Row identifies a row within a subarray. Non-negative values address the
+// D-group (row index within the data region); negative values address the
+// C-group and B-group through the named constants below.
+type Row int
+
+// Special (non-D-group) row addresses. The numeric values are arbitrary but
+// stable; they only need to be distinct from valid D-group indices (>= 0).
+const (
+	// C-group constant rows.
+	C0 Row = -1 // all zeros
+	C1 Row = -2 // all ones
+
+	// B-group compute rows.
+	T0 Row = -3
+	T1 Row = -4
+	T2 Row = -5
+	T3 Row = -6
+
+	// Dual-contact cell rows. Writing to DCCi also latches the complement
+	// into DCCiN (and vice versa); this is how in-DRAM NOT is realized.
+	DCC0  Row = -7
+	DCC0N Row = -8
+	DCC1  Row = -9
+	DCC1N Row = -10
+
+	// RowNone marks an unused row operand slot.
+	RowNone Row = -128
+)
+
+// NumBRows is the number of addressable B-group rows.
+const NumBRows = 8
+
+// BRows lists every B-group row in a canonical order.
+var BRows = [NumBRows]Row{T0, T1, T2, T3, DCC0, DCC0N, DCC1, DCC1N}
+
+// IsDGroup reports whether r addresses a regular data row.
+func (r Row) IsDGroup() bool { return r >= 0 }
+
+// IsCGroup reports whether r is one of the constant rows.
+func (r Row) IsCGroup() bool { return r == C0 || r == C1 }
+
+// IsBGroup reports whether r is a compute row (T or DCC).
+func (r Row) IsBGroup() bool { return r <= T0 && r >= DCC1N }
+
+// Complement returns the dual-contact complement row for DCC rows, and
+// RowNone for every other row.
+func (r Row) Complement() Row {
+	switch r {
+	case DCC0:
+		return DCC0N
+	case DCC0N:
+		return DCC0
+	case DCC1:
+		return DCC1N
+	case DCC1N:
+		return DCC1
+	}
+	return RowNone
+}
+
+// String renders the row in the assembly syntax used throughout the
+// compiler's dumps ("D12", "C0", "T3", "DCC0", "~DCC0").
+func (r Row) String() string {
+	switch {
+	case r.IsDGroup():
+		return fmt.Sprintf("D%d", int(r))
+	case r == C0:
+		return "C0"
+	case r == C1:
+		return "C1"
+	case r == T0, r == T1, r == T2, r == T3:
+		return fmt.Sprintf("T%d", int(T0-r))
+	case r == DCC0:
+		return "DCC0"
+	case r == DCC0N:
+		return "~DCC0"
+	case r == DCC1:
+		return "DCC1"
+	case r == DCC1N:
+		return "~DCC1"
+	case r == RowNone:
+		return "-"
+	}
+	return fmt.Sprintf("R?%d", int(r))
+}
+
+// OpKind enumerates the PUD micro-operations.
+type OpKind int
+
+const (
+	// OpAAP copies Src into every row listed in Dst (1-3 rows, B-group
+	// multi-row activation) via ACTIVATE-ACTIVATE-PRECHARGE.
+	OpAAP OpKind = iota
+
+	// OpAP performs a triple-row activation (TRA) over Dst[0..2], leaving
+	// the bitwise majority of the three rows in all three.
+	OpAP
+
+	// OpWrite transfers one row of data from the host into Dst[0] over the
+	// memory bus (used for input operands and spilled-row refill).
+	OpWrite
+
+	// OpRead transfers the row Src out to the host over the memory bus
+	// (used for results and for spilling rows out).
+	OpRead
+
+	// OpSpillOut reads Src out to the host and enqueues an SSD page
+	// program for it. Timing-wise it is an OpRead plus SSD traffic.
+	OpSpillOut
+
+	// OpSpillIn fetches a previously spilled row from the SSD and writes
+	// it into Dst[0]. Timing-wise an SSD read plus an OpWrite.
+	OpSpillIn
+
+	// OpRowInit initializes Dst[0] with the constant pattern in Imm
+	// (used only at program setup for the C-group).
+	OpRowInit
+)
+
+var opKindNames = [...]string{"AAP", "AP", "WRITE", "READ", "SPILL_OUT", "SPILL_IN", "ROWINIT"}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("OP?%d", int(k))
+}
+
+// Op is a single PUD micro-operation targeted at one subarray.
+type Op struct {
+	Kind OpKind
+	Src  Row    // source row (AAP, READ, SPILL_OUT)
+	Dst  [3]Ow  // destination rows; see OpKind docs
+	NDst int    // number of valid entries in Dst
+	Imm  uint64 // constant pattern for ROWINIT; spill slot id for spills
+
+	// Tag carries the host-transfer payload identity (which logical input
+	// row a WRITE carries); used by VIRCOE and the simulator.
+	Tag int
+}
+
+// Ow is an alias kept distinct to catch accidental misuse in array literals.
+type Ow = Row
+
+// NewAAP builds a row-copy op from src into one, two or three destinations.
+func NewAAP(src Row, dst ...Row) Op {
+	if len(dst) == 0 || len(dst) > 3 {
+		panic(fmt.Sprintf("isa: AAP needs 1-3 destinations, got %d", len(dst)))
+	}
+	op := Op{Kind: OpAAP, Src: src, NDst: len(dst)}
+	op.Dst = [3]Row{RowNone, RowNone, RowNone}
+	copy(op.Dst[:], dst)
+	return op
+}
+
+// NewAP builds a triple-row-activation op over exactly three B-group rows.
+func NewAP(a, b, c Row) Op {
+	return Op{Kind: OpAP, Src: RowNone, Dst: [3]Row{a, b, c}, NDst: 3}
+}
+
+// NewWrite builds a host-to-DRAM row transfer carrying payload tag.
+func NewWrite(dst Row, tag int) Op {
+	return Op{Kind: OpWrite, Src: RowNone, Dst: [3]Row{dst, RowNone, RowNone}, NDst: 1, Tag: tag}
+}
+
+// NewRead builds a DRAM-to-host row transfer.
+func NewRead(src Row, tag int) Op {
+	return Op{Kind: OpRead, Src: src, Dst: [3]Row{RowNone, RowNone, RowNone}, Tag: tag}
+}
+
+// NewSpillOut builds a spill-to-SSD op for row src into spill slot.
+func NewSpillOut(src Row, slot uint64) Op {
+	return Op{Kind: OpSpillOut, Src: src, Dst: [3]Row{RowNone, RowNone, RowNone}, Imm: slot}
+}
+
+// NewSpillIn builds a refill-from-SSD op for spill slot into row dst.
+func NewSpillIn(dst Row, slot uint64) Op {
+	return Op{Kind: OpSpillIn, Src: RowNone, Dst: [3]Row{dst, RowNone, RowNone}, NDst: 1, Imm: slot}
+}
+
+// NewRowInit builds a constant-row initialization op. pattern is replicated
+// across the row (0 => all zeros, ^uint64(0) => all ones).
+func NewRowInit(dst Row, pattern uint64) Op {
+	return Op{Kind: OpRowInit, Src: RowNone, Dst: [3]Row{dst, RowNone, RowNone}, NDst: 1, Imm: pattern}
+}
+
+// Dsts returns the valid destination rows as a slice (aliasing op storage).
+func (o *Op) Dsts() []Row { return o.Dst[:o.NDst] }
+
+// IsTransfer reports whether the op occupies the shared memory bus
+// (host-mediated data movement), as opposed to in-subarray computation.
+func (o *Op) IsTransfer() bool {
+	switch o.Kind {
+	case OpWrite, OpRead, OpSpillOut, OpSpillIn:
+		return true
+	}
+	return false
+}
+
+// IsCompute reports whether the op is in-subarray work (AAP/AP/ROWINIT).
+func (o *Op) IsCompute() bool { return !o.IsTransfer() }
+
+// String renders the op in assembly syntax.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpAAP:
+		s := "AAP " + o.Src.String() + " ->"
+		for _, d := range o.Dsts() {
+			s += " " + d.String()
+		}
+		return s
+	case OpAP:
+		return fmt.Sprintf("AP %s,%s,%s", o.Dst[0], o.Dst[1], o.Dst[2])
+	case OpWrite:
+		return fmt.Sprintf("WRITE -> %s (tag %d)", o.Dst[0], o.Tag)
+	case OpRead:
+		return fmt.Sprintf("READ %s (tag %d)", o.Src, o.Tag)
+	case OpSpillOut:
+		return fmt.Sprintf("SPILL_OUT %s (slot %d)", o.Src, o.Imm)
+	case OpSpillIn:
+		return fmt.Sprintf("SPILL_IN -> %s (slot %d)", o.Dst[0], o.Imm)
+	case OpRowInit:
+		return fmt.Sprintf("ROWINIT -> %s (0x%x)", o.Dst[0], o.Imm)
+	}
+	return "?"
+}
+
+// Arch identifies one of the supported Bit-serial SIMD PUD architectures.
+type Arch int
+
+const (
+	// Ambit implements bulk AND/OR through triple-row activation with a
+	// C-group control row, and NOT through dual-contact cells.
+	Ambit Arch = iota
+	// ELP2IM augments the precharge units in the local row buffer so that
+	// consecutive bitwise operations need fewer full activations.
+	ELP2IM
+	// SIMDRAM exposes majority (MAJ) as the computation primitive and
+	// synthesizes arithmetic from MAJ/NOT, over the Ambit substrate.
+	SIMDRAM
+)
+
+var archNames = [...]string{"Ambit", "ELP2IM", "SIMDRAM"}
+
+func (a Arch) String() string {
+	if int(a) < len(archNames) {
+		return archNames[a]
+	}
+	return fmt.Sprintf("Arch?%d", int(a))
+}
+
+// AllArchs lists every supported architecture in evaluation order.
+var AllArchs = []Arch{Ambit, ELP2IM, SIMDRAM}
+
+// SupportsMajority reports whether the architecture exposes 3-input
+// majority as a directly programmable primitive (true only for SIMDRAM;
+// Ambit and ELP2IM expose AND/OR/NOT).
+func (a Arch) SupportsMajority() bool { return a == SIMDRAM }
+
+// Program is a straight-line micro-op sequence for a single subarray,
+// together with the row-resource footprint it requires.
+type Program struct {
+	Ops []Op
+
+	// DRowsUsed is the number of D-group rows the program touches
+	// (the high-water mark of allocated data rows).
+	DRowsUsed int
+
+	// SpillSlots is the number of distinct SSD spill slots referenced.
+	SpillSlots int
+}
+
+// Append adds ops to the program.
+func (p *Program) Append(ops ...Op) { p.Ops = append(p.Ops, ops...) }
+
+// Counts summarizes a program by op kind.
+func (p *Program) Counts() map[OpKind]int {
+	m := make(map[OpKind]int)
+	for i := range p.Ops {
+		m[p.Ops[i].Kind]++
+	}
+	return m
+}
+
+// NumTransfers returns the number of bus-occupying ops.
+func (p *Program) NumTransfers() int {
+	n := 0
+	for i := range p.Ops {
+		if p.Ops[i].IsTransfer() {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants: AAP destinations are rows, AP
+// operands are B-group rows, D-group references stay below dRows, and spill
+// ops carry slot ids below SpillSlots.
+func (p *Program) Validate(dRows int) error {
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		check := func(r Row, what string) error {
+			if r == RowNone {
+				return fmt.Errorf("isa: op %d (%s): missing %s row", i, op, what)
+			}
+			if r.IsDGroup() && int(r) >= dRows {
+				return fmt.Errorf("isa: op %d (%s): %s row %s exceeds D-group size %d", i, op, what, r, dRows)
+			}
+			return nil
+		}
+		switch op.Kind {
+		case OpAAP:
+			if err := check(op.Src, "source"); err != nil {
+				return err
+			}
+			if op.NDst < 1 || op.NDst > 3 {
+				return fmt.Errorf("isa: op %d (%s): AAP with %d destinations", i, op, op.NDst)
+			}
+			for _, d := range op.Dsts() {
+				if err := check(d, "destination"); err != nil {
+					return err
+				}
+				if op.NDst > 1 && !d.IsBGroup() {
+					return fmt.Errorf("isa: op %d (%s): multi-destination AAP outside B-group", i, op)
+				}
+			}
+		case OpAP:
+			for _, d := range op.Dst {
+				if !d.IsBGroup() {
+					return fmt.Errorf("isa: op %d (%s): TRA operand %s outside B-group", i, op, d)
+				}
+			}
+		case OpWrite, OpSpillIn, OpRowInit:
+			if err := check(op.Dst[0], "destination"); err != nil {
+				return err
+			}
+		case OpRead, OpSpillOut:
+			if err := check(op.Src, "source"); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("isa: op %d: unknown kind %d", i, int(op.Kind))
+		}
+		if op.Kind == OpSpillOut || op.Kind == OpSpillIn {
+			if int(op.Imm) >= p.SpillSlots {
+				return fmt.Errorf("isa: op %d (%s): spill slot %d out of range %d", i, op, op.Imm, p.SpillSlots)
+			}
+		}
+	}
+	return nil
+}

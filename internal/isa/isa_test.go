@@ -1,0 +1,170 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRowClassification(t *testing.T) {
+	cases := []struct {
+		r          Row
+		d, c, b    bool
+		complement Row
+	}{
+		{Row(0), true, false, false, RowNone},
+		{Row(1005), true, false, false, RowNone},
+		{C0, false, true, false, RowNone},
+		{C1, false, true, false, RowNone},
+		{T0, false, false, true, RowNone},
+		{T3, false, false, true, RowNone},
+		{DCC0, false, false, true, DCC0N},
+		{DCC0N, false, false, true, DCC0},
+		{DCC1, false, false, true, DCC1N},
+		{DCC1N, false, false, true, DCC1},
+	}
+	for _, tc := range cases {
+		if got := tc.r.IsDGroup(); got != tc.d {
+			t.Errorf("%s.IsDGroup() = %v, want %v", tc.r, got, tc.d)
+		}
+		if got := tc.r.IsCGroup(); got != tc.c {
+			t.Errorf("%s.IsCGroup() = %v, want %v", tc.r, got, tc.c)
+		}
+		if got := tc.r.IsBGroup(); got != tc.b {
+			t.Errorf("%s.IsBGroup() = %v, want %v", tc.r, got, tc.b)
+		}
+		if got := tc.r.Complement(); got != tc.complement {
+			t.Errorf("%s.Complement() = %v, want %v", tc.r, got, tc.complement)
+		}
+	}
+}
+
+func TestRowStrings(t *testing.T) {
+	want := map[Row]string{
+		Row(7): "D7", C0: "C0", C1: "C1", T0: "T0", T1: "T1", T2: "T2", T3: "T3",
+		DCC0: "DCC0", DCC0N: "~DCC0", DCC1: "DCC1", DCC1N: "~DCC1", RowNone: "-",
+	}
+	for r, s := range want {
+		if got := r.String(); got != s {
+			t.Errorf("Row(%d).String() = %q, want %q", int(r), got, s)
+		}
+	}
+}
+
+func TestBRowsAllBGroup(t *testing.T) {
+	for _, r := range BRows {
+		if !r.IsBGroup() {
+			t.Errorf("BRows contains non-B-group row %s", r)
+		}
+	}
+	if len(BRows) != NumBRows {
+		t.Errorf("NumBRows = %d, len(BRows) = %d", NumBRows, len(BRows))
+	}
+}
+
+func TestOpConstructorsAndStrings(t *testing.T) {
+	aap := NewAAP(Row(3), T0, T1)
+	if aap.Kind != OpAAP || aap.NDst != 2 || aap.Src != Row(3) {
+		t.Errorf("bad AAP: %+v", aap)
+	}
+	if !strings.Contains(aap.String(), "AAP D3 -> T0 T1") {
+		t.Errorf("AAP string: %q", aap.String())
+	}
+	ap := NewAP(T0, T1, T2)
+	if ap.Kind != OpAP || ap.Dst[2] != T2 {
+		t.Errorf("bad AP: %+v", ap)
+	}
+	w := NewWrite(Row(5), 42)
+	if w.Kind != OpWrite || w.Tag != 42 || !w.IsTransfer() {
+		t.Errorf("bad WRITE: %+v", w)
+	}
+	r := NewRead(Row(5), 7)
+	if r.Kind != OpRead || !r.IsTransfer() {
+		t.Errorf("bad READ: %+v", r)
+	}
+	if ap.IsTransfer() || !ap.IsCompute() {
+		t.Errorf("AP misclassified")
+	}
+	so := NewSpillOut(Row(1), 9)
+	si := NewSpillIn(Row(2), 9)
+	if !so.IsTransfer() || !si.IsTransfer() {
+		t.Errorf("spills must be transfers")
+	}
+	ri := NewRowInit(C0, 0)
+	if ri.Kind != OpRowInit || ri.IsTransfer() {
+		t.Errorf("bad ROWINIT: %+v", ri)
+	}
+}
+
+func TestNewAAPPanicsOnBadArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewAAP with 0 destinations did not panic")
+		}
+	}()
+	NewAAP(Row(0))
+}
+
+func TestProgramValidate(t *testing.T) {
+	good := &Program{Ops: []Op{
+		NewWrite(Row(0), 0),
+		NewAAP(Row(0), T0, T1),
+		NewAAP(C0, T2),
+		NewAP(T0, T1, T2),
+		NewAAP(T0, Row(1)),
+		NewRead(Row(1), 0),
+	}}
+	if err := good.Validate(10); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+
+	bad := &Program{Ops: []Op{NewAAP(Row(50), T0)}}
+	if err := bad.Validate(10); err == nil {
+		t.Error("out-of-range D row not caught")
+	}
+
+	badTRA := &Program{Ops: []Op{NewAP(T0, T1, T2)}}
+	badTRA.Ops[0].Dst[2] = Row(3)
+	if err := badTRA.Validate(10); err == nil {
+		t.Error("TRA outside B-group not caught")
+	}
+
+	multiD := &Program{Ops: []Op{NewAAP(Row(0), Row(1), Row(2))}}
+	if err := multiD.Validate(10); err == nil {
+		t.Error("multi-destination AAP outside B-group not caught")
+	}
+
+	badSpill := &Program{Ops: []Op{NewSpillOut(Row(0), 3)}, SpillSlots: 2}
+	if err := badSpill.Validate(10); err == nil {
+		t.Error("out-of-range spill slot not caught")
+	}
+}
+
+func TestProgramCounts(t *testing.T) {
+	p := &Program{Ops: []Op{
+		NewWrite(Row(0), 0), NewWrite(Row(1), 1),
+		NewAAP(Row(0), T0), NewAP(T0, T1, T2),
+		NewRead(Row(2), 0),
+	}}
+	c := p.Counts()
+	if c[OpWrite] != 2 || c[OpAAP] != 1 || c[OpAP] != 1 || c[OpRead] != 1 {
+		t.Errorf("bad counts: %v", c)
+	}
+	if p.NumTransfers() != 3 {
+		t.Errorf("NumTransfers = %d, want 3", p.NumTransfers())
+	}
+}
+
+func TestArchProperties(t *testing.T) {
+	if Ambit.SupportsMajority() || ELP2IM.SupportsMajority() {
+		t.Error("Ambit/ELP2IM should not expose MAJ")
+	}
+	if !SIMDRAM.SupportsMajority() {
+		t.Error("SIMDRAM must expose MAJ")
+	}
+	if len(AllArchs) != 3 {
+		t.Errorf("AllArchs = %v", AllArchs)
+	}
+	if Ambit.String() != "Ambit" || ELP2IM.String() != "ELP2IM" || SIMDRAM.String() != "SIMDRAM" {
+		t.Error("arch names wrong")
+	}
+}

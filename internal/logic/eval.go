@@ -1,0 +1,56 @@
+package logic
+
+import "fmt"
+
+// Eval evaluates the net over 64 SIMD lanes at once: each input is a uint64
+// whose bit l is the input's value in lane l; each output likewise. This is
+// the reference semantics the DRAM functional simulator is checked against,
+// and the fast path the property tests use.
+//
+// inputs maps input name -> lane bundle; missing inputs default to 0.
+func (n *Net) Eval(inputs map[string]uint64) (map[string]uint64, error) {
+	vals := make([]uint64, len(n.Gates))
+	inIdx := make(map[string]int, len(n.InputNames))
+	for i, name := range n.InputNames {
+		if _, dup := inIdx[name]; dup {
+			return nil, fmt.Errorf("logic: duplicate input name %q", name)
+		}
+		inIdx[name] = i
+	}
+	for name, v := range inputs {
+		i, ok := inIdx[name]
+		if !ok {
+			return nil, fmt.Errorf("logic: unknown input %q", name)
+		}
+		vals[n.Inputs[i]] = v
+	}
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		switch g.Kind {
+		case GInput:
+			// preset above
+		case GConst0:
+			vals[i] = 0
+		case GConst1:
+			vals[i] = ^uint64(0)
+		case GNot:
+			vals[i] = ^vals[g.Args[0]]
+		case GAnd:
+			vals[i] = vals[g.Args[0]] & vals[g.Args[1]]
+		case GOr:
+			vals[i] = vals[g.Args[0]] | vals[g.Args[1]]
+		case GXor:
+			vals[i] = vals[g.Args[0]] ^ vals[g.Args[1]]
+		case GMaj:
+			a, b, c := vals[g.Args[0]], vals[g.Args[1]], vals[g.Args[2]]
+			vals[i] = (a & b) | (b & c) | (a & c)
+		default:
+			return nil, fmt.Errorf("logic: gate %d has unknown kind %d", i, int(g.Kind))
+		}
+	}
+	out := make(map[string]uint64, len(n.Outputs))
+	for i, o := range n.Outputs {
+		out[n.OutputNames[i]] = vals[o]
+	}
+	return out, nil
+}

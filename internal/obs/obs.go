@@ -1,0 +1,211 @@
+// Package obs implements CHOPPER's Optimizations for Bit-Sliced codes
+// (OBS), the paper's Section V:
+//
+//   - O1, bit-sliced code scheduling: reorder gates so dependent
+//     operations are aggregated, minimizing the number of rows needed to
+//     buffer intermediate bitslices (ScheduleGates);
+//   - O2, bit-sliced instruction selection: exploit bit patterns of
+//     constant operands (folding at bit-slicing time) and source surviving
+//     constants from the C-group rows instead of CPU writes (a flag the
+//     code generator honors);
+//   - O3, bit-sliced instruction renaming: shorten Store-Copy-Compute to
+//     Store-Compute for one-shot bitslices (a flag the code generator
+//     honors).
+//
+// The Variant type names the cumulative optimization levels of the paper's
+// breakdown study (Table IV): bitslice ⊂ schedule ⊂ reuse ⊂ rename.
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"chopper/internal/logic"
+)
+
+// Variant is a cumulative optimization level, per Table IV of the paper.
+type Variant int
+
+const (
+	// Bitslice: bit-slicing only, no OBS optimizations.
+	Bitslice Variant = iota
+	// Schedule: + O1 bit-sliced code scheduling.
+	Schedule
+	// Reuse: + O2 bit-sliced instruction selection (constant reuse).
+	Reuse
+	// Rename: + O3 bit-sliced instruction renaming (full CHOPPER).
+	Rename
+)
+
+var variantNames = [...]string{"bitslice", "schedule", "reuse", "rename"}
+
+func (v Variant) String() string {
+	if int(v) < len(variantNames) {
+		return variantNames[v]
+	}
+	return fmt.Sprintf("variant?%d", int(v))
+}
+
+// AllVariants lists the breakdown levels in cumulative order.
+var AllVariants = []Variant{Bitslice, Schedule, Reuse, Rename}
+
+// Full is the complete CHOPPER optimization level.
+const Full = Rename
+
+// HasSchedule reports whether O1 is enabled at this level.
+func (v Variant) HasSchedule() bool { return v >= Schedule }
+
+// HasReuse reports whether O2 is enabled at this level.
+func (v Variant) HasReuse() bool { return v >= Reuse }
+
+// HasRename reports whether O3 is enabled at this level.
+func (v Variant) HasRename() bool { return v >= Rename }
+
+// ScheduleGates computes an execution order for the net's computation gates.
+// When pressureAware is false it returns the natural (creation) order,
+// which mirrors the full-size-operand execution order the bit-sliced code
+// inherits from the source program: every multi-bit operation completes all
+// of its bitslices before the next operation starts, so whole intermediate
+// words must be buffered.
+//
+// When true it runs the O1 scheduler. Two candidate orders are built —
+// the natural order, and a depth-first post-order walk from the outputs
+// that visits at each gate the operand sub-cone with the larger
+// register-need label first (Sethi–Ullman ordering, generalized to the
+// DAG) — and the one with lower buffering pressure (MaxLive) is kept. The
+// DFS order realizes the paper's Figure 6 aggregation: bit i of a consumer
+// is computed as soon as bit i of its producers exists, so intermediate
+// words never need to be buffered in full, only carry-chain state stays
+// live. On accumulator-shaped cones (multipliers) the natural order is
+// already the aggregated one and the cost model keeps it.
+func ScheduleGates(n *logic.Net, pressureAware bool) []logic.NodeID {
+	isComp := func(k logic.GateKind) bool {
+		switch k {
+		case logic.GInput, logic.GConst0, logic.GConst1:
+			return false
+		}
+		return true
+	}
+	var natural []logic.NodeID
+	for i := range n.Gates {
+		if isComp(n.Gates[i].Kind) {
+			natural = append(natural, logic.NodeID(i))
+		}
+	}
+	if !pressureAware {
+		return natural
+	}
+
+	// Register-need labels (Sethi–Ullman, treating the DAG as a tree;
+	// shared sub-cones are approximated, which is standard practice).
+	label := make([]int, len(n.Gates))
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if !isComp(g.Kind) {
+			label[i] = 0
+			continue
+		}
+		// Gather child labels, descending.
+		var ls []int
+		for a := 0; a < g.Kind.Arity(); a++ {
+			ls = append(ls, label[g.Args[a]])
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(ls)))
+		need := 1
+		for k, l := range ls {
+			if v := l + k; v > need {
+				need = v
+			}
+		}
+		label[i] = need
+	}
+
+	visited := make([]bool, len(n.Gates))
+	order := make([]logic.NodeID, 0, len(n.Gates))
+	// Iterative DFS post-order; children visited heavier-label first.
+	var stack []logic.NodeID
+	var phase []bool // false = expand, true = emit
+	push := func(id logic.NodeID) {
+		if !visited[id] && isComp(n.Gates[id].Kind) {
+			stack = append(stack, id)
+			phase = append(phase, false)
+		}
+	}
+	for _, o := range n.Outputs {
+		push(o)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			emit := phase[len(phase)-1]
+			stack = stack[:len(stack)-1]
+			phase = phase[:len(phase)-1]
+			if visited[id] {
+				continue
+			}
+			if emit {
+				visited[id] = true
+				order = append(order, id)
+				continue
+			}
+			stack = append(stack, id)
+			phase = append(phase, true)
+			g := &n.Gates[id]
+			// Push lighter children first so heavier pop first.
+			var kids []logic.NodeID
+			for a := 0; a < g.Kind.Arity(); a++ {
+				kids = append(kids, g.Args[a])
+			}
+			sort.SliceStable(kids, func(i, j int) bool {
+				return label[kids[i]] < label[kids[j]]
+			})
+			for _, k := range kids {
+				push(k)
+			}
+		}
+	}
+	if MaxLive(n, order) <= MaxLive(n, natural) {
+		return order
+	}
+	return natural
+}
+
+// MaxLive simulates a schedule and returns the maximum number of
+// computation-gate results simultaneously live (still awaiting consumers
+// or referenced by outputs) — the row-buffering pressure the schedule
+// induces. Inputs and constants are excluded: their buffering is governed
+// by O2/O3, not by O1.
+func MaxLive(n *logic.Net, order []logic.NodeID) int {
+	fanout := n.Fanout()
+	remaining := make([]int, len(n.Gates))
+	copy(remaining, fanout)
+	isComp := func(id logic.NodeID) bool {
+		switch n.Gates[id].Kind {
+		case logic.GInput, logic.GConst0, logic.GConst1:
+			return false
+		}
+		return true
+	}
+	outputs := make(map[logic.NodeID]bool)
+	for _, o := range n.Outputs {
+		outputs[o] = true
+	}
+	live := 0
+	maxLive := 0
+	for _, id := range order {
+		g := &n.Gates[id]
+		// Result becomes live if anything will consume it.
+		if remaining[id] > 0 {
+			live++
+			if live > maxLive {
+				maxLive = live
+			}
+		}
+		for a := 0; a < g.Kind.Arity(); a++ {
+			arg := g.Args[a]
+			remaining[arg]--
+			if remaining[arg] == 0 && isComp(arg) && !outputs[arg] {
+				live--
+			}
+		}
+	}
+	return maxLive
+}

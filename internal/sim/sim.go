@@ -1,0 +1,344 @@
+// Package sim executes PUD micro-op programs functionally — on a bit-matrix
+// model of DRAM subarrays — and, through the dram timing engine and the ssd
+// device model, computes how long the execution takes.
+//
+// The functional model is the ground truth for the whole compiler test
+// suite: a kernel is only considered correctly compiled when running its
+// micro-ops here reproduces, lane by lane, the result of the corresponding
+// plain Go computation.
+package sim
+
+import (
+	"fmt"
+
+	"chopper/internal/dram"
+	"chopper/internal/isa"
+	"chopper/internal/ssd"
+)
+
+// HostIO supplies WRITE payloads and consumes READ results. Tags identify
+// logical rows: the compiler assigns a tag to every input bit-row and every
+// output bit-row. For multi-subarray runs (each subarray processing its own
+// data tile), the At variants take precedence when non-nil.
+type HostIO struct {
+	// WriteData returns the row payload for a WRITE with the given tag.
+	WriteData func(tag int) []uint64
+	// ReadSink receives the row payload of a READ with the given tag.
+	ReadSink func(tag int, data []uint64)
+
+	// WriteDataAt, when set, supplies per-subarray payloads.
+	WriteDataAt func(bank, sub, tag int) []uint64
+	// ReadSinkAt, when set, consumes per-subarray results.
+	ReadSinkAt func(bank, sub, tag int, data []uint64)
+}
+
+// Subarray is the functional state of one PUD subarray: a set of rows, each
+// a bit-vector of `lanes` bits stored as 64-bit words. Dual-contact cell
+// pairs are kept complementary on every write, which is how in-DRAM NOT
+// works on Ambit-style substrates.
+type Subarray struct {
+	lanes int
+	words int
+	mask  uint64 // valid bits of the last word
+	dRows int
+	rows  map[isa.Row][]uint64
+}
+
+// NewSubarray creates a subarray with dRows data rows and `lanes` bitlines.
+// The C-group rows are initialized to their architectural constants.
+func NewSubarray(dRows, lanes int) *Subarray {
+	if dRows <= 0 || lanes <= 0 {
+		panic(fmt.Sprintf("sim: bad subarray dims dRows=%d lanes=%d", dRows, lanes))
+	}
+	words := (lanes + 63) / 64
+	mask := ^uint64(0)
+	if r := lanes % 64; r != 0 {
+		mask = (uint64(1) << uint(r)) - 1
+	}
+	s := &Subarray{lanes: lanes, words: words, mask: mask, dRows: dRows, rows: make(map[isa.Row][]uint64)}
+	s.setRow(isa.C0, s.constRow(0))
+	s.setRow(isa.C1, s.constRow(^uint64(0)))
+	return s
+}
+
+// Lanes returns the SIMD width of the subarray.
+func (s *Subarray) Lanes() int { return s.lanes }
+
+func (s *Subarray) constRow(pattern uint64) []uint64 {
+	row := make([]uint64, s.words)
+	for i := range row {
+		row[i] = pattern
+	}
+	row[s.words-1] &= s.mask
+	return row
+}
+
+func (s *Subarray) getRow(r isa.Row) ([]uint64, error) {
+	if r.IsDGroup() && int(r) >= s.dRows {
+		return nil, fmt.Errorf("sim: row %s beyond D-group size %d", r, s.dRows)
+	}
+	row, ok := s.rows[r]
+	if !ok {
+		return nil, fmt.Errorf("sim: read of uninitialized row %s", r)
+	}
+	return row, nil
+}
+
+// setRow stores data into r, maintaining the dual-contact complement
+// invariant. The slice is copied.
+func (s *Subarray) setRow(r isa.Row, data []uint64) {
+	dst, ok := s.rows[r]
+	if !ok {
+		dst = make([]uint64, s.words)
+		s.rows[r] = dst
+	}
+	copy(dst, data)
+	dst[s.words-1] &= s.mask
+	if comp := r.Complement(); comp != isa.RowNone {
+		cdst, ok := s.rows[comp]
+		if !ok {
+			cdst = make([]uint64, s.words)
+			s.rows[comp] = cdst
+		}
+		for i := range cdst {
+			cdst[i] = ^dst[i]
+		}
+		cdst[s.words-1] &= s.mask
+	}
+}
+
+// Row returns a copy of the row's contents (nil if uninitialized); intended
+// for tests and debugging dumps.
+func (s *Subarray) Row(r isa.Row) []uint64 {
+	row, ok := s.rows[r]
+	if !ok {
+		return nil
+	}
+	out := make([]uint64, len(row))
+	copy(out, row)
+	return out
+}
+
+// SpillStore holds spilled rows, keyed by spill slot.
+type SpillStore struct {
+	slots map[uint64][]uint64
+}
+
+// NewSpillStore creates an empty store.
+func NewSpillStore() *SpillStore { return &SpillStore{slots: make(map[uint64][]uint64)} }
+
+// Exec executes one micro-op against the subarray.
+func (s *Subarray) Exec(op *isa.Op, io *HostIO, spill *SpillStore) error {
+	switch op.Kind {
+	case isa.OpRowInit:
+		if op.Dst[0].IsCGroup() {
+			// Re-initializing a constant row is allowed (it is how the
+			// architecture maintains them) but must match the constant.
+			want := uint64(0)
+			if op.Dst[0] == isa.C1 {
+				want = ^uint64(0)
+			}
+			if op.Imm != want {
+				return fmt.Errorf("sim: ROWINIT %s with wrong pattern %#x", op.Dst[0], op.Imm)
+			}
+		}
+		s.setRow(op.Dst[0], s.constRow(op.Imm))
+		return nil
+
+	case isa.OpAAP:
+		src, err := s.getRow(op.Src)
+		if err != nil {
+			return err
+		}
+		// Copy out first: a destination may alias the source's complement.
+		tmp := make([]uint64, s.words)
+		copy(tmp, src)
+		for _, d := range op.Dsts() {
+			if d.IsCGroup() {
+				return fmt.Errorf("sim: AAP into constant row %s", d)
+			}
+			s.setRow(d, tmp)
+		}
+		return nil
+
+	case isa.OpAP:
+		a, err := s.getRow(op.Dst[0])
+		if err != nil {
+			return err
+		}
+		b, err := s.getRow(op.Dst[1])
+		if err != nil {
+			return err
+		}
+		c, err := s.getRow(op.Dst[2])
+		if err != nil {
+			return err
+		}
+		res := make([]uint64, s.words)
+		for i := range res {
+			res[i] = (a[i] & b[i]) | (b[i] & c[i]) | (a[i] & c[i])
+		}
+		for _, d := range op.Dst {
+			s.setRow(d, res)
+		}
+		return nil
+
+	case isa.OpWrite:
+		if io == nil || io.WriteData == nil {
+			return fmt.Errorf("sim: WRITE with no host data source (tag %d)", op.Tag)
+		}
+		data := io.WriteData(op.Tag)
+		if data == nil {
+			return fmt.Errorf("sim: host has no data for WRITE tag %d", op.Tag)
+		}
+		if op.Dst[0].IsCGroup() {
+			return fmt.Errorf("sim: WRITE into constant row %s", op.Dst[0])
+		}
+		s.setRow(op.Dst[0], data)
+		return nil
+
+	case isa.OpRead:
+		src, err := s.getRow(op.Src)
+		if err != nil {
+			return err
+		}
+		if io == nil || io.ReadSink == nil {
+			return fmt.Errorf("sim: READ with no host sink (tag %d)", op.Tag)
+		}
+		out := make([]uint64, s.words)
+		copy(out, src)
+		io.ReadSink(op.Tag, out)
+		return nil
+
+	case isa.OpSpillOut:
+		src, err := s.getRow(op.Src)
+		if err != nil {
+			return err
+		}
+		if spill == nil {
+			return fmt.Errorf("sim: spill with no spill store")
+		}
+		saved := make([]uint64, s.words)
+		copy(saved, src)
+		spill.slots[op.Imm] = saved
+		return nil
+
+	case isa.OpSpillIn:
+		if spill == nil {
+			return fmt.Errorf("sim: spill with no spill store")
+		}
+		data, ok := spill.slots[op.Imm]
+		if !ok {
+			return fmt.Errorf("sim: SPILL_IN of unwritten slot %d", op.Imm)
+		}
+		s.setRow(op.Dst[0], data)
+		return nil
+	}
+	return fmt.Errorf("sim: unknown op kind %d", int(op.Kind))
+}
+
+// Machine simulates a whole device: many subarrays (created lazily), a
+// shared spill store, the timing engine, and optionally an SSD device
+// charged for spill traffic.
+type Machine struct {
+	geom   dram.Geometry
+	lanes  int
+	engine *dram.Engine
+	ssd    *ssd.Device
+	subs   map[[2]int]*Subarray
+	// spills is per subarray: every compiled program numbers its spill
+	// slots from zero, so slot namespaces must not collide across
+	// subarrays.
+	spills map[[2]int]*SpillStore
+}
+
+// MachineConfig configures a Machine.
+type MachineConfig struct {
+	Geom  dram.Geometry
+	Arch  isa.Arch
+	SALP  bool
+	Lanes int // functional lanes per subarray; 0 means Geom.Bitlines()
+
+	// SSD, when non-nil, charges spill traffic to the device.
+	SSD *ssd.Device
+}
+
+// NewMachine builds a machine.
+func NewMachine(cfg MachineConfig) *Machine {
+	lanes := cfg.Lanes
+	if lanes == 0 {
+		lanes = cfg.Geom.Bitlines()
+	}
+	eng := dram.NewEngine(cfg.Geom, dram.TimingFor(cfg.Arch, cfg.Geom), cfg.SALP)
+	m := &Machine{
+		geom:   cfg.Geom,
+		lanes:  lanes,
+		engine: eng,
+		ssd:    cfg.SSD,
+		subs:   make(map[[2]int]*Subarray),
+		spills: make(map[[2]int]*SpillStore),
+	}
+	if cfg.SSD != nil {
+		rowBytes := cfg.Geom.RowBytes
+		eng.SSDDelay = func(out bool, slot uint64, startNs float64) float64 {
+			if out {
+				return cfg.SSD.Write(slot, rowBytes, startNs)
+			}
+			return cfg.SSD.Read(slot, startNs)
+		}
+	}
+	return m
+}
+
+// Sub returns (creating if needed) the functional subarray at (bank, sub).
+func (m *Machine) Sub(bank, sub int) *Subarray {
+	key := [2]int{bank, sub}
+	s, ok := m.subs[key]
+	if !ok {
+		s = NewSubarray(m.geom.DRows(), m.lanes)
+		m.subs[key] = s
+		m.spills[key] = NewSpillStore()
+	}
+	return s
+}
+
+// Run executes a placed op stream functionally and through the timing
+// engine, returning the makespan in nanoseconds. The first functional error
+// aborts the run.
+func (m *Machine) Run(stream []dram.Placed, io *HostIO) (float64, error) {
+	for i := range stream {
+		p := &stream[i]
+		sub := m.Sub(p.Bank, p.Subarray)
+		effIO := io
+		if io != nil && (io.WriteDataAt != nil || io.ReadSinkAt != nil) {
+			bank, sa := p.Bank, p.Subarray
+			local := &HostIO{WriteData: io.WriteData, ReadSink: io.ReadSink}
+			if io.WriteDataAt != nil {
+				local.WriteData = func(tag int) []uint64 { return io.WriteDataAt(bank, sa, tag) }
+			}
+			if io.ReadSinkAt != nil {
+				local.ReadSink = func(tag int, data []uint64) { io.ReadSinkAt(bank, sa, tag, data) }
+			}
+			effIO = local
+		}
+		if err := sub.Exec(&p.Op, effIO, m.spills[[2]int{p.Bank, p.Subarray}]); err != nil {
+			return m.engine.Makespan(), fmt.Errorf("op %d at bank %d sub %d: %w", i, p.Bank, p.Subarray, err)
+		}
+		m.engine.Issue(*p)
+	}
+	return m.engine.Makespan(), nil
+}
+
+// Stats exposes the timing engine counters.
+func (m *Machine) Stats() dram.EngineStats { return m.engine.Stats() }
+
+// RunProgram is a convenience for single-subarray programs: it places every
+// op at bank 0, subarray 0 and runs it on a fresh machine.
+func RunProgram(prog *isa.Program, arch isa.Arch, geom dram.Geometry, lanes int, io *HostIO) (float64, error) {
+	m := NewMachine(MachineConfig{Geom: geom, Arch: arch, Lanes: lanes})
+	stream := make([]dram.Placed, len(prog.Ops))
+	for i, op := range prog.Ops {
+		stream[i] = dram.Placed{Bank: 0, Subarray: 0, Op: op}
+	}
+	return m.Run(stream, io)
+}

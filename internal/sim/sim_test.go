@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"chopper/internal/dram"
+	"chopper/internal/isa"
+	"chopper/internal/ssd"
+)
+
+func row(val uint64, words int) []uint64 {
+	r := make([]uint64, words)
+	for i := range r {
+		r[i] = val
+	}
+	return r
+}
+
+func TestConstantRowsInitialized(t *testing.T) {
+	s := NewSubarray(16, 128)
+	c0 := s.Row(isa.C0)
+	c1 := s.Row(isa.C1)
+	if c0 == nil || c1 == nil {
+		t.Fatal("C rows not initialized")
+	}
+	for i := range c0 {
+		if c0[i] != 0 {
+			t.Errorf("C0 word %d = %#x", i, c0[i])
+		}
+		if c1[i] != ^uint64(0) {
+			t.Errorf("C1 word %d = %#x", i, c1[i])
+		}
+	}
+}
+
+func TestLaneMasking(t *testing.T) {
+	s := NewSubarray(4, 100) // 100 lanes -> 2 words, top 28 bits masked
+	c1 := s.Row(isa.C1)
+	if c1[1] != (uint64(1)<<36)-1 {
+		t.Errorf("C1 tail word = %#x, want 36 low bits", c1[1])
+	}
+}
+
+func exec(t *testing.T, s *Subarray, op isa.Op, io *HostIO, sp *SpillStore) {
+	t.Helper()
+	if err := s.Exec(&op, io, sp); err != nil {
+		t.Fatalf("%v: %v", op, err)
+	}
+}
+
+func TestAAPAndTRA(t *testing.T) {
+	s := NewSubarray(8, 64)
+	a, b := uint64(0b1100), uint64(0b1010)
+	io := &HostIO{WriteData: func(tag int) []uint64 {
+		if tag == 0 {
+			return []uint64{a}
+		}
+		return []uint64{b}
+	}}
+	exec(t, s, isa.NewWrite(isa.Row(0), 0), io, nil)
+	exec(t, s, isa.NewWrite(isa.Row(1), 1), io, nil)
+	exec(t, s, isa.NewAAP(isa.Row(0), isa.T0), nil, nil)
+	exec(t, s, isa.NewAAP(isa.Row(1), isa.T1), nil, nil)
+	exec(t, s, isa.NewAAP(isa.C0, isa.T2), nil, nil)
+	exec(t, s, isa.NewAP(isa.T0, isa.T1, isa.T2), nil, nil)
+	want := a & b
+	for _, r := range []isa.Row{isa.T0, isa.T1, isa.T2} {
+		if got := s.Row(r)[0]; got != want {
+			t.Errorf("%s after AND-TRA = %#x, want %#x", r, got, want)
+		}
+	}
+
+	// OR via C1 control.
+	exec(t, s, isa.NewAAP(isa.Row(0), isa.T0), nil, nil)
+	exec(t, s, isa.NewAAP(isa.Row(1), isa.T1), nil, nil)
+	exec(t, s, isa.NewAAP(isa.C1, isa.T2), nil, nil)
+	exec(t, s, isa.NewAP(isa.T0, isa.T1, isa.T2), nil, nil)
+	if got := s.Row(isa.T0)[0]; got != a|b {
+		t.Errorf("OR-TRA = %#x, want %#x", got, a|b)
+	}
+}
+
+func TestMultiDestinationAAP(t *testing.T) {
+	s := NewSubarray(8, 64)
+	io := &HostIO{WriteData: func(int) []uint64 { return []uint64{0xF0} }}
+	exec(t, s, isa.NewWrite(isa.Row(0), 0), io, nil)
+	exec(t, s, isa.NewAAP(isa.Row(0), isa.T0, isa.T1, isa.T2), nil, nil)
+	for _, r := range []isa.Row{isa.T0, isa.T1, isa.T2} {
+		if got := s.Row(r)[0]; got != 0xF0 {
+			t.Errorf("%s = %#x", r, got)
+		}
+	}
+}
+
+func TestDualContactNot(t *testing.T) {
+	s := NewSubarray(8, 64)
+	io := &HostIO{WriteData: func(int) []uint64 { return []uint64{0b0110} }}
+	exec(t, s, isa.NewWrite(isa.Row(0), 0), io, nil)
+	exec(t, s, isa.NewAAP(isa.Row(0), isa.DCC0), nil, nil)
+	if got := s.Row(isa.DCC0N)[0]; got != ^uint64(0b0110) {
+		t.Errorf("~DCC0 = %#x, want %#x", got, ^uint64(0b0110))
+	}
+	// Writing to the complement row flips the primary too.
+	exec(t, s, isa.NewAAP(isa.C1, isa.DCC1N), nil, nil)
+	if got := s.Row(isa.DCC1)[0]; got != 0 {
+		t.Errorf("DCC1 = %#x, want 0", got)
+	}
+}
+
+func TestTRAWithDCCOperand(t *testing.T) {
+	// NOT(a) AND b computed as TRA(~DCC0, T1, T2) with control C0 in T2.
+	s := NewSubarray(8, 64)
+	a, b := uint64(0b1100), uint64(0b1010)
+	io := &HostIO{WriteData: func(tag int) []uint64 {
+		if tag == 0 {
+			return []uint64{a}
+		}
+		return []uint64{b}
+	}}
+	exec(t, s, isa.NewWrite(isa.Row(0), 0), io, nil)
+	exec(t, s, isa.NewWrite(isa.Row(1), 1), io, nil)
+	exec(t, s, isa.NewAAP(isa.Row(0), isa.DCC0), nil, nil)
+	exec(t, s, isa.NewAAP(isa.Row(1), isa.T1), nil, nil)
+	exec(t, s, isa.NewAAP(isa.C0, isa.T2), nil, nil)
+	exec(t, s, isa.NewAP(isa.DCC0N, isa.T1, isa.T2), nil, nil)
+	want := ^a & b & 0xFFFF // only low bits matter here
+	if got := s.Row(isa.T1)[0] & 0xFFFF; got != want {
+		t.Errorf("~a&b = %#x, want %#x", got, want)
+	}
+}
+
+func TestReadBack(t *testing.T) {
+	s := NewSubarray(8, 64)
+	var got []uint64
+	io := &HostIO{
+		WriteData: func(int) []uint64 { return []uint64{0xAB} },
+		ReadSink:  func(tag int, data []uint64) { got = data },
+	}
+	exec(t, s, isa.NewWrite(isa.Row(3), 0), io, nil)
+	exec(t, s, isa.NewRead(isa.Row(3), 7), io, nil)
+	if got == nil || got[0] != 0xAB {
+		t.Errorf("read back %v", got)
+	}
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	s := NewSubarray(8, 64)
+	sp := NewSpillStore()
+	io := &HostIO{WriteData: func(int) []uint64 { return []uint64{0xCD} }}
+	exec(t, s, isa.NewWrite(isa.Row(0), 0), io, nil)
+	exec(t, s, isa.NewSpillOut(isa.Row(0), 5), nil, sp)
+	// Clobber the row, then refill.
+	exec(t, s, isa.NewAAP(isa.C0, isa.T0), nil, nil)
+	exec(t, s, isa.NewAAP(isa.T0, isa.Row(0)), nil, nil)
+	if s.Row(isa.Row(0))[0] != 0 {
+		t.Fatal("clobber failed")
+	}
+	exec(t, s, isa.NewSpillIn(isa.Row(0), 5), nil, sp)
+	if got := s.Row(isa.Row(0))[0]; got != 0xCD {
+		t.Errorf("after refill = %#x, want 0xCD", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := NewSubarray(4, 64)
+	cases := []struct {
+		name string
+		op   isa.Op
+		io   *HostIO
+		want string
+	}{
+		{"uninit read", isa.NewAAP(isa.Row(2), isa.T0), nil, "uninitialized"},
+		{"aap to const", isa.NewAAP(isa.C1, isa.C0), nil, "constant"},
+		{"write no host", isa.NewWrite(isa.Row(0), 0), nil, "no host"},
+		{"spill-in unwritten", isa.NewSpillIn(isa.Row(0), 1), nil, "unwritten"},
+		{"row out of range", isa.NewAAP(isa.Row(99), isa.T0), nil, "beyond"},
+	}
+	for _, tc := range cases {
+		err := s.Exec(&tc.op, tc.io, NewSpillStore())
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRowInitWrongConstantRejected(t *testing.T) {
+	s := NewSubarray(4, 64)
+	op := isa.NewRowInit(isa.C0, 5)
+	if err := s.Exec(&op, nil, nil); err == nil {
+		t.Error("ROWINIT C0 with nonzero pattern accepted")
+	}
+}
+
+func TestMachineRunAndTiming(t *testing.T) {
+	g := dram.DefaultGeometry()
+	m := NewMachine(MachineConfig{Geom: g, Arch: isa.Ambit, Lanes: 64})
+	io := &HostIO{WriteData: func(tag int) []uint64 { return []uint64{uint64(tag)} }}
+	stream := []dram.Placed{
+		{Bank: 0, Subarray: 0, Op: isa.NewWrite(isa.Row(0), 1)},
+		{Bank: 1, Subarray: 0, Op: isa.NewWrite(isa.Row(0), 2)},
+		{Bank: 0, Subarray: 0, Op: isa.NewAAP(isa.Row(0), isa.T0)},
+	}
+	mk, err := m.Run(stream, io)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk <= 0 {
+		t.Error("zero makespan")
+	}
+	if m.Sub(0, 0).Row(isa.T0)[0] != 1 {
+		t.Error("bank 0 state wrong")
+	}
+	if m.Sub(1, 0).Row(isa.Row(0))[0] != 2 {
+		t.Error("bank 1 state wrong")
+	}
+}
+
+func TestMachineWithSSDChargesSpills(t *testing.T) {
+	g := dram.DefaultGeometry()
+	dev := ssd.New(ssd.DefaultConfig())
+	m := NewMachine(MachineConfig{Geom: g, Arch: isa.Ambit, Lanes: 64, SSD: dev})
+	io := &HostIO{WriteData: func(int) []uint64 { return []uint64{7} }}
+	stream := []dram.Placed{
+		{Bank: 0, Subarray: 0, Op: isa.NewWrite(isa.Row(0), 0)},
+		{Bank: 0, Subarray: 0, Op: isa.NewSpillOut(isa.Row(0), 0)},
+		{Bank: 0, Subarray: 0, Op: isa.NewSpillIn(isa.Row(1), 0)},
+	}
+	mk, err := m.Run(stream, io)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk < ssd.DefaultConfig().ProgramLatencyNs {
+		t.Errorf("makespan %.0f does not include SSD program latency", mk)
+	}
+	if dev.Stats().Programs == 0 || dev.Stats().Reads == 0 {
+		t.Error("SSD not charged")
+	}
+	if m.Sub(0, 0).Row(isa.Row(1))[0] != 7 {
+		t.Error("spill round trip lost data")
+	}
+}
+
+func TestRunProgram(t *testing.T) {
+	prog := &isa.Program{}
+	prog.Append(
+		isa.NewWrite(isa.Row(0), 0),
+		isa.NewAAP(isa.Row(0), isa.T0),
+		isa.NewRead(isa.Row(0), 1),
+	)
+	var out []uint64
+	io := &HostIO{
+		WriteData: func(int) []uint64 { return []uint64{0x55} },
+		ReadSink:  func(tag int, data []uint64) { out = data },
+	}
+	mk, err := RunProgram(prog, isa.SIMDRAM, dram.DefaultGeometry(), 64, io)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk <= 0 || out == nil || out[0] != 0x55 {
+		t.Errorf("mk=%f out=%v", mk, out)
+	}
+}
+
+func TestFunctionalErrorAborts(t *testing.T) {
+	m := NewMachine(MachineConfig{Geom: dram.DefaultGeometry(), Arch: isa.Ambit, Lanes: 64})
+	stream := []dram.Placed{{Bank: 0, Subarray: 0, Op: isa.NewAAP(isa.Row(0), isa.T0)}}
+	if _, err := m.Run(stream, nil); err == nil {
+		t.Error("uninitialized read did not abort run")
+	}
+}

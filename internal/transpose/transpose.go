@@ -1,0 +1,207 @@
+// Package transpose implements the host-side data transposition that
+// Bit-serial SIMD PUD architectures require: converting operands from the
+// conventional horizontal layout (one element per memory word) into the
+// vertical, bit-serial layout (bit i of every lane gathered into one DRAM
+// row) and back. The CHOPPER front-end emits this code for the host
+// processor; the PUD program then consumes the transposed rows via WRITE
+// micro-ops.
+//
+// The core primitive is the classic 64x64 bit-matrix transpose
+// (Hacker's Delight, 7-3), applied blockwise over the lane dimension.
+package transpose
+
+import "fmt"
+
+// Words returns the number of 64-bit words needed to hold `lanes` bits.
+func Words(lanes int) int { return (lanes + 63) / 64 }
+
+// Transpose64 transposes a 64x64 bit matrix in place: bit j of word i moves
+// to bit i of word j.
+func Transpose64(m *[64]uint64) {
+	j := 32
+	mask := uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := (m[k] ^ (m[k+j] << j)) & (mask << j)
+			m[k] ^= t
+			m[k+j] ^= t >> j
+		}
+		j >>= 1
+		mask ^= mask << j
+	}
+}
+
+// ToVertical converts `lanes` elements of `width` bits (width <= 64, one
+// element per entry of elems, low bits significant) into `width` bit-rows of
+// Words(lanes) words each: row b, bit l == bit b of element l.
+//
+// len(elems) must be at least lanes; extra entries are ignored. Bits of an
+// element at positions >= width are ignored.
+func ToVertical(elems []uint64, width, lanes int) [][]uint64 {
+	if width <= 0 || width > 64 {
+		panic(fmt.Sprintf("transpose: width %d out of range (1..64)", width))
+	}
+	if len(elems) < lanes {
+		panic(fmt.Sprintf("transpose: %d elements for %d lanes", len(elems), lanes))
+	}
+	w := Words(lanes)
+	rows := make([][]uint64, width)
+	backing := make([]uint64, width*w)
+	for b := range rows {
+		rows[b], backing = backing[:w], backing[w:]
+	}
+	var block [64]uint64
+	for base := 0; base < lanes; base += 64 {
+		n := lanes - base
+		if n > 64 {
+			n = 64
+		}
+		for i := 0; i < n; i++ {
+			block[i] = elems[base+i]
+		}
+		for i := n; i < 64; i++ {
+			block[i] = 0
+		}
+		Transpose64(&block)
+		word := base / 64
+		if n == 64 {
+			for b := 0; b < width; b++ {
+				rows[b][word] = block[b]
+			}
+		} else {
+			tailMask := (uint64(1) << uint(n)) - 1
+			for b := 0; b < width; b++ {
+				rows[b][word] = block[b] & tailMask
+			}
+		}
+	}
+	return rows
+}
+
+// FromVertical is the inverse of ToVertical: it gathers bit l of every row
+// back into element l. Rows beyond len(rows) read as zero, so a narrower
+// result can be widened for free.
+func FromVertical(rows [][]uint64, width, lanes int) []uint64 {
+	if width <= 0 || width > 64 {
+		panic(fmt.Sprintf("transpose: width %d out of range (1..64)", width))
+	}
+	elems := make([]uint64, lanes)
+	var block [64]uint64
+	for base := 0; base < lanes; base += 64 {
+		n := lanes - base
+		if n > 64 {
+			n = 64
+		}
+		word := base / 64
+		for b := 0; b < width && b < len(rows); b++ {
+			if word < len(rows[b]) {
+				block[b] = rows[b][word]
+			} else {
+				block[b] = 0
+			}
+		}
+		for b := width; b < 64; b++ {
+			block[b] = 0
+		}
+		if width <= len(rows) {
+			for b := width; b < 64 && b < len(rows); b++ {
+				block[b] = 0
+			}
+		}
+		Transpose64(&block)
+		for i := 0; i < n; i++ {
+			elems[base+i] = block[i]
+		}
+	}
+	return elems
+}
+
+// ToVerticalWide converts wide elements (each a little-endian slice of
+// 64-bit limbs) into `width` bit-rows. width may exceed 64; limbs beyond
+// an element's length read as zero.
+func ToVerticalWide(elems [][]uint64, width, lanes int) [][]uint64 {
+	if width <= 0 {
+		panic("transpose: non-positive width")
+	}
+	if len(elems) < lanes {
+		panic(fmt.Sprintf("transpose: %d elements for %d lanes", len(elems), lanes))
+	}
+	w := Words(lanes)
+	rows := make([][]uint64, width)
+	for b := range rows {
+		rows[b] = make([]uint64, w)
+	}
+	limbs := (width + 63) / 64
+	var block [64]uint64
+	scratch := make([]uint64, 64)
+	for limb := 0; limb < limbs; limb++ {
+		lo := limb * 64
+		hi := lo + 64
+		if hi > width {
+			hi = width
+		}
+		for base := 0; base < lanes; base += 64 {
+			n := lanes - base
+			if n > 64 {
+				n = 64
+			}
+			for i := 0; i < 64; i++ {
+				scratch[i] = 0
+			}
+			for i := 0; i < n; i++ {
+				e := elems[base+i]
+				if limb < len(e) {
+					scratch[i] = e[limb]
+				}
+			}
+			copy(block[:], scratch)
+			Transpose64(&block)
+			word := base / 64
+			for b := lo; b < hi; b++ {
+				rows[b][word] = block[b-lo]
+			}
+		}
+	}
+	return rows
+}
+
+// FromVerticalWide gathers bit-rows back into wide elements of
+// ceil(width/64) limbs each.
+func FromVerticalWide(rows [][]uint64, width, lanes int) [][]uint64 {
+	if width <= 0 {
+		panic("transpose: non-positive width")
+	}
+	limbs := (width + 63) / 64
+	elems := make([][]uint64, lanes)
+	for i := range elems {
+		elems[i] = make([]uint64, limbs)
+	}
+	var block [64]uint64
+	for limb := 0; limb < limbs; limb++ {
+		lo := limb * 64
+		hi := lo + 64
+		if hi > width {
+			hi = width
+		}
+		for base := 0; base < lanes; base += 64 {
+			n := lanes - base
+			if n > 64 {
+				n = 64
+			}
+			word := base / 64
+			for b := 0; b < 64; b++ {
+				block[b] = 0
+			}
+			for b := lo; b < hi && b < len(rows); b++ {
+				if word < len(rows[b]) {
+					block[b-lo] = rows[b][word]
+				}
+			}
+			Transpose64(&block)
+			for i := 0; i < n; i++ {
+				elems[base+i][limb] = block[i]
+			}
+		}
+	}
+	return elems
+}

@@ -1,0 +1,183 @@
+package transpose
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTranspose64Involution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var m, orig [64]uint64
+	for i := range m {
+		m[i] = rng.Uint64()
+	}
+	orig = m
+	Transpose64(&m)
+	Transpose64(&m)
+	if m != orig {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestTranspose64Bits(t *testing.T) {
+	var m [64]uint64
+	m[3] = 1 << 17 // bit (row 3, col 17)
+	Transpose64(&m)
+	for i := range m {
+		want := uint64(0)
+		if i == 17 {
+			want = 1 << 3
+		}
+		if m[i] != want {
+			t.Fatalf("row %d = %#x, want %#x", i, m[i], want)
+		}
+	}
+}
+
+func TestRoundTripVarious(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct{ width, lanes int }{
+		{1, 1}, {1, 64}, {8, 64}, {8, 100}, {16, 256}, {64, 64}, {13, 70}, {64, 1}, {32, 65},
+	} {
+		mask := ^uint64(0)
+		if tc.width < 64 {
+			mask = (uint64(1) << uint(tc.width)) - 1
+		}
+		elems := make([]uint64, tc.lanes)
+		for i := range elems {
+			elems[i] = rng.Uint64() & mask
+		}
+		rows := ToVertical(elems, tc.width, tc.lanes)
+		if len(rows) != tc.width {
+			t.Fatalf("w=%d l=%d: got %d rows", tc.width, tc.lanes, len(rows))
+		}
+		if len(rows[0]) != Words(tc.lanes) {
+			t.Fatalf("w=%d l=%d: row has %d words, want %d", tc.width, tc.lanes, len(rows[0]), Words(tc.lanes))
+		}
+		back := FromVertical(rows, tc.width, tc.lanes)
+		for i := range elems {
+			if back[i] != elems[i] {
+				t.Fatalf("w=%d l=%d lane %d: %#x != %#x", tc.width, tc.lanes, i, back[i], elems[i])
+			}
+		}
+	}
+}
+
+func TestVerticalBitPlacement(t *testing.T) {
+	// Element 5 = 0b10 (8-bit): bit 1 of lane 5 must be set in row 1.
+	elems := make([]uint64, 64)
+	elems[5] = 0b10
+	rows := ToVertical(elems, 8, 64)
+	if rows[0][0] != 0 {
+		t.Errorf("row 0 = %#x, want 0", rows[0][0])
+	}
+	if rows[1][0] != 1<<5 {
+		t.Errorf("row 1 = %#x, want %#x", rows[1][0], uint64(1)<<5)
+	}
+}
+
+func TestHighBitsIgnored(t *testing.T) {
+	elems := []uint64{0xFF}
+	rows := ToVertical(elems, 4, 1)
+	back := FromVertical(rows, 4, 1)
+	if back[0] != 0xF {
+		t.Errorf("width-4 round trip of 0xFF = %#x, want 0xF", back[0])
+	}
+}
+
+func TestWideRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ width, lanes int }{
+		{64, 64}, {128, 64}, {100, 70}, {512, 30}, {864, 10}, {65, 1},
+	} {
+		limbs := (tc.width + 63) / 64
+		elems := make([][]uint64, tc.lanes)
+		for i := range elems {
+			elems[i] = make([]uint64, limbs)
+			for j := range elems[i] {
+				elems[i][j] = rng.Uint64()
+			}
+			// Mask the top limb to the width.
+			if r := tc.width % 64; r != 0 {
+				elems[i][limbs-1] &= (uint64(1) << uint(r)) - 1
+			}
+		}
+		rows := ToVerticalWide(elems, tc.width, tc.lanes)
+		if len(rows) != tc.width {
+			t.Fatalf("w=%d: %d rows", tc.width, len(rows))
+		}
+		back := FromVerticalWide(rows, tc.width, tc.lanes)
+		for i := range elems {
+			for j := range elems[i] {
+				if back[i][j] != elems[i][j] {
+					t.Fatalf("w=%d lane %d limb %d: %#x != %#x", tc.width, i, j, back[i][j], elems[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestWideMatchesNarrowFor64(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lanes := 128
+	elems := make([]uint64, lanes)
+	wide := make([][]uint64, lanes)
+	for i := range elems {
+		elems[i] = rng.Uint64()
+		wide[i] = []uint64{elems[i]}
+	}
+	r1 := ToVertical(elems, 64, lanes)
+	r2 := ToVerticalWide(wide, 64, lanes)
+	for b := 0; b < 64; b++ {
+		for w := range r1[b] {
+			if r1[b][w] != r2[b][w] {
+				t.Fatalf("row %d word %d differ", b, w)
+			}
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(5))}
+	prop := func(seed int64, wRaw, lRaw uint16) bool {
+		width := int(wRaw)%64 + 1
+		lanes := int(lRaw)%300 + 1
+		rng := rand.New(rand.NewSource(seed))
+		mask := ^uint64(0)
+		if width < 64 {
+			mask = (uint64(1) << uint(width)) - 1
+		}
+		elems := make([]uint64, lanes)
+		for i := range elems {
+			elems[i] = rng.Uint64() & mask
+		}
+		back := FromVertical(ToVertical(elems, width, lanes), width, lanes)
+		for i := range elems {
+			if back[i] != elems[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	for name, f := range map[string]func(){
+		"width0":  func() { ToVertical(nil, 0, 0) },
+		"width65": func() { ToVertical(nil, 65, 0) },
+		"short":   func() { ToVertical(make([]uint64, 3), 8, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,233 @@
+package typecheck
+
+import (
+	"strings"
+	"testing"
+
+	"chopper/internal/dsl"
+)
+
+func check(t *testing.T, src string) (*Checked, error) {
+	t.Helper()
+	prog, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *Checked {
+	t.Helper()
+	ch, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return ch
+}
+
+func TestCheckValidProgram(t *testing.T) {
+	ch := mustCheck(t, `
+node addsub(a: u8, b: u8) returns (s: u8, d: u8)
+let
+  s = a + b;
+  d = a - b;
+tel
+node main(a: u8, b: u8, pred: u8) returns (c: u8)
+vars s: u8, d: u8, f: u1;
+let
+  (s, d) = addsub(a, b);
+  f = a > pred;
+  c = f ? s : d;
+tel`)
+	main := ch.Prog.Lookup("main")
+	cond := main.Eqs[1].Rhs
+	if ch.TypeOf(cond).Bits != 1 {
+		t.Errorf("comparison type = %v, want u1", ch.TypeOf(cond))
+	}
+	if ch.TypeOf(main.Eqs[2].Rhs).Bits != 8 {
+		t.Errorf("ternary type = %v, want u8", ch.TypeOf(main.Eqs[2].Rhs))
+	}
+}
+
+func TestLiteralAdoption(t *testing.T) {
+	ch := mustCheck(t, "node f(a: u16) returns (z: u16) let z = a + 42; tel")
+	bin := ch.Prog.Nodes[0].Eqs[0].Rhs.(*dsl.Binary)
+	if ch.TypeOf(bin.Y).Bits != 16 {
+		t.Errorf("literal adopted %v, want u16", ch.TypeOf(bin.Y))
+	}
+}
+
+func TestConversions(t *testing.T) {
+	mustCheck(t, `
+node f(a: u8) returns (z: u16)
+vars w: u16;
+let
+  w = u16(a);
+  z = w + 1;
+tel`)
+}
+
+func TestBuiltins(t *testing.T) {
+	mustCheck(t, `
+node f(a: u8, b: u8, c: u1) returns (z: u8, p: u8)
+vars m: u8;
+let
+  m = mux(c, min(a, b), max(a, b));
+  z = absdiff(m, b);
+  p = popcount(a);
+tel`)
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]struct {
+		src  string
+		want string
+	}{
+		"undeclared var": {
+			"node f(a: u8) returns (z: u8) let z = q; tel",
+			"undeclared variable",
+		},
+		"undeclared lhs": {
+			"node f(a: u8) returns (z: u8) let z = a; q = a; tel",
+			"undeclared variable",
+		},
+		"double assign": {
+			"node f(a: u8) returns (z: u8) let z = a; z = a; tel",
+			"assigned more than once",
+		},
+		"assign to param": {
+			"node f(a: u8) returns (z: u8) let a = z; z = a; tel",
+			"assignment to parameter",
+		},
+		"unassigned return": {
+			"node f(a: u8) returns (z: u8, w: u8) let z = a; tel",
+			"never assigned",
+		},
+		"unassigned local": {
+			"node f(a: u8) returns (z: u8) vars t: u8; let z = a; tel",
+			"never assigned",
+		},
+		"width mismatch": {
+			"node f(a: u8, b: u16) returns (z: u8) let z = u8(a + b); tel",
+			"widths differ",
+		},
+		"cond not u1": {
+			"node f(a: u8, b: u8) returns (z: u8) let z = a ? a : b; tel",
+			"want u1",
+		},
+		"arm mismatch": {
+			"node f(c: u1, a: u8, b: u16) returns (z: u8) let z = u8(c ? a : b); tel",
+			"arms differ",
+		},
+		"bare literal": {
+			"node f(a: u8) returns (z: u1) let z = 1 < 2; tel",
+			"cannot infer width",
+		},
+		"undefined call": {
+			"node f(a: u8) returns (z: u8) let z = g(a); tel",
+			"undefined node",
+		},
+		"self recursion": {
+			"node f(a: u8) returns (z: u8) let z = f(a); tel",
+			"calls itself",
+		},
+		"arity": {
+			"node g(a: u8, b: u8) returns (z: u8) let z = a; tel node f(a: u8) returns (z: u8) let z = g(a); tel",
+			"takes 2 arguments",
+		},
+		"arg type": {
+			"node g(a: u16) returns (z: u16) let z = a; tel node f(a: u8) returns (z: u8) let z = u8(g(a)); tel",
+			"want u16",
+		},
+		"multi lhs non-call": {
+			"node f(a: u8) returns (z: u8, w: u8) let (z, w) = a; tel",
+			"requires a node call",
+		},
+		"multi arity": {
+			"node g(a: u8) returns (z: u8) let z = a; tel node f(a: u8) returns (z: u8, w: u8) let (z, w) = g(a); tel",
+			"returns 1 values",
+		},
+		"multi in expr": {
+			"node g(a: u8) returns (z: u8, w: u8) let z = a; w = a; tel node f(a: u8) returns (z: u8) let z = g(a); tel",
+			"returns 2 values",
+		},
+		"shadow builtin": {
+			"node f(mux: u8) returns (z: u8) let z = mux; tel",
+			"shadows a builtin",
+		},
+		"redeclared": {
+			"node f(a: u8, a: u8) returns (z: u8) let z = a; tel",
+			"redeclared",
+		},
+		"literal overflow": {
+			"node f(a: u4) returns (z: u4) let z = a + 99; tel",
+			"does not fit",
+		},
+		"mux cond width": {
+			"node f(a: u8, b: u8) returns (z: u8) let z = mux(a, a, b); tel",
+			"want u1",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := check(t, tc.src)
+			if err == nil {
+				t.Fatalf("accepted invalid program")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMutualRecursionRejected(t *testing.T) {
+	// f -> g -> f
+	_, err := check(t, `
+node f(a: u8) returns (z: u8) let z = g(a); tel
+node g(a: u8) returns (z: u8) let z = f(a); tel`)
+	if err == nil {
+		t.Fatal("mutual recursion accepted")
+	}
+}
+
+func TestVariableShiftsAccepted(t *testing.T) {
+	// Computed shift amounts compile to barrel shifters.
+	mustCheck(t, "node f(a: u8, b: u4) returns (z: u8) let z = (a << b) | (a >> b); tel")
+}
+
+func TestComparisonOfLiterals(t *testing.T) {
+	mustCheck(t, "node f(a: u8) returns (z: u1) let z = a > 50; tel")
+}
+
+func TestWideTypes(t *testing.T) {
+	mustCheck(t, `
+node f(a: u512, b: u512) returns (z: u512)
+let z = a + b; tel`)
+}
+
+func TestMoreErrorPaths(t *testing.T) {
+	cases := map[string]string{
+		"signed width mismatch": "node f(a: u8, b: u16) returns (z: u1) let z = slt(a, b); tel",
+		"div width mismatch":    "node f(a: u8, b: u16) returns (z: u8) let z = div(a, b); tel",
+		"conv arity":            "node f(a: u8) returns (z: u16) let z = u16(a, a); tel",
+		"builtin arity":         "node f(a: u8) returns (z: u8) let z = min(a); tel",
+		"mux arm widths":        "node f(c: u1, a: u8, b: u16) returns (z: u8) let z = mux(c, a, b); tel",
+		"assign cmp to u8":      "node f(a: u8, b: u8) returns (z: u8) let z = a < b; tel",
+		"bad conversion name":   "node f(a: u8) returns (z: u8) let z = u0(a); tel",
+		"neg shift":             "node f(a: u8) returns (z: u8) let z = a << 0x8000000000000000; tel",
+	}
+	for name, src := range cases {
+		if _, err := check(t, src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDivModAccepted(t *testing.T) {
+	mustCheck(t, "node f(a: u8, b: u8) returns (q: u8, r: u8) let q = div(a, b); r = mod(a, b); tel")
+}
+
+func TestSignedBuiltinsAccepted(t *testing.T) {
+	mustCheck(t, "node f(a: u8, b: u8) returns (x: u1, y: u1, z: u1, w: u1) let x = slt(a,b); y = sle(a,b); z = sgt(a,b); w = sge(a,b); tel")
+}

@@ -1,0 +1,340 @@
+// Package workloads defines the 16 evaluation workloads of Table II — four
+// PUD-friendly application domains, four configurations each — as CHOPPER
+// kernel generators plus whole-problem scale descriptors for the benchmark
+// harness and the host (CPU/GPU) cost models.
+//
+// Each workload is a per-lane kernel: one SIMD lane (DRAM bitline)
+// processes one element (a pixel's feature vector, a document character, a
+// record, a user-item entry). The kernel is replicated over every lane of
+// every subarray; the Spec records how many lanes the full problem needs.
+package workloads
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"chopper/internal/hostmodel"
+)
+
+// Spec describes one workload configuration.
+type Spec struct {
+	// Name is "Domain-Config", e.g. "DenseNet-16".
+	Name string
+	// Domain is one of "DenseNet", "WTC", "DiffGen", "SW".
+	Domain string
+	// Config is the Table II knob: dense-block layers, alphabet size,
+	// attribute count, or element bit width.
+	Config int
+	// Src is the CHOPPER kernel source.
+	Src string
+	// TotalLanes is the number of elements the full problem processes.
+	TotalLanes int64
+	// HostCost models the tuned CPU/GPU implementation's demands.
+	HostCost hostmodel.Cost
+	// Desc is a one-line description for reports.
+	Desc string
+}
+
+// Domains lists the four application domains in paper order.
+var Domains = []string{"DenseNet", "WTC", "DiffGen", "SW"}
+
+// Configs maps each domain to its four Table II configurations.
+var Configs = map[string][]int{
+	"DenseNet": {16, 32, 64, 128},   // layers within a dense block
+	"WTC":      {64, 128, 256, 512}, // alphabet size sigma
+	"DiffGen":  {64, 128, 256, 512}, // number of attributes
+	"SW":       {64, 128, 256, 512}, // element bit width
+}
+
+// All returns the 16 workload specs in paper order.
+func All() []Spec {
+	var out []Spec
+	for _, d := range Domains {
+		for _, c := range Configs[d] {
+			out = append(out, Build(d, c))
+		}
+	}
+	return out
+}
+
+// Get returns the named spec ("Domain-Config").
+func Get(name string) (Spec, bool) {
+	for _, d := range Domains {
+		for _, c := range Configs[d] {
+			if fmt.Sprintf("%s-%d", d, c) == name {
+				return Build(d, c), true
+			}
+		}
+	}
+	return Spec{}, false
+}
+
+// Build constructs the spec for one domain/config pair.
+func Build(domain string, config int) Spec {
+	switch domain {
+	case "DenseNet":
+		return denseNet(config)
+	case "WTC":
+		return waveletTree(config)
+	case "DiffGen":
+		return diffGen(config)
+	case "SW":
+		return sigWeight(config)
+	}
+	panic(fmt.Sprintf("workloads: unknown domain %q", domain))
+}
+
+// rng is a small deterministic generator for weights/thresholds (the same
+// values on every run, so compiled programs are reproducible).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// denseNet builds a binary-DenseNet dense block with `layers` layers.
+// Layer l consumes the block input plus earlier features (full feature
+// reuse onto the first 8 and the most recent 24 features, the bottleneck
+// compression of DenseNet-BC): for each consumed feature, an XNOR-style
+// binary convolution term popcount(y_k ^ w) accumulates into the layer's
+// pre-activation, which is re-quantized to a 4-bit feature. The defining
+// property for PUD: features cannot be overwritten layer by layer — every
+// feature stays live for many subsequent layers.
+func denseNet(layers int) Spec {
+	r := &rng{s: 0x9E3779B97F4A7C15}
+	var sb strings.Builder
+	sb.WriteString("// Binary DenseNet dense block: feature reuse across layers.\n")
+	sb.WriteString("node main(x0: u4) returns (y: u4)\nvars\n")
+	var vars []string
+	for l := 1; l <= layers; l++ {
+		vars = append(vars, fmt.Sprintf("y%d: u4", l))
+		vars = append(vars, fmt.Sprintf("a%d: u8", l))
+	}
+	sb.WriteString("  " + strings.Join(vars, ", ") + ";\nlet\n")
+	feat := func(k int) string {
+		if k == 0 {
+			return "x0"
+		}
+		return fmt.Sprintf("y%d", k)
+	}
+	for l := 1; l <= layers; l++ {
+		ks := denseInputs(l)
+		var terms []string
+		for _, k := range ks {
+			w := r.intn(16)
+			terms = append(terms, fmt.Sprintf("u8(popcount(%s ^ %d:u4))", feat(k), w))
+		}
+		sb.WriteString(fmt.Sprintf("  a%d = %s;\n", l, strings.Join(terms, " + ")))
+		sb.WriteString(fmt.Sprintf("  y%d = u4(a%d >> 3);\n", l, l))
+	}
+	sb.WriteString(fmt.Sprintf("  y = y%d;\ntel\n", layers))
+	src := sb.String()
+
+	pairs := 0
+	for l := 1; l <= layers; l++ {
+		pairs += len(denseInputs(l))
+	}
+	lanes := int64(5) << 24 // 5 dense blocks over a 16M-activation map
+	return Spec{
+		Name: fmt.Sprintf("DenseNet-%d", layers), Domain: "DenseNet", Config: layers,
+		Src: src, TotalLanes: lanes,
+		HostCost: hostmodel.Cost{
+			Bytes: float64(lanes) * float64(pairs) * 1.0,
+			Ops:   float64(lanes) * float64(pairs) * 3,
+		},
+		Desc: fmt.Sprintf("dense block, %d layers, %d binary-conv terms", layers, pairs),
+	}
+}
+
+// denseInputs returns the feature indices layer l consumes (0 = block
+// input x0).
+func denseInputs(l int) []int {
+	seen := map[int]bool{}
+	var ks []int
+	add := func(k int) {
+		if k >= 0 && k < l && !seen[k] {
+			seen[k] = true
+			ks = append(ks, k)
+		}
+	}
+	for k := 0; k < 8; k++ {
+		add(k)
+	}
+	for k := l - 24; k < l; k++ {
+		add(k)
+	}
+	return ks
+}
+
+// waveletTree builds the wavelet-tree encoding step for an unbalanced
+// (frequency-skewed, Huffman-shaped) wavelet tree over an alphabet of
+// sigma symbols: log2(sigma) levels, each emitting the sign bit of a
+// bit-serial comparison between the symbol and the running partition cut
+// point, which itself depends on all previously emitted bits — so every
+// level's encoding stays buffered, the property the paper calls out.
+//
+// Each SIMD lane processes a strip of sigma/2 document characters
+// (standard blocking), which is what makes the alphabet size the footprint
+// knob: wider alphabets mean both deeper trees and larger strips.
+func waveletTree(sigma int) Spec {
+	levels := 0
+	for 1<<levels < sigma {
+		levels++
+	}
+	chars := sigma / 2 // strip length per lane
+	r := 2 * sigma     // symbol code domain [0, r)
+
+	cuts := wtCuts(r, levels)
+	cutList := make([]string, levels)
+	for l, c := range cuts {
+		cutList[l] = fmt.Sprintf("%d", c)
+	}
+	src := fmt.Sprintf(`// Wavelet Tree construction: per-level partition encodings.
+node main(c: u10[%d]) returns (b: u1[%d])
+vars lo: u10[%d];
+const cut: u10[%d] = {%s};
+let
+  forall i in 0..%d {
+    lo[i*%d] = 0:u10;
+    forall l in 0..%d {
+      lo[i*%d + l + 1] = (c[i] >= lo[i*%d + l] + cut[l]) ? lo[i*%d + l] + cut[l] : lo[i*%d + l];
+    }
+    forall l in 0..%d {
+      b[i*%d + l] = c[i] >= lo[i*%d + l] + cut[l];
+    }
+  }
+tel
+`, chars, chars*levels, chars*levels, levels, strings.Join(cutList, ", "),
+		chars-1,
+		levels,
+		levels-2, levels, levels, levels, levels,
+		levels-1, levels, levels)
+
+	lanes := int64(2<<30) / int64(chars) // 2 GB document, one strip per lane
+	return Spec{
+		Name: fmt.Sprintf("WTC-%d", sigma), Domain: "WTC", Config: sigma,
+		Src: src, TotalLanes: lanes,
+		HostCost: hostmodel.Cost{
+			Bytes: float64(2<<30) * 2 * float64(levels), // level-wise passes
+			Ops:   float64(2<<30) * float64(levels) * 2,
+		},
+		Desc: fmt.Sprintf("alphabet %d, %d levels, %d-char strips, 2 GB document", sigma, levels, chars),
+	}
+}
+
+// wtCuts returns the per-level cut offsets of the unbalanced tree: each
+// level cuts 5/8 of the (nominal) remaining span, which keeps the cut
+// points off power-of-two boundaries so encodings are genuine comparisons.
+func wtCuts(r, levels int) []int {
+	cuts := make([]int, levels)
+	span := r
+	for l := 0; l < levels; l++ {
+		cuts[l] = span * 5 / 8
+		if cuts[l] < 1 {
+			cuts[l] = 1
+		}
+		span -= cuts[l] // nominal upper-branch span
+		if span < 2 {
+			span = 2
+		}
+	}
+	return cuts
+}
+
+// diffGen builds the DiffGen taxonomy encoding for `attrs` categorical
+// attributes (4-bit codes, as census-style categorical data is stored):
+// each attribute is generalized by its position among the two shared
+// taxonomy-level cut points of the current specialization, emitting two
+// indicator bits per attribute. One record per lane; all attributes of the
+// record live in the lane, which is what makes the attribute count the
+// footprint knob.
+func diffGen(attrs int) Spec {
+	src := fmt.Sprintf(`// DiffGen: taxonomy-tree generalization of record attributes.
+node main(v: u4[%d]) returns (e: u1[%d])
+let
+  forall a in 0..%d {
+    e[2*a] = v[a] >= 3:u4;
+    e[2*a + 1] = v[a] >= 10:u4;
+  }
+tel
+`, attrs, 2*attrs, attrs-1)
+
+	records := int64(4<<30) * 2 / int64(attrs) // 4-bit attributes
+	return Spec{
+		Name: fmt.Sprintf("DiffGen-%d", attrs), Domain: "DiffGen", Config: attrs,
+		Src: src, TotalLanes: records,
+		HostCost: hostmodel.Cost{
+			Bytes: float64(4<<30) * 2,
+			Ops:   float64(records) * float64(attrs) * 2,
+		},
+		Desc: fmt.Sprintf("%d attributes x 4-bit over a 4 GB table", attrs),
+	}
+}
+
+// sigWeight builds Significance Weighting normalization: users with fewer
+// than 50 rated items get their statistics adjusted (by addition, as the
+// paper specifies), and the deviation from the global mean is computed for
+// downstream weighting. Element width is the Table II knob.
+func sigWeight(width int) Spec {
+	r := &rng{s: 0x165667B19E3779F9}
+	c := randHex(r, width)
+	m := randHex(r, width)
+	src := fmt.Sprintf(`// Significance Weighting: normalize sparse users, deviation from mean.
+node main(n: u16, s: u%d) returns (sp: u%d, dev: u%d)
+vars t: u%d, few: u1;
+let
+  t = s + 0x%s:u%d;
+  few = n < 50;
+  sp = few ? t : s;
+  dev = absdiff(sp, 0x%s:u%d);
+tel
+`, width, width, width, width, c, width, m, width)
+
+	elemBytes := int64(width/8) + 108 // element plus its 864-bit identifier
+	lanes := int64(4<<30) / elemBytes
+	return Spec{
+		Name: fmt.Sprintf("SW-%d", width), Domain: "SW", Config: width,
+		Src: src, TotalLanes: lanes,
+		HostCost: hostmodel.Cost{
+			Bytes: float64(4<<30) * 2,
+			Ops:   float64(lanes) * float64(width/16+4),
+		},
+		Desc: fmt.Sprintf("%d-bit elements + 864-bit ids over a 4 GB matrix", width),
+	}
+}
+
+// randHex produces a deterministic width-bit hex constant (top bit clear so
+// additions cannot be folded trivially, bottom bit set for the same
+// reason).
+func randHex(r *rng, width int) string {
+	v := new(big.Int)
+	for i := 0; i < (width+63)/64; i++ {
+		v.Lsh(v, 64)
+		v.Or(v, new(big.Int).SetUint64(r.next()))
+	}
+	mask := new(big.Int).Lsh(big.NewInt(1), uint(width-1))
+	mask.Sub(mask, big.NewInt(1))
+	v.And(v, mask)
+	v.SetBit(v, 0, 1)
+	return v.Text(16)
+}
+
+// LoC counts the non-blank, non-comment lines of a kernel source — the
+// quantity Table III compares.
+func LoC(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}

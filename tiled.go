@@ -1,0 +1,166 @@
+package chopper
+
+import (
+	"fmt"
+
+	"chopper/internal/dram"
+	"chopper/internal/sim"
+	"chopper/internal/transpose"
+	"chopper/internal/vircoe"
+)
+
+// TiledResult carries a tiled run's outputs and timing.
+type TiledResult struct {
+	// Outputs, per operand, one limb-slice per lane (lane order matches
+	// the inputs).
+	Outputs map[string][][]uint64
+	// TimeNs is the device makespan for the whole dataset.
+	TimeNs float64
+	// Tiles is how many subarray tiles the data was split into.
+	Tiles int
+	// Stats are the timing-engine counters.
+	Stats dram.EngineStats
+}
+
+// RunTiled executes the kernel over a dataset of any number of lanes: the
+// lanes are split into subarray-sized tiles, the tiles are placed across
+// banks (one per bank, wrapping onto further subarrays), the issue stream
+// is produced by VIRCOE, and every tile executes functionally on the
+// simulated device. Inputs and outputs use the wide (limb-slice per lane)
+// representation of RunWide.
+//
+// This is the whole-dataset counterpart of RunWide and exercises the same
+// multi-subarray path the benchmark harness measures.
+func (k *Kernel) RunTiled(inputs map[string][][]uint64, lanes int) (*TiledResult, error) {
+	if lanes <= 0 {
+		return nil, fmt.Errorf("chopper: non-positive lane count %d", lanes)
+	}
+	geom := k.Opts.Geometry
+	tileLanes := geom.Bitlines()
+	tiles := (lanes + tileLanes - 1) / tileLanes
+	maxTiles := geom.Banks * geom.SubarraysPB
+	if tiles > maxTiles {
+		return nil, fmt.Errorf("chopper: %d lanes need %d tiles; device holds %d", lanes, tiles, maxTiles)
+	}
+	for _, in := range k.Inputs {
+		if len(inputs[in.Name]) < lanes {
+			return nil, fmt.Errorf("chopper: input %q has %d lanes, need %d", in.Name, len(inputs[in.Name]), lanes)
+		}
+	}
+
+	// Transpose each tile of each input independently.
+	type tileKey struct {
+		name string
+		tile int
+	}
+	tileRows := make(map[tileKey][][]uint64)
+	laneCount := func(tile int) int {
+		n := lanes - tile*tileLanes
+		if n > tileLanes {
+			n = tileLanes
+		}
+		return n
+	}
+	for _, in := range k.Inputs {
+		vals := inputs[in.Name]
+		for tl := 0; tl < tiles; tl++ {
+			n := laneCount(tl)
+			seg := vals[tl*tileLanes : tl*tileLanes+n]
+			tileRows[tileKey{in.Name, tl}] = transpose.ToVerticalWide(seg, in.Width, n)
+		}
+	}
+
+	placements := vircoe.Placements(geom, tiles)
+	placeOfTile := make(map[[2]int]int, tiles)
+	for i, p := range placements {
+		placeOfTile[[2]int{p.Bank, p.Subarray}] = i
+	}
+
+	// Tag lookup tables (mirrors hostIO, but per tile).
+	type bitRef struct {
+		base string
+		bit  int
+	}
+	inByTag := make(map[int]bitRef, len(k.inputTag))
+	for name, tag := range k.inputTag {
+		base, bit, err := splitBit(name)
+		if err != nil {
+			return nil, err
+		}
+		inByTag[tag] = bitRef{base, bit}
+	}
+	outByTag := make(map[int]bitRef, len(k.outputTag))
+	outRows := make(map[tileKey][][]uint64)
+	for name, tag := range k.outputTag {
+		base, bit, err := splitBit(name)
+		if err != nil {
+			return nil, err
+		}
+		outByTag[tag] = bitRef{base, bit}
+	}
+	for _, o := range k.Outputs {
+		for tl := 0; tl < tiles; tl++ {
+			rows := make([][]uint64, o.Width)
+			for b := range rows {
+				rows[b] = make([]uint64, transpose.Words(laneCount(tl)))
+			}
+			outRows[tileKey{o.Name, tl}] = rows
+		}
+	}
+
+	stream, _ := vircoe.Emit(k.prog, placements, vircoe.BankAware, dram.TimingFor(k.Opts.Target, geom))
+
+	m := sim.NewMachine(sim.MachineConfig{Geom: geom, Arch: k.Opts.Target, Lanes: tileLanes})
+	io := &sim.HostIO{
+		WriteDataAt: func(bank, sub, tag int) []uint64 {
+			tl, ok := placeOfTile[[2]int{bank, sub}]
+			if !ok {
+				return nil
+			}
+			if ref, ok := inByTag[tag]; ok {
+				return tileRows[tileKey{ref.base, tl}][ref.bit]
+			}
+			if pat, ok := k.constPattern[tag]; ok {
+				row := make([]uint64, transpose.Words(laneCount(tl)))
+				for i := range row {
+					row[i] = pat
+				}
+				if r := laneCount(tl) % 64; r != 0 {
+					row[len(row)-1] &= (uint64(1) << uint(r)) - 1
+				}
+				return row
+			}
+			return nil
+		},
+		ReadSinkAt: func(bank, sub, tag int, data []uint64) {
+			tl, ok := placeOfTile[[2]int{bank, sub}]
+			if !ok {
+				return
+			}
+			if ref, ok := outByTag[tag]; ok {
+				copy(outRows[tileKey{ref.base, tl}][ref.bit], data)
+			}
+		},
+	}
+	timeNs, err := m.Run(stream, io)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gather tiles back into lane order.
+	res := &TiledResult{
+		Outputs: make(map[string][][]uint64, len(k.Outputs)),
+		TimeNs:  timeNs,
+		Tiles:   tiles,
+		Stats:   m.Stats(),
+	}
+	for _, o := range k.Outputs {
+		all := make([][]uint64, 0, lanes)
+		for tl := 0; tl < tiles; tl++ {
+			n := laneCount(tl)
+			all = append(all, transpose.FromVerticalWide(outRows[tileKey{o.Name, tl}], o.Width, n)...)
+		}
+		res.Outputs[o.Name] = all
+	}
+	return res, nil
+}

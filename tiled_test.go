@@ -1,0 +1,90 @@
+package chopper
+
+import (
+	"testing"
+
+	"chopper/internal/dram"
+)
+
+// tinyGeom shrinks the subarray SIMD width so tiled tests stay fast: 64
+// lanes per tile (8-byte rows), 4 banks.
+func tinyGeom() dram.Geometry {
+	return dram.Geometry{Banks: 4, SubarraysPB: 4, RowsPerSub: 256, RowBytes: 8, ReservedRows: 18}
+}
+
+func TestRunTiledMatchesRunWide(t *testing.T) {
+	src := "node main(a: u8, b: u8) returns (z: u8, c: u1) let z = a + b; c = a < b; tel"
+	k, err := Compile(src, Options{Target: Ambit, Geometry: tinyGeom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := 300 // 5 tiles of 64 lanes, last one partial
+	aw := make([][]uint64, lanes)
+	bw := make([][]uint64, lanes)
+	for l := 0; l < lanes; l++ {
+		aw[l] = []uint64{uint64(l*7) & 0xFF}
+		bw[l] = []uint64{uint64(l*13+5) & 0xFF}
+	}
+	res, err := k.RunTiled(map[string][][]uint64{"a": aw, "b": bw}, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tiles != 5 {
+		t.Errorf("tiles = %d, want 5", res.Tiles)
+	}
+	if res.TimeNs <= 0 {
+		t.Error("no time accounted")
+	}
+	for l := 0; l < lanes; l++ {
+		wantZ := (aw[l][0] + bw[l][0]) & 0xFF
+		var wantC uint64
+		if aw[l][0] < bw[l][0] {
+			wantC = 1
+		}
+		if res.Outputs["z"][l][0] != wantZ || res.Outputs["c"][l][0] != wantC {
+			t.Fatalf("lane %d: z=%d/%d c=%d/%d", l, res.Outputs["z"][l][0], wantZ, res.Outputs["c"][l][0], wantC)
+		}
+	}
+}
+
+func TestRunTiledFasterThanImpliedSerial(t *testing.T) {
+	// 4 tiles across 4 banks must finish in well under 4x one tile's time.
+	src := "node main(a: u8, b: u8) returns (z: u8) let z = a * b; tel"
+	k, err := Compile(src, Options{Target: Ambit, Geometry: tinyGeom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(lanes int) float64 {
+		aw := make([][]uint64, lanes)
+		bw := make([][]uint64, lanes)
+		for l := range aw {
+			aw[l] = []uint64{uint64(l) & 0xFF}
+			bw[l] = []uint64{uint64(l+3) & 0xFF}
+		}
+		res, err := k.RunTiled(map[string][][]uint64{"a": aw, "b": bw}, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TimeNs
+	}
+	one := mk(64)
+	four := mk(256)
+	if four > 2.2*one {
+		t.Errorf("4 tiles on 4 banks took %.0f ns vs %.0f ns for one: no overlap", four, one)
+	}
+}
+
+func TestRunTiledRejectsOversizedData(t *testing.T) {
+	k, err := Compile("node main(a: u8) returns (z: u8) let z = a + 1; tel",
+		Options{Target: Ambit, Geometry: tinyGeom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := tinyGeom().Banks*tinyGeom().SubarraysPB*tinyGeom().Bitlines() + 1
+	if _, err := k.RunTiled(map[string][][]uint64{"a": make([][]uint64, huge)}, huge); err == nil {
+		t.Error("oversized dataset accepted")
+	}
+	if _, err := k.RunTiled(map[string][][]uint64{"a": {{1}}}, 5); err == nil {
+		t.Error("short input accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package chopper
+
+import (
+	"strings"
+	"testing"
+
+	"chopper/internal/isa"
+)
+
+func TestVerifyAcceptsCorrectKernels(t *testing.T) {
+	for _, src := range []string{
+		"node main(a: u8, b: u8) returns (z: u8) let z = a + b; tel",
+		"node main(a: u48, b: u48) returns (z: u48, c: u1) let z = a - b; c = a < b; tel",
+		"node main(a: u96) returns (z: u96) let z = a + 0x1_0000_0000:u96; tel",
+	} {
+		for _, arch := range []Target{Ambit, SIMDRAM} {
+			k, err := Compile(src, Options{Target: arch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Verify(3, 11); err != nil {
+				t.Errorf("%v: %v", arch, err)
+			}
+		}
+	}
+}
+
+func TestVerifyWorksOnBaselineKernels(t *testing.T) {
+	k, err := CompileBaseline("node main(a: u8, b: u8) returns (z: u8) let z = mux(a < b, a, b); tel",
+		Options{Target: Ambit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Verify(3, 13); err != nil {
+		t.Error(err)
+	}
+}
+
+// End-to-end coverage of the array/forall/const-table language features:
+// compile through the whole stack and execute on the simulated DRAM.
+func TestEndToEndArraysAndLoops(t *testing.T) {
+	src := `
+node main(x: u8[4]) returns (s: u8, m: u8[4])
+vars acc: u8[5];
+const w: u8[4] = {1, 2, 3, 4};
+let
+  acc[0] = 0:u8;
+  forall i in 0..3 {
+    acc[i+1] = acc[i] + (x[i] ^ w[i]);
+    m[i] = max(x[i], w[i]);
+  }
+  s = acc[4];
+tel`
+	for _, arch := range []Target{Ambit, ELP2IM, SIMDRAM} {
+		k, err := Compile(src, Options{Target: arch})
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		lanes := 32
+		in := map[string][]uint64{}
+		for i := 0; i < 4; i++ {
+			vals := make([]uint64, lanes)
+			for l := range vals {
+				vals[l] = uint64((l*31 + i*17) % 256)
+			}
+			in["x__"+string(rune('0'+i))] = vals
+		}
+		out, err := k.Run(in, lanes)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		w := []uint64{1, 2, 3, 4}
+		for l := 0; l < lanes; l++ {
+			var acc uint64
+			for i := 0; i < 4; i++ {
+				x := in["x__"+string(rune('0'+i))][l]
+				acc = (acc + (x ^ w[i])) & 0xFF
+				wantM := x
+				if w[i] > x {
+					wantM = w[i]
+				}
+				if out["m__"+string(rune('0'+i))][l] != wantM {
+					t.Fatalf("%v lane %d m[%d]: got %d want %d", arch, l, i, out["m__"+string(rune('0'+i))][l], wantM)
+				}
+			}
+			if out["s"][l] != acc {
+				t.Fatalf("%v lane %d: s=%d want %d", arch, l, out["s"][l], acc)
+			}
+		}
+		if err := k.Verify(2, 5); err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+	}
+}
+
+func TestVerifyCatchesBrokenPrograms(t *testing.T) {
+	k, err := Compile("node main(a: u8, b: u8) returns (z: u8) let z = a + b; tel", Options{Target: Ambit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: flip one TRA into an OR by swapping its control row.
+	sabotaged := false
+	for i := range k.prog.Ops {
+		op := &k.prog.Ops[i]
+		if op.Kind == 0 /* AAP */ && op.Src.IsCGroup() && !sabotaged {
+			if op.Src.String() == "C0" {
+				op.Src = op.Src - 1 // C0 -> C1
+				sabotaged = true
+			}
+		}
+	}
+	if !sabotaged {
+		t.Skip("no control-row copy to sabotage")
+	}
+	if err := k.Verify(3, 17); err == nil {
+		t.Error("verification passed on a sabotaged kernel")
+	} else if !strings.Contains(err.Error(), "reference says") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestTransposeCost(t *testing.T) {
+	k, err := Compile("node main(a: u8, b: u16) returns (z: u16) let z = u16(a) + b; tel", Options{Target: Ambit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, bytes := k.TransposeCost(65536)
+	if rows != 24 {
+		t.Errorf("rows = %d, want 24", rows)
+	}
+	if bytes != 24*8192 {
+		t.Errorf("bytes = %d", bytes)
+	}
+}
+
+func TestAsmRoundTrip(t *testing.T) {
+	// The assembly chopperc prints must re-assemble into the same program.
+	k, err := Compile(fig3Src, Options{Target: SIMDRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := isa.ParseProgram(k.Asm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reparsed.Format(), k.Prog().Format(); got != want {
+		t.Error("assembly round trip changed the program")
+	}
+	if reparsed.DRowsUsed > k.Opts.Geometry.DRows() {
+		t.Errorf("reconstructed DRowsUsed %d exceeds subarray", reparsed.DRowsUsed)
+	}
+}

@@ -1,0 +1,79 @@
+package chopper
+
+// End-to-end verification of the evaluation workloads: compile each
+// domain's smallest configuration with both the CHOPPER pipeline and the
+// hands-tuned baseline, run the micro-ops on the functional DRAM
+// simulator, and compare every output lane bit-exactly against the
+// dataflow reference semantics.
+
+import (
+	"testing"
+
+	"chopper/internal/workloads"
+)
+
+func TestWorkloadKernelsVerifyOnAllArchitectures(t *testing.T) {
+	for _, domain := range workloads.Domains {
+		spec := workloads.Build(domain, workloads.Configs[domain][0])
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, arch := range []Target{Ambit, ELP2IM, SIMDRAM} {
+				k, err := Compile(spec.Src, Options{Target: arch})
+				if err != nil {
+					t.Fatalf("%v: %v", arch, err)
+				}
+				if err := k.Verify(1, int64(arch)+100); err != nil {
+					t.Fatalf("%v: %v", arch, err)
+				}
+			}
+		})
+	}
+}
+
+func TestWorkloadKernelsVerifyUnderBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline workload verification is slow")
+	}
+	for _, domain := range workloads.Domains {
+		spec := workloads.Build(domain, workloads.Configs[domain][0])
+		t.Run(spec.Name, func(t *testing.T) {
+			k, err := CompileBaseline(spec.Src, Options{Target: Ambit})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Verify(1, 7); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestWorkloadKernelsVerifyAtEveryOptLevel(t *testing.T) {
+	// The breakdown variants must all be functionally identical.
+	spec := workloads.Build("DiffGen", 64)
+	for _, lv := range []OptLevel{OptBitslice, OptSchedule, OptReuse, OptFull} {
+		k, err := Compile(spec.Src, Options{Target: Ambit}.WithOpt(lv))
+		if err != nil {
+			t.Fatalf("%v: %v", lv, err)
+		}
+		if err := k.Verify(1, 23); err != nil {
+			t.Fatalf("%v: %v", lv, err)
+		}
+	}
+}
+
+func TestWorkloadKernelsVerifyUnderSpillPressure(t *testing.T) {
+	// Shrink the subarray so the smallest SW config spills, then verify.
+	spec := workloads.Build("SW", 64)
+	opts := Options{Target: Ambit}
+	opts.Geometry = opts.normalize().Geometry.WithRowsPerSub(64) // 46 data rows
+	k, err := Compile(spec.Src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Prog().SpillSlots == 0 && k.Stats().Drops == 0 {
+		t.Fatalf("expected evictions with %d data rows (pressure %d)", opts.Geometry.DRows(), k.Stats().MaxLiveRows)
+	}
+	if err := k.Verify(1, 31); err != nil {
+		t.Fatal(err)
+	}
+}
