@@ -1,4 +1,4 @@
-package chopper
+package chopper_test
 
 // One testing.B benchmark per table and figure of the paper's evaluation.
 // Each benchmark regenerates its experiment on a representative workload
@@ -15,6 +15,7 @@ package chopper
 // each stage), since compiler speed is itself a deliverable.
 
 import (
+	"chopper"
 	"testing"
 
 	"chopper/internal/bench"
@@ -180,7 +181,7 @@ func BenchmarkCompileFull(b *testing.B) {
 	for _, arch := range isa.AllArchs {
 		b.Run(arch.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := Compile(benchKernel, Options{Target: arch}); err != nil {
+				if _, err := chopper.Compile(benchKernel, chopper.Options{Target: arch}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -191,7 +192,7 @@ func BenchmarkCompileFull(b *testing.B) {
 func BenchmarkCompileWorkload(b *testing.B) {
 	spec := workloads.Build("SW", 128)
 	for i := 0; i < b.N; i++ {
-		if _, err := Compile(spec.Src, Options{Target: Ambit}); err != nil {
+		if _, err := chopper.Compile(spec.Src, chopper.Options{Target: chopper.Ambit}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -211,13 +212,13 @@ func BenchmarkScheduleGates(b *testing.B) {
 }
 
 func BenchmarkVircoeEmit(b *testing.B) {
-	k, err := Compile(benchKernel, Options{Target: Ambit})
+	k, err := chopper.Compile(benchKernel, chopper.Options{Target: chopper.Ambit})
 	if err != nil {
 		b.Fatal(err)
 	}
 	g := k.Opts.Geometry
 	pls := vircoe.Placements(g, 16)
-	timing := dram.TimingFor(Ambit, g)
+	timing := dram.TimingFor(chopper.Ambit, g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vircoe.Emit(k.Prog(), pls, vircoe.BankAware, timing)
@@ -225,7 +226,7 @@ func BenchmarkVircoeEmit(b *testing.B) {
 }
 
 func BenchmarkFunctionalSim(b *testing.B) {
-	k, err := Compile(benchKernel, Options{Target: Ambit})
+	k, err := chopper.Compile(benchKernel, chopper.Options{Target: chopper.Ambit})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -28,6 +28,7 @@ import (
 	"chopper/internal/dfg"
 	"chopper/internal/dram"
 	"chopper/internal/dsl"
+	"chopper/internal/fault"
 	"chopper/internal/isa"
 	"chopper/internal/logic"
 	"chopper/internal/obs"
@@ -69,6 +70,14 @@ type Options struct {
 	Geometry dram.Geometry
 	// Entry selects the entry node; "" uses "main" or the last node.
 	Entry string
+	// Harden enables triple-modular-redundancy codegen: the legalized
+	// logic net is triplicated and every output majority-voted, so any
+	// single corrupted intermediate row (a TRA charge-sharing flip, a
+	// bad AAP copy) is outvoted instead of reaching the output. Costs
+	// roughly 3x the micro-ops plus a vote per output bit; quantify with
+	// Kernel.Reliability and see docs/RELIABILITY.md for the trade-offs.
+	// CHOPPER pipeline only (CompileBaseline rejects it).
+	Harden bool
 	// SetOpt marks Opt as explicitly set (distinguishes OptBitslice, which
 	// is the zero value, from "use the default"). Use WithOpt to build
 	// Options fluently, or set both fields.
@@ -132,31 +141,34 @@ type Kernel struct {
 // Prog returns the compiled micro-op program.
 func (k *Kernel) Prog() *isa.Program { return k.prog }
 
-// Compile compiles CHOPPER source into a kernel.
-func Compile(src string, opts Options) (*Kernel, error) {
+// Compile compiles CHOPPER source into a kernel. Failures are classed by
+// pipeline stage (ErrParse, ErrTypecheck, ErrNormalize, ErrCodegen) and
+// internal panics surface as ErrInternal errors, never as crashes.
+func Compile(src string, opts Options) (k *Kernel, err error) {
+	defer recoverToError(&err)
 	opts = opts.normalize()
 	if err := opts.Geometry.Validate(); err != nil {
 		return nil, err
 	}
 	prog, err := dsl.ParseAndExpand(src)
 	if err != nil {
-		return nil, fmt.Errorf("chopper: parse: %w", err)
+		return nil, stage(ErrParse, "chopper: parse", err)
 	}
 	checked, err := typecheck.Check(prog)
 	if err != nil {
-		return nil, fmt.Errorf("chopper: typecheck: %w", err)
+		return nil, stage(ErrTypecheck, "chopper: typecheck", err)
 	}
 	entry := opts.Entry
 	if entry == "" {
 		e := prog.Entry()
 		if e == nil {
-			return nil, fmt.Errorf("chopper: no entry node")
+			return nil, stagef(ErrNormalize, "chopper: normalize", "no entry node")
 		}
 		entry = e.Name
 	}
 	graph, err := dfg.BuildNode(checked, entry)
 	if err != nil {
-		return nil, fmt.Errorf("chopper: normalize: %w", err)
+		return nil, stage(ErrNormalize, "chopper: normalize", err)
 	}
 	return compileGraph(prog, entry, graph, opts)
 }
@@ -172,20 +184,26 @@ func compileGraph(prog *dsl.Program, entry string, graph *dfg.Graph, opts Option
 	}
 	net, err := bitslice.Lower(graph, bitslice.Options{Fold: opt.HasReuse()})
 	if err != nil {
-		return nil, fmt.Errorf("chopper: bitslice: %w", err)
+		return nil, stage(ErrCodegen, "chopper: bitslice", err)
 	}
 	leg, err := logic.Legalize(net, opts.Target, logic.BuilderOptions{Fold: opt.HasReuse(), CSE: true})
 	if err != nil {
-		return nil, fmt.Errorf("chopper: legalize: %w", err)
+		return nil, stage(ErrCodegen, "chopper: legalize", err)
 	}
 	leg = leg.DCE()
+	if opts.Harden {
+		leg, err = logic.TMR(leg, logic.NativeGates(opts.Target))
+		if err != nil {
+			return nil, stage(ErrCodegen, "chopper: harden", err)
+		}
+	}
 	code, err := codegen.Generate(leg, codegen.Options{
 		Arch:    opts.Target,
 		Variant: opt,
 		DRows:   opts.Geometry.DRows(),
 	})
 	if err != nil {
-		return nil, fmt.Errorf("chopper: codegen: %w", err)
+		return nil, stage(ErrCodegen, "chopper: codegen", err)
 	}
 	k := &Kernel{
 		Opts: opts, Program: prog, Graph: graph, Net: leg, Code: code,
@@ -204,7 +222,8 @@ func compileGraph(prog *dsl.Program, entry string, graph *dfg.Graph, opts Option
 
 // CompileGraph compiles an already-built dataflow graph (used by workload
 // generators that synthesize graphs directly).
-func CompileGraph(graph *dfg.Graph, opts Options) (*Kernel, error) {
+func CompileGraph(graph *dfg.Graph, opts Options) (k *Kernel, err error) {
+	defer recoverToError(&err)
 	opts = opts.normalize()
 	if err := opts.Geometry.Validate(); err != nil {
 		return nil, err
@@ -307,12 +326,40 @@ type RunResult struct {
 	TimeNs float64
 	// Stats are the timing-engine counters.
 	Stats dram.EngineStats
+	// Faults counts injected fault events (RunRowsUnderFault only).
+	Faults FaultCounts
 }
 
 // RunRows executes the kernel on one simulated subarray over operands
 // already in vertical layout (rows[op][bit][word]), with `lanes` SIMD
 // lanes, and returns outputs in vertical layout.
-func (k *Kernel) RunRows(rows map[string][][]uint64, lanes int) (*RunResult, error) {
+func (k *Kernel) RunRows(rows map[string][][]uint64, lanes int) (res *RunResult, err error) {
+	defer recoverToError(&err)
+	return k.runRows(rows, lanes, nil)
+}
+
+// RunRowsUnderFault is RunRows on a faulty subarray: the fault models in
+// cfg, reproducible from seed, perturb the simulated row operations. The
+// result's Faults field counts what was injected.
+func (k *Kernel) RunRowsUnderFault(rows map[string][][]uint64, lanes int, cfg FaultConfig, seed int64) (res *RunResult, err error) {
+	defer recoverToError(&err)
+	inj := fault.New(cfg, seed)
+	res, err = k.runRows(rows, lanes, func(bank, sub int) sim.FaultHook {
+		if bank == 0 && sub == 0 {
+			return inj
+		}
+		// Single-subarray kernels never get here; keep extra subarrays
+		// deterministic too by deriving their seed from the placement.
+		return fault.New(cfg, seed+int64(bank)<<20+int64(sub))
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Faults = inj.Counts()
+	return res, nil
+}
+
+func (k *Kernel) runRows(rows map[string][][]uint64, lanes int, hook func(bank, sub int) sim.FaultHook) (*RunResult, error) {
 	io, outRows, err := k.hostIO(rows, lanes)
 	if err != nil {
 		return nil, err
@@ -321,6 +368,7 @@ func (k *Kernel) RunRows(rows map[string][][]uint64, lanes int) (*RunResult, err
 		Geom:  k.Opts.Geometry,
 		Arch:  k.Opts.Target,
 		Lanes: lanes,
+		Fault: hook,
 	})
 	stream := make([]dram.Placed, len(k.prog.Ops))
 	for i, op := range k.prog.Ops {
@@ -336,7 +384,8 @@ func (k *Kernel) RunRows(rows map[string][][]uint64, lanes int) (*RunResult, err
 // Run executes the kernel on operands given as one value per lane (widths
 // up to 64 bits) and returns outputs the same way. Use RunWide for wider
 // operands.
-func (k *Kernel) Run(inputs map[string][]uint64, lanes int) (map[string][]uint64, error) {
+func (k *Kernel) Run(inputs map[string][]uint64, lanes int) (out map[string][]uint64, err error) {
+	defer recoverToError(&err)
 	rows := make(map[string][][]uint64, len(inputs))
 	for _, in := range k.Inputs {
 		vals, ok := inputs[in.Name]
@@ -352,7 +401,7 @@ func (k *Kernel) Run(inputs map[string][]uint64, lanes int) (map[string][]uint64
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string][]uint64, len(k.Outputs))
+	out = make(map[string][]uint64, len(k.Outputs))
 	for _, o := range k.Outputs {
 		w := o.Width
 		if w > 64 {
@@ -365,7 +414,8 @@ func (k *Kernel) Run(inputs map[string][]uint64, lanes int) (map[string][]uint64
 
 // RunWide is Run for operands of arbitrary width, as little-endian 64-bit
 // limb slices per lane.
-func (k *Kernel) RunWide(inputs map[string][][]uint64, lanes int) (map[string][][]uint64, error) {
+func (k *Kernel) RunWide(inputs map[string][][]uint64, lanes int) (out map[string][][]uint64, err error) {
+	defer recoverToError(&err)
 	rows := make(map[string][][]uint64, len(inputs))
 	for _, in := range k.Inputs {
 		vals, ok := inputs[in.Name]
@@ -378,7 +428,7 @@ func (k *Kernel) RunWide(inputs map[string][][]uint64, lanes int) (map[string][]
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string][][]uint64, len(k.Outputs))
+	out = make(map[string][][]uint64, len(k.Outputs))
 	for _, o := range k.Outputs {
 		out[o.Name] = transpose.FromVerticalWide(res.Rows[o.Name], o.Width, lanes)
 	}
@@ -406,18 +456,19 @@ func (k *Kernel) Stats() codegen.Stats {
 // CompileBaseline compiles CHOPPER source with the hands-tuned SIMDRAM
 // methodology instead of the CHOPPER back-end — the comparison target of
 // every experiment in the paper.
-func CompileBaseline(src string, opts Options) (*Kernel, error) {
+func CompileBaseline(src string, opts Options) (k *Kernel, err error) {
+	defer recoverToError(&err)
 	opts = opts.normalize()
 	if err := opts.Geometry.Validate(); err != nil {
 		return nil, err
 	}
 	prog, err := dsl.ParseAndExpand(src)
 	if err != nil {
-		return nil, fmt.Errorf("chopper: parse: %w", err)
+		return nil, stage(ErrParse, "chopper: parse", err)
 	}
 	checked, err := typecheck.Check(prog)
 	if err != nil {
-		return nil, fmt.Errorf("chopper: typecheck: %w", err)
+		return nil, stage(ErrTypecheck, "chopper: typecheck", err)
 	}
 	entry := opts.Entry
 	if entry == "" {
@@ -425,9 +476,9 @@ func CompileBaseline(src string, opts Options) (*Kernel, error) {
 	}
 	graph, err := dfg.BuildNode(checked, entry)
 	if err != nil {
-		return nil, fmt.Errorf("chopper: normalize: %w", err)
+		return nil, stage(ErrNormalize, "chopper: normalize", err)
 	}
-	k, err := compileBaselineGraph(graph, opts)
+	k, err = compileBaselineGraph(graph, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -436,7 +487,8 @@ func CompileBaseline(src string, opts Options) (*Kernel, error) {
 }
 
 // CompileBaselineGraph is CompileBaseline for an already-built graph.
-func CompileBaselineGraph(graph *dfg.Graph, opts Options) (*Kernel, error) {
+func CompileBaselineGraph(graph *dfg.Graph, opts Options) (k *Kernel, err error) {
+	defer recoverToError(&err)
 	opts = opts.normalize()
 	if err := opts.Geometry.Validate(); err != nil {
 		return nil, err
@@ -445,12 +497,15 @@ func CompileBaselineGraph(graph *dfg.Graph, opts Options) (*Kernel, error) {
 }
 
 func compileBaselineGraph(graph *dfg.Graph, opts Options) (*Kernel, error) {
+	if opts.Harden {
+		return nil, stagef(ErrCodegen, "chopper: baseline", "Harden is not supported by the hands-tuned methodology")
+	}
 	res, err := baseline.Generate(graph, baseline.Options{
 		Arch:  opts.Target,
 		DRows: opts.Geometry.DRows(),
 	})
 	if err != nil {
-		return nil, fmt.Errorf("chopper: baseline: %w", err)
+		return nil, stage(ErrCodegen, "chopper: baseline", err)
 	}
 	k := &Kernel{
 		Opts: opts, Graph: graph, Baseline: res,

@@ -4,8 +4,13 @@
 // Usage:
 //
 //	choppersim [-target ...] [-opt ...] [-baseline] [-lanes N]
+//	           [-harden] [-fault-rate P] [-fault-seed S]
 //	           [-in name=v1,v2,... ...] file.chop
 //	choppersim -asm file.pud       # execute raw PUD assembly
+//
+// -harden compiles with TMR (see docs/RELIABILITY.md); -fault-rate runs the
+// program on a faulty subarray, injecting TRA charge-sharing flips at the
+// given per-operation probability, reproducibly from -fault-seed.
 //
 // Inputs not supplied default to a deterministic ramp (lane index modulo
 // the operand's range), so quick experiments need no flags at all. In -asm
@@ -54,6 +59,9 @@ func main() {
 	baselineFlag := flag.Bool("baseline", false, "use the hands-tuned methodology")
 	lanes := flag.Int("lanes", 16, "SIMD lanes to simulate")
 	show := flag.Int("show", 8, "lanes to print")
+	harden := flag.Bool("harden", false, "compile with TMR hardening (triplicated logic, majority-voted outputs)")
+	faultRate := flag.Float64("fault-rate", 0, "per-TRA charge-sharing fault probability; 0 disables injection")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (same seed, same faults)")
 	ins := inputFlags{}
 	flag.Var(ins, "in", "input operand values: name=v1,v2,... (repeatable)")
 	flag.Parse()
@@ -83,7 +91,7 @@ func main() {
 		fatal(fmt.Errorf("unknown -opt %q", *opt))
 	}
 
-	opts := chopper.Options{Target: arch}.WithOpt(lv)
+	opts := chopper.Options{Target: arch, Harden: *harden}.WithOpt(lv)
 	var k *chopper.Kernel
 	if *baselineFlag {
 		k, err = chopper.CompileBaseline(string(srcBytes), opts)
@@ -124,14 +132,25 @@ func main() {
 		rows[in.Name] = transpose.ToVertical(vals, w, *lanes)
 	}
 
-	res, err := k.RunRows(rows, *lanes)
+	var res *chopper.RunResult
+	if *faultRate > 0 {
+		res, err = k.RunRowsUnderFault(rows, *lanes, chopper.FaultConfig{TRAFlipRate: *faultRate}, *faultSeed)
+	} else {
+		res, err = k.RunRows(rows, *lanes)
+	}
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Printf("compiled for %v (%s): %d micro-ops, %d D rows, %d spill slots\n",
 		arch, lv, len(k.Prog().Ops), k.Prog().DRowsUsed, k.Prog().SpillSlots)
-	fmt.Printf("single-subarray makespan: %.1f us (%d lanes)\n\n", res.TimeNs/1000, *lanes)
+	fmt.Printf("single-subarray makespan: %.1f us (%d lanes)\n", res.TimeNs/1000, *lanes)
+	if *faultRate > 0 {
+		f := res.Faults
+		fmt.Printf("injected faults (rate %g, seed %d): %d TRA, %d copy, %d decay, %d stuck\n",
+			*faultRate, *faultSeed, f.TRAFlips, f.CopyFlips, f.DecayFlips, f.StuckLanes)
+	}
+	fmt.Println()
 
 	n := *show
 	if n > *lanes {

@@ -1,0 +1,65 @@
+package chopper
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel error classes. Every error the public API returns wraps one of
+// these, so callers can program against failure stages with errors.Is
+// instead of matching message text:
+//
+//	k, err := chopper.Compile(src, opts)
+//	if errors.Is(err, chopper.ErrParse) { ... surface source diagnostics }
+//	if errors.Is(err, chopper.ErrInternal) { ... file a bug, input was legal }
+var (
+	// ErrParse marks failures of DSL lexing, parsing or macro expansion.
+	ErrParse = errors.New("chopper: parse error")
+	// ErrTypecheck marks failures of the type checker.
+	ErrTypecheck = errors.New("chopper: typecheck error")
+	// ErrNormalize marks failures of dataflow-graph normalization
+	// (including entry-node resolution).
+	ErrNormalize = errors.New("chopper: normalize error")
+	// ErrCodegen marks failures of the back-end: bit-slicing,
+	// legalization, hardening and micro-op generation.
+	ErrCodegen = errors.New("chopper: codegen error")
+	// ErrVerify marks a verification discrepancy: the compiled kernel's
+	// simulated output disagrees with the reference dataflow semantics.
+	ErrVerify = errors.New("chopper: verify error")
+	// ErrInternal marks a recovered internal panic: the pipeline hit a
+	// bug or an unchecked invariant, not a problem with the input.
+	ErrInternal = errors.New("chopper: internal error")
+)
+
+// stageError attaches a sentinel class to an underlying error while
+// keeping the message format the API has always used ("chopper: <stage>:
+// <cause>"). errors.Is matches both the class and the wrapped chain.
+type stageError struct {
+	class error
+	msg   string
+	err   error
+}
+
+func (e *stageError) Error() string        { return e.msg + ": " + e.err.Error() }
+func (e *stageError) Unwrap() error        { return e.err }
+func (e *stageError) Is(target error) bool { return target == e.class }
+
+// stage wraps err in class with the given message prefix.
+func stage(class error, msg string, err error) error {
+	return &stageError{class: class, msg: msg, err: err}
+}
+
+// stagef is stage over a formatted cause.
+func stagef(class error, msg, format string, args ...interface{}) error {
+	return &stageError{class: class, msg: msg, err: fmt.Errorf(format, args...)}
+}
+
+// recoverToError converts a panic escaping a public API function into an
+// ErrInternal-classed error. Deferred at every public entry point so
+// hostile inputs or internal bugs (for example the sim.NewSubarray
+// dimension panic) surface as errors instead of crashing the caller.
+func recoverToError(err *error) {
+	if r := recover(); r != nil {
+		*err = stagef(ErrInternal, "chopper: internal", "%v", r)
+	}
+}

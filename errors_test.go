@@ -1,0 +1,118 @@
+package chopper
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const errAdderSrc = `
+node main(a: u8, b: u8) returns (s: u8)
+  let s = a + b;
+tel`
+
+// Every pipeline stage classes its failures with the matching sentinel, so
+// callers can dispatch on errors.Is instead of message text.
+func TestSentinelErrorStages(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		opts Options
+		want error
+		not  []error
+	}{
+		{
+			name: "parse",
+			src:  "node main(a: u8 returns", // truncated garbage
+			want: ErrParse,
+			not:  []error{ErrTypecheck, ErrNormalize, ErrCodegen, ErrInternal},
+		},
+		{
+			name: "typecheck",
+			src:  "node main(a: u8) returns (z: u16) let z = a; tel",
+			want: ErrTypecheck,
+			not:  []error{ErrParse, ErrNormalize, ErrCodegen},
+		},
+		{
+			name: "normalize",
+			src:  errAdderSrc,
+			opts: Options{Entry: "nosuchnode"},
+			want: ErrNormalize,
+			not:  []error{ErrParse, ErrTypecheck, ErrCodegen},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src, tc.opts)
+			if err == nil {
+				t.Fatal("Compile succeeded, want error")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v does not match %v", err, tc.want)
+			}
+			for _, s := range tc.not {
+				if errors.Is(err, s) {
+					t.Errorf("error %v unexpectedly matches %v", err, s)
+				}
+			}
+		})
+	}
+}
+
+func TestSentinelErrorCodegen(t *testing.T) {
+	// The baseline methodology rejects Harden at the codegen stage.
+	_, err := CompileBaseline(errAdderSrc, Options{Harden: true})
+	if err == nil {
+		t.Fatal("CompileBaseline accepted Harden")
+	}
+	if !errors.Is(err, ErrCodegen) {
+		t.Fatalf("error %v does not match ErrCodegen", err)
+	}
+}
+
+// Panics inside the pipeline must surface as ErrInternal errors, never as
+// crashes escaping the public API.
+func TestCompileGraphNilRecovers(t *testing.T) {
+	_, err := CompileGraph(nil, Options{})
+	if err == nil {
+		t.Fatal("CompileGraph(nil) succeeded")
+	}
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("error %v does not match ErrInternal", err)
+	}
+	if !strings.Contains(err.Error(), "chopper: internal") {
+		t.Fatalf("error %q missing internal prefix", err)
+	}
+}
+
+func TestRunRecoversSimPanic(t *testing.T) {
+	k, err := Compile(errAdderSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lanes = -1 panics deep inside sim.NewSubarray; the API must return
+	// an ErrInternal error instead of crashing.
+	_, err = k.Run(map[string][]uint64{"a": {1}, "b": {2}}, -1)
+	if err == nil {
+		t.Fatal("Run with lanes=-1 succeeded")
+	}
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("error %v does not match ErrInternal", err)
+	}
+}
+
+func TestVerifyErrorClass(t *testing.T) {
+	k, err := Compile(errAdderSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A certain single fault corrupts the unhardened adder, and the
+	// resulting mismatch is classed ErrVerify.
+	err = k.VerifyUnderFault(1, 5, FaultConfig{TRAFlipRate: 1, MaxFaults: 1})
+	if err == nil {
+		t.Fatal("VerifyUnderFault passed under a guaranteed fault")
+	}
+	if !errors.Is(err, ErrVerify) {
+		t.Fatalf("error %v does not match ErrVerify", err)
+	}
+}

@@ -1,0 +1,49 @@
+package chopper
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile drives arbitrary source through the full pipeline (parse,
+// typecheck, normalize, codegen). The contract under fuzzing is the
+// robustness invariant of the public API: Compile returns an error or a
+// kernel — it never panics, whatever the input. The recover guards convert
+// any internal panic into an ErrInternal error, and the parser's recursion
+// depth limit keeps hostile nesting from overflowing the stack (which Go
+// could not recover).
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"node main(a: u8, b: u8) returns (s: u8) let s = a + b; tel",
+		"node main(a: u8, b: u8) returns (s: u8, d: u8) let s = a + b; d = a - b; tel",
+		"node main(a: u16) returns (z: u16) vars t: u16; let t = a * a; z = t ^ a; tel",
+		"node main(a: u8, b: u8, p: u1) returns (c: u8) let c = p ? a : b; tel",
+		"node main(a: u8) returns (z: u8) let z = mux(a < 3:u8, a, ~a); tel",
+		"node main(a: u8 returns",
+		"node main() returns () tel",
+		"node node node ((((",
+		"let tel vars returns",
+		strings.Repeat("(", 2000) + "1" + strings.Repeat(")", 2000),
+		"node main(a: u8) returns (z: u8) let z = " + strings.Repeat("~", 3000) + "a; tel",
+		"node main(a: u128, b: u128) returns (z: u128) let z = a + b; tel",
+		"\x00\xff\xfe garbage \x80",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, opts := range []Options{
+			{Target: Ambit},
+			{Target: ELP2IM, Harden: true},
+		} {
+			k, err := Compile(src, opts)
+			if err == nil && k == nil {
+				t.Fatalf("Compile returned neither kernel nor error for %q", src)
+			}
+			if err != nil && k != nil {
+				t.Fatalf("Compile returned both kernel and error for %q: %v", src, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+
+	"chopper"
+	"chopper/internal/isa"
+)
+
+// ReliabilitySweep measures silent-data-corruption rates for one kernel
+// source across a grid of TRA fault rates, compiled both plain and with TMR
+// hardening. It returns a table (series "plain" and "tmr", one row per
+// rate, values = SDC rate over `trials` runs) and the TMR latency overhead
+// ratio from the DRAM timing model (hardened makespan / plain makespan).
+//
+// The sweep runs in the single-event-upset regime: each run injects at most
+// one fault (MaxFaults=1), with the rate setting how early in the program
+// it strikes. This is the regime TMR is designed for — any single replica
+// fault is outvoted — so the table shows what hardening buys. Note that at
+// a fixed per-op fault rate with unbounded faults, TMR can come out WORSE:
+// the hardened program executes ~3x the ops, so it absorbs ~3x the faults,
+// and its majority voters are themselves unprotected single points of
+// failure. Use Kernel.Reliability directly with uncapped FaultConfigs to
+// measure that regime.
+//
+// This is the experiment behind docs/RELIABILITY.md's trade-off numbers:
+// how many nines a single fault costs an unhardened kernel, and what the
+// voted version buys back for its ~3x op count.
+func ReliabilitySweep(src string, arch isa.Arch, rates []float64, trials int, seed int64) (*Table, float64, error) {
+	plain, err := chopper.Compile(src, chopper.Options{Target: arch})
+	if err != nil {
+		return nil, 0, fmt.Errorf("bench: reliability: %w", err)
+	}
+	hard, err := chopper.Compile(src, chopper.Options{Target: arch, Harden: true})
+	if err != nil {
+		return nil, 0, fmt.Errorf("bench: reliability: harden: %w", err)
+	}
+
+	cfgs := make([]chopper.FaultConfig, len(rates))
+	for i, r := range rates {
+		cfgs[i] = chopper.FaultConfig{TRAFlipRate: r, MaxFaults: 1}
+	}
+	pr, err := plain.Reliability(trials, seed, cfgs)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bench: reliability: plain: %w", err)
+	}
+	hr, err := hard.Reliability(trials, seed, cfgs)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bench: reliability: tmr: %w", err)
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("SDC rate vs TRA fault rate (%v, %d trials)", arch, trials),
+		Unit:   "fraction of runs corrupted",
+		Series: []string{"plain", "tmr"},
+	}
+	for i, r := range rates {
+		wl := fmt.Sprintf("rate=%g", r)
+		t.Rows = append(t.Rows,
+			Row{Workload: wl, Series: "plain", Value: pr.Points[i].SDCRate()},
+			Row{Workload: wl, Series: "tmr", Value: hr.Points[i].SDCRate()},
+		)
+	}
+	overhead := 0.0
+	if pr.TimeNs > 0 {
+		overhead = hr.TimeNs / pr.TimeNs
+	}
+	return t, overhead, nil
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"testing"
+
+	"chopper/internal/isa"
+)
+
+const sweepSrc = `
+node main(a: u8, b: u8) returns (s: u8)
+  let s = a + b;
+tel`
+
+func TestReliabilitySweep(t *testing.T) {
+	rates := []float64{0, 1}
+	tbl, overhead, err := ReliabilitySweep(sweepSrc, isa.Ambit, rates, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tbl.Rows); got != 2*len(rates) {
+		t.Fatalf("table has %d rows, want %d", got, 2*len(rates))
+	}
+	cell := func(wl, series string) float64 {
+		for _, r := range tbl.Rows {
+			if r.Workload == wl && r.Series == series {
+				return r.Value
+			}
+		}
+		t.Fatalf("missing cell %s/%s", wl, series)
+		return 0
+	}
+	if v := cell("rate=0", "plain"); v != 0 {
+		t.Fatalf("plain SDC at rate 0 = %v", v)
+	}
+	if v := cell("rate=0", "tmr"); v != 0 {
+		t.Fatalf("tmr SDC at rate 0 = %v", v)
+	}
+	// At rate 1 the single fault strikes the first TRA: replica
+	// computation in the hardened build (outvoted), live logic in the
+	// plain one (corrupts).
+	plain, tmr := cell("rate=1", "plain"), cell("rate=1", "tmr")
+	if plain == 0 {
+		t.Fatal("plain kernel shows no SDC under guaranteed single faults")
+	}
+	if tmr != 0 {
+		t.Fatalf("hardened kernel shows SDC under single faults: %v", tmr)
+	}
+	if overhead <= 1 {
+		t.Fatalf("TMR latency overhead %v, want > 1", overhead)
+	}
+	if tbl.Render() == "" || tbl.CSV() == "" {
+		t.Fatal("empty rendering")
+	}
+}

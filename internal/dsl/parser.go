@@ -7,10 +7,28 @@ import (
 
 // Parser builds the AST via recursive descent with precedence climbing.
 type Parser struct {
-	lex *Lexer
-	tok Token
-	err error
+	lex   *Lexer
+	tok   Token
+	err   error
+	depth int
 }
+
+// maxExprDepth bounds expression-nesting recursion. Go cannot recover a
+// goroutine stack overflow, so deeply nested hostile input (thousands of
+// "(((((..." or "~~~~~...") must be cut off with a regular parse error well
+// before the stack runs out. Legitimate programs nest a few dozen levels at
+// most.
+const maxExprDepth = 500
+
+func (p *Parser) enter(pos Pos) error {
+	p.depth++
+	if p.depth > maxExprDepth {
+		return errf(pos, "expression nested deeper than %d levels", maxExprDepth)
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // Parse parses a full program.
 func Parse(src string) (*Program, error) {
@@ -471,6 +489,10 @@ func (p *Parser) parseEquation() (*Equation, error) {
 //	*
 //	unary ~ -
 func (p *Parser) parseExpr() (Expr, error) {
+	if err := p.enter(p.tok.Pos); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	c, err := p.parseBin(0)
 	if err != nil {
 		return nil, err
@@ -541,6 +563,10 @@ func (p *Parser) parseBin(level int) (Expr, error) {
 }
 
 func (p *Parser) parseUnary() (Expr, error) {
+	if err := p.enter(p.tok.Pos); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch p.tok.Kind {
 	case TokTilde:
 		pos := p.tok.Pos

@@ -1,0 +1,227 @@
+// Package fault provides deterministic, seedable fault models for the
+// functional PUD simulator. Real processing-using-DRAM substrates are not
+// the perfect bit-matrices the functional model assumes: triple-row
+// activation (TRA) and in-DRAM row copy (AAP) are analog charge-sharing
+// operations whose error rates depend on which rows and bitlines
+// participate, DRAM cells leak charge between refreshes, and manufacturing
+// defects leave individual bitlines stuck. The Injector wraps the
+// simulator's row operations with four independently parameterizable
+// models of those effects:
+//
+//   - TRA charge-sharing flips: each AP (triple-row activation) suffers a
+//     single-lane upset of its majority result with a configurable per-op
+//     probability;
+//   - row-copy corruption: each AAP copy suffers a single-lane flip of the
+//     copied payload with a configurable per-op probability;
+//   - stuck-at bitline columns: a fixed set of lanes is forced to 0 or 1
+//     on every row store (a permanent defect, not a transient event);
+//   - retention decay: a row that sits idle (neither loaded nor stored)
+//     longer than a refresh threshold suffers a single-lane flip, with a
+//     configurable probability, when it is next sensed.
+//
+// Every transient decision is drawn from a stateless hash of
+// (seed, op index, fault kind, row), so injection is fully reproducible:
+// identical Config and seed produce identical per-lane corruption on
+// identical programs, regardless of how many other fault models are
+// enabled alongside.
+package fault
+
+import (
+	"chopper/internal/isa"
+)
+
+// StuckColumn describes a permanently defective bitline: lane Lane reads
+// and writes as the constant High on every stored row.
+type StuckColumn struct {
+	Lane int
+	High bool
+}
+
+// Config parameterizes the fault models. The zero value injects nothing.
+type Config struct {
+	// TRAFlipRate is the per-AP probability that the TRA result suffers a
+	// one-lane flip (the charge-sharing consensus resolves wrongly on one
+	// bitline). The flipped value lands in all three participating rows,
+	// as it would physically.
+	TRAFlipRate float64
+
+	// CopyFlipRate is the per-AAP probability that the copied row suffers
+	// a one-lane flip in transit through the row buffer.
+	CopyFlipRate float64
+
+	// RetentionRate is the probability that a row idle for more than
+	// RefreshOps micro-ops suffers a one-lane decay flip when next
+	// sensed. Ignored unless RefreshOps > 0.
+	RetentionRate float64
+	// RefreshOps is the idle threshold, in micro-ops, beyond which a row
+	// becomes vulnerable to retention decay. 0 disables the model.
+	RefreshOps int
+
+	// StuckColumns lists permanently defective bitlines, applied on every
+	// row store outside the C-group. Stuck lanes are defects, not events:
+	// they ignore MaxFaults/FirstOp and are tallied separately.
+	StuckColumns []StuckColumn
+
+	// MaxFaults caps the number of injected transient events (TRA, copy
+	// and decay flips). 0 means unlimited. MaxFaults=1 with a rate of 1
+	// yields a deterministic single-fault run.
+	MaxFaults int
+	// FirstOp suppresses transient injection before the given op index,
+	// so single faults can be aimed at a chosen point of the program.
+	FirstOp int
+}
+
+// Enabled reports whether any fault model is active.
+func (c Config) Enabled() bool {
+	return c.TRAFlipRate > 0 || c.CopyFlipRate > 0 ||
+		(c.RetentionRate > 0 && c.RefreshOps > 0) || len(c.StuckColumns) > 0
+}
+
+// Counts tallies injected faults by model.
+type Counts struct {
+	TRAFlips   int // charge-sharing upsets of AP results
+	CopyFlips  int // AAP payload corruptions
+	DecayFlips int // retention-decay flips
+	StuckLanes int // lane values forced by stuck-at columns
+}
+
+// Total sums all injected fault events.
+func (c Counts) Total() int { return c.TRAFlips + c.CopyFlips + c.DecayFlips + c.StuckLanes }
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.TRAFlips += other.TRAFlips
+	c.CopyFlips += other.CopyFlips
+	c.DecayFlips += other.DecayFlips
+	c.StuckLanes += other.StuckLanes
+}
+
+// Injector implements the simulator's fault hook (sim.FaultHook) for one
+// subarray. It is not safe for concurrent use; give each subarray its own.
+type Injector struct {
+	cfg    Config
+	seed   uint64
+	spent  int
+	last   map[isa.Row]int // op index of each row's most recent access
+	counts Counts
+}
+
+// New creates an injector for cfg, reproducible from seed.
+func New(cfg Config, seed int64) *Injector {
+	return &Injector{
+		cfg:  cfg,
+		seed: mix(uint64(seed) ^ 0x9e3779b97f4a7c15),
+		last: make(map[isa.Row]int),
+	}
+}
+
+// Counts returns the faults injected so far.
+func (in *Injector) Counts() Counts { return in.counts }
+
+// Fault event kinds, salted into the per-event hash so co-enabled models
+// draw independent randomness.
+const (
+	kindTRA uint64 = iota + 1
+	kindCopy
+	kindDecay
+)
+
+// mix is the splitmix64 finalizer: a strong stateless 64-bit mixer.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// roll draws the event hash for (op, kind, row-salt).
+func (in *Injector) roll(kind uint64, opIdx int, salt uint64) uint64 {
+	return mix(in.seed ^ mix(uint64(opIdx)+1) ^ mix(kind<<32^salt))
+}
+
+// fires converts the hash's top 53 bits into a uniform [0,1) draw.
+func fires(p float64, h uint64) bool {
+	return p > 0 && float64(h>>11)/(1<<53) < p
+}
+
+// budget reports whether a transient fault may fire at opIdx.
+func (in *Injector) budget(opIdx int) bool {
+	if opIdx < in.cfg.FirstOp {
+		return false
+	}
+	return in.cfg.MaxFaults <= 0 || in.spent < in.cfg.MaxFaults
+}
+
+// flipLane flips the hash-chosen lane of data.
+func flipLane(data []uint64, h uint64, lanes int) {
+	lane := int(h % uint64(lanes))
+	data[lane/64] ^= 1 << uint(lane%64)
+}
+
+// BeforeLoad is called when a row is about to be sensed; it materializes
+// retention decay on rows idle beyond the refresh threshold and refreshes
+// the row's access time (sensing restores the charge).
+func (in *Injector) BeforeLoad(opIdx int, r isa.Row, data []uint64, lanes int) {
+	if in.cfg.RefreshOps > 0 && in.cfg.RetentionRate > 0 {
+		if lastT, seen := in.last[r]; seen && opIdx-lastT > in.cfg.RefreshOps && in.budget(opIdx) {
+			h := in.roll(kindDecay, opIdx, uint64(int64(r)))
+			if fires(in.cfg.RetentionRate, h) {
+				flipLane(data, mix(h), lanes)
+				in.spent++
+				in.counts.DecayFlips++
+			}
+		}
+	}
+	in.last[r] = opIdx
+}
+
+// AfterCompute perturbs a TRA (AP) result before it latches back into the
+// participating rows: a charge-sharing upset flips one lane's consensus.
+func (in *Injector) AfterCompute(opIdx int, data []uint64, lanes int) {
+	if !in.budget(opIdx) {
+		return
+	}
+	h := in.roll(kindTRA, opIdx, 0)
+	if !fires(in.cfg.TRAFlipRate, h) {
+		return
+	}
+	flipLane(data, mix(h), lanes)
+	in.spent++
+	in.counts.TRAFlips++
+}
+
+// AfterCopy perturbs an AAP payload in the row buffer before it is stored
+// into the destination rows.
+func (in *Injector) AfterCopy(opIdx int, data []uint64, lanes int) {
+	if !in.budget(opIdx) {
+		return
+	}
+	h := in.roll(kindCopy, opIdx, 0)
+	if !fires(in.cfg.CopyFlipRate, h) {
+		return
+	}
+	flipLane(data, mix(h), lanes)
+	in.spent++
+	in.counts.CopyFlips++
+}
+
+// AfterStore applies persistent bitline defects to a freshly stored row
+// and records the access. C-group constant rows are architectural
+// references outside the data bitline array and are exempt.
+func (in *Injector) AfterStore(opIdx int, r isa.Row, data []uint64, lanes int) {
+	if len(in.cfg.StuckColumns) > 0 && !r.IsCGroup() {
+		for _, sc := range in.cfg.StuckColumns {
+			if sc.Lane < 0 || sc.Lane >= lanes {
+				continue
+			}
+			w, b := sc.Lane/64, uint(sc.Lane%64)
+			if (data[w]>>b&1 == 1) != sc.High {
+				data[w] ^= 1 << b
+				in.counts.StuckLanes++
+			}
+		}
+	}
+	in.last[r] = opIdx
+}

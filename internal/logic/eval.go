@@ -9,6 +9,18 @@ import "fmt"
 //
 // inputs maps input name -> lane bundle; missing inputs default to 0.
 func (n *Net) Eval(inputs map[string]uint64) (map[string]uint64, error) {
+	return n.evalWith(inputs, -1, 0)
+}
+
+// EvalFaulty evaluates the net like Eval but XORs flipMask into the value
+// of faultNode right after it is computed, modeling a transient single-gate
+// fault. The fault-injection tests use it to show that TMR voting masks any
+// single replica-gate corruption.
+func (n *Net) EvalFaulty(inputs map[string]uint64, faultNode NodeID, flipMask uint64) (map[string]uint64, error) {
+	return n.evalWith(inputs, int(faultNode), flipMask)
+}
+
+func (n *Net) evalWith(inputs map[string]uint64, faultNode int, flipMask uint64) (map[string]uint64, error) {
 	vals := make([]uint64, len(n.Gates))
 	inIdx := make(map[string]int, len(n.InputNames))
 	for i, name := range n.InputNames {
@@ -46,6 +58,9 @@ func (n *Net) Eval(inputs map[string]uint64) (map[string]uint64, error) {
 			vals[i] = (a & b) | (b & c) | (a & c)
 		default:
 			return nil, fmt.Errorf("logic: gate %d has unknown kind %d", i, int(g.Kind))
+		}
+		if i == faultNode {
+			vals[i] ^= flipMask
 		}
 	}
 	out := make(map[string]uint64, len(n.Outputs))

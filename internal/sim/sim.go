@@ -32,6 +32,25 @@ type HostIO struct {
 	ReadSinkAt func(bank, sub, tag int, data []uint64)
 }
 
+// FaultHook observes — and may perturb — a subarray's row operations. It
+// is how the fault package's deterministic DRAM fault models (TRA
+// charge-sharing flips, copy corruption, stuck bitlines, retention decay)
+// attach to the functional simulator; a nil hook costs nothing. All data
+// slices are the subarray's live row storage and may be mutated in place.
+type FaultHook interface {
+	// BeforeLoad runs when row r is about to be sensed as an operand
+	// (retention decay materializes here).
+	BeforeLoad(opIdx int, r isa.Row, data []uint64, lanes int)
+	// AfterCompute runs on a TRA result before it latches back into the
+	// participating rows.
+	AfterCompute(opIdx int, data []uint64, lanes int)
+	// AfterCopy runs on an AAP payload before it is stored.
+	AfterCopy(opIdx int, data []uint64, lanes int)
+	// AfterStore runs on a row's stored contents (persistent bitline
+	// effects apply here).
+	AfterStore(opIdx int, r isa.Row, data []uint64, lanes int)
+}
+
 // Subarray is the functional state of one PUD subarray: a set of rows, each
 // a bit-vector of `lanes` bits stored as 64-bit words. Dual-contact cell
 // pairs are kept complementary on every write, which is how in-DRAM NOT
@@ -42,6 +61,9 @@ type Subarray struct {
 	mask  uint64 // valid bits of the last word
 	dRows int
 	rows  map[isa.Row][]uint64
+
+	hook  FaultHook
+	opIdx int // ops executed so far; the index passed to the hook
 }
 
 // NewSubarray creates a subarray with dRows data rows and `lanes` bitlines.
@@ -63,6 +85,33 @@ func NewSubarray(dRows, lanes int) *Subarray {
 
 // Lanes returns the SIMD width of the subarray.
 func (s *Subarray) Lanes() int { return s.lanes }
+
+// SetFaultHook attaches a fault model to the subarray (nil detaches).
+func (s *Subarray) SetFaultHook(h FaultHook) { s.hook = h }
+
+// load senses row r as an operand of the op at idx, giving the fault hook
+// its chance to materialize retention decay in the stored charge.
+func (s *Subarray) load(idx int, r isa.Row) ([]uint64, error) {
+	row, err := s.getRow(r)
+	if err != nil {
+		return nil, err
+	}
+	if s.hook != nil {
+		s.hook.BeforeLoad(idx, r, row, s.lanes)
+	}
+	return row, nil
+}
+
+// stored notifies the hook that row r was just (re)written, letting
+// persistent bitline defects corrupt the stored contents.
+func (s *Subarray) stored(idx int, r isa.Row) {
+	if s.hook == nil {
+		return
+	}
+	if row, ok := s.rows[r]; ok {
+		s.hook.AfterStore(idx, r, row, s.lanes)
+	}
+}
 
 func (s *Subarray) constRow(pattern uint64) []uint64 {
 	row := make([]uint64, s.words)
@@ -129,6 +178,8 @@ func NewSpillStore() *SpillStore { return &SpillStore{slots: make(map[uint64][]u
 
 // Exec executes one micro-op against the subarray.
 func (s *Subarray) Exec(op *isa.Op, io *HostIO, spill *SpillStore) error {
+	idx := s.opIdx
+	s.opIdx++
 	switch op.Kind {
 	case isa.OpRowInit:
 		if op.Dst[0].IsCGroup() {
@@ -146,31 +197,35 @@ func (s *Subarray) Exec(op *isa.Op, io *HostIO, spill *SpillStore) error {
 		return nil
 
 	case isa.OpAAP:
-		src, err := s.getRow(op.Src)
+		src, err := s.load(idx, op.Src)
 		if err != nil {
 			return err
 		}
 		// Copy out first: a destination may alias the source's complement.
 		tmp := make([]uint64, s.words)
 		copy(tmp, src)
+		if s.hook != nil {
+			s.hook.AfterCopy(idx, tmp, s.lanes)
+		}
 		for _, d := range op.Dsts() {
 			if d.IsCGroup() {
 				return fmt.Errorf("sim: AAP into constant row %s", d)
 			}
 			s.setRow(d, tmp)
+			s.stored(idx, d)
 		}
 		return nil
 
 	case isa.OpAP:
-		a, err := s.getRow(op.Dst[0])
+		a, err := s.load(idx, op.Dst[0])
 		if err != nil {
 			return err
 		}
-		b, err := s.getRow(op.Dst[1])
+		b, err := s.load(idx, op.Dst[1])
 		if err != nil {
 			return err
 		}
-		c, err := s.getRow(op.Dst[2])
+		c, err := s.load(idx, op.Dst[2])
 		if err != nil {
 			return err
 		}
@@ -178,8 +233,12 @@ func (s *Subarray) Exec(op *isa.Op, io *HostIO, spill *SpillStore) error {
 		for i := range res {
 			res[i] = (a[i] & b[i]) | (b[i] & c[i]) | (a[i] & c[i])
 		}
+		if s.hook != nil {
+			s.hook.AfterCompute(idx, res, s.lanes)
+		}
 		for _, d := range op.Dst {
 			s.setRow(d, res)
+			s.stored(idx, d)
 		}
 		return nil
 
@@ -195,10 +254,11 @@ func (s *Subarray) Exec(op *isa.Op, io *HostIO, spill *SpillStore) error {
 			return fmt.Errorf("sim: WRITE into constant row %s", op.Dst[0])
 		}
 		s.setRow(op.Dst[0], data)
+		s.stored(idx, op.Dst[0])
 		return nil
 
 	case isa.OpRead:
-		src, err := s.getRow(op.Src)
+		src, err := s.load(idx, op.Src)
 		if err != nil {
 			return err
 		}
@@ -211,7 +271,7 @@ func (s *Subarray) Exec(op *isa.Op, io *HostIO, spill *SpillStore) error {
 		return nil
 
 	case isa.OpSpillOut:
-		src, err := s.getRow(op.Src)
+		src, err := s.load(idx, op.Src)
 		if err != nil {
 			return err
 		}
@@ -232,6 +292,7 @@ func (s *Subarray) Exec(op *isa.Op, io *HostIO, spill *SpillStore) error {
 			return fmt.Errorf("sim: SPILL_IN of unwritten slot %d", op.Imm)
 		}
 		s.setRow(op.Dst[0], data)
+		s.stored(idx, op.Dst[0])
 		return nil
 	}
 	return fmt.Errorf("sim: unknown op kind %d", int(op.Kind))
@@ -250,6 +311,7 @@ type Machine struct {
 	// slots from zero, so slot namespaces must not collide across
 	// subarrays.
 	spills map[[2]int]*SpillStore
+	fault  func(bank, sub int) FaultHook
 }
 
 // MachineConfig configures a Machine.
@@ -261,6 +323,11 @@ type MachineConfig struct {
 
 	// SSD, when non-nil, charges spill traffic to the device.
 	SSD *ssd.Device
+
+	// Fault, when non-nil, supplies a fault model per subarray (each
+	// subarray must get its own hook: hooks are stateful and not safe
+	// for sharing). A nil return leaves that subarray fault-free.
+	Fault func(bank, sub int) FaultHook
 }
 
 // NewMachine builds a machine.
@@ -277,6 +344,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 		ssd:    cfg.SSD,
 		subs:   make(map[[2]int]*Subarray),
 		spills: make(map[[2]int]*SpillStore),
+		fault:  cfg.Fault,
 	}
 	if cfg.SSD != nil {
 		rowBytes := cfg.Geom.RowBytes
@@ -296,6 +364,9 @@ func (m *Machine) Sub(bank, sub int) *Subarray {
 	s, ok := m.subs[key]
 	if !ok {
 		s = NewSubarray(m.geom.DRows(), m.lanes)
+		if m.fault != nil {
+			s.SetFaultHook(m.fault(bank, sub))
+		}
 		m.subs[key] = s
 		m.spills[key] = NewSpillStore()
 	}

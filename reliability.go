@@ -1,0 +1,138 @@
+package chopper
+
+import (
+	"math/big"
+	"math/rand"
+
+	"chopper/internal/fault"
+	"chopper/internal/transpose"
+)
+
+// FaultConfig parameterizes the deterministic DRAM fault models (TRA
+// charge-sharing flips, AAP copy corruption, stuck-at bitline columns and
+// retention decay). See the fault package documentation for the model and
+// seed semantics; the zero value injects nothing.
+type FaultConfig = fault.Config
+
+// FaultCounts tallies injected fault events by model.
+type FaultCounts = fault.Counts
+
+// StuckColumn describes a permanently defective bitline for
+// FaultConfig.StuckColumns.
+type StuckColumn = fault.StuckColumn
+
+// ReliabilityPoint is the measured behavior of a kernel under one fault
+// configuration.
+type ReliabilityPoint struct {
+	// Config is the fault configuration this point was measured at.
+	Config FaultConfig
+	// Runs is the number of random-input runs executed.
+	Runs int
+	// SDCRuns counts runs with silent data corruption: at least one
+	// output lane differed from the reference dataflow semantics.
+	SDCRuns int
+	// LaneErrors counts corrupted lanes per output, summed over runs.
+	LaneErrors map[string]int
+	// LaneErrorRate is LaneErrors normalized by Runs*lanes: the
+	// probability that a given lane of that output is wrong.
+	LaneErrorRate map[string]float64
+	// Injected totals the fault events injected across all runs.
+	Injected FaultCounts
+}
+
+// SDCRate is the fraction of runs that silently corrupted data.
+func (p ReliabilityPoint) SDCRate() float64 {
+	if p.Runs == 0 {
+		return 0
+	}
+	return float64(p.SDCRuns) / float64(p.Runs)
+}
+
+// ReliabilityReport is the output of the reliability harness: the kernel's
+// blast radius under a grid of fault configurations, plus its fault-free
+// makespan from the DRAM timing model (compare a hardened and an
+// unhardened kernel's TimeNs to quantify the TMR latency overhead).
+type ReliabilityReport struct {
+	// Lanes is the SIMD width each run used.
+	Lanes int
+	// TimeNs is the fault-free single-subarray makespan of the kernel.
+	TimeNs float64
+	// Points holds one measurement per requested fault configuration.
+	Points []ReliabilityPoint
+}
+
+// Reliability measures the kernel under every fault configuration in cfgs:
+// for each, `trials` runs over random inputs (64 lanes each, reproducible
+// from seed) execute on the faulty functional simulator and every output
+// lane is compared bit-exactly against the reference dataflow semantics.
+// Unlike VerifyUnderFault, which stops at the first discrepancy, this
+// counts all of them — it is the measurement harness behind the
+// reliability sweeps in internal/bench.
+func (k *Kernel) Reliability(trials int, seed int64, cfgs []FaultConfig) (rep *ReliabilityReport, err error) {
+	defer recoverToError(&err)
+	const lanes = 64
+	rep = &ReliabilityReport{Lanes: lanes}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Fault-free timing reference.
+	base := randWideInputs(rng, k.Inputs, lanes)
+	baseRows := make(map[string][][]uint64, len(base))
+	for _, in := range k.Inputs {
+		baseRows[in.Name] = transpose.ToVerticalWide(base[in.Name], in.Width, lanes)
+	}
+	res, err := k.runRows(baseRows, lanes, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep.TimeNs = res.TimeNs
+
+	for ci, cfg := range cfgs {
+		pt := ReliabilityPoint{
+			Config:        cfg,
+			LaneErrors:    make(map[string]int, len(k.Outputs)),
+			LaneErrorRate: make(map[string]float64, len(k.Outputs)),
+		}
+		for trial := 0; trial < trials; trial++ {
+			inWide := randWideInputs(rng, k.Inputs, lanes)
+			rows := make(map[string][][]uint64, len(inWide))
+			for _, in := range k.Inputs {
+				rows[in.Name] = transpose.ToVerticalWide(inWide[in.Name], in.Width, lanes)
+			}
+			res, err := k.RunRowsUnderFault(rows, lanes, cfg, seed+int64(ci)<<16+int64(trial))
+			if err != nil {
+				return nil, err
+			}
+			pt.Injected.Add(res.Faults)
+			got := make(map[string][][]uint64, len(k.Outputs))
+			for _, o := range k.Outputs {
+				got[o.Name] = transpose.FromVerticalWide(res.Rows[o.Name], o.Width, lanes)
+			}
+			corrupted := false
+			for l := 0; l < lanes; l++ {
+				ref := make(map[string]*big.Int, len(k.Inputs))
+				for name, vals := range inWide {
+					ref[name] = limbsToBig(vals[l])
+				}
+				want, err := k.Graph.Eval(ref)
+				if err != nil {
+					return nil, err
+				}
+				for _, out := range k.Outputs {
+					if limbsToBig(got[out.Name][l]).Cmp(want[out.Name]) != 0 {
+						pt.LaneErrors[out.Name]++
+						corrupted = true
+					}
+				}
+			}
+			if corrupted {
+				pt.SDCRuns++
+			}
+			pt.Runs++
+		}
+		for name, n := range pt.LaneErrors {
+			pt.LaneErrorRate[name] = float64(n) / float64(pt.Runs*lanes)
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}

@@ -1,0 +1,137 @@
+package chopper
+
+import (
+	"errors"
+	"testing"
+
+	"chopper/internal/transpose"
+)
+
+const relAdderSrc = `
+node main(a: u8, b: u8) returns (s: u8)
+  let s = a + b;
+tel`
+
+func compileRel(t *testing.T, harden bool) *Kernel {
+	t.Helper()
+	k, err := Compile(relAdderSrc, Options{Harden: harden})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// Identical Config + seed must reproduce identical corruption, lane for
+// lane — the acceptance bar for the deterministic fault models.
+func TestFaultInjectionDeterministic(t *testing.T) {
+	k := compileRel(t, false)
+	const lanes = 64
+	cfg := FaultConfig{TRAFlipRate: 0.05, CopyFlipRate: 0.02, RetentionRate: 0.1, RefreshOps: 32}
+
+	inputs := map[string][]uint64{"a": make([]uint64, lanes), "b": make([]uint64, lanes)}
+	for l := 0; l < lanes; l++ {
+		inputs["a"][l] = uint64(l * 7 % 256)
+		inputs["b"][l] = uint64(l * 13 % 256)
+	}
+	run := func() (*RunResult, error) {
+		rows := map[string][][]uint64{
+			"a": transpose.ToVertical(inputs["a"], 8, lanes),
+			"b": transpose.ToVertical(inputs["b"], 8, lanes),
+		}
+		return k.RunRowsUnderFault(rows, lanes, cfg, 99)
+	}
+	r1, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Faults != r2.Faults {
+		t.Fatalf("fault counts diverged: %+v vs %+v", r1.Faults, r2.Faults)
+	}
+	if r1.Faults.Total() == 0 {
+		t.Fatal("no faults injected at these rates (test is vacuous)")
+	}
+	for name, rows1 := range r1.Rows {
+		for b := range rows1 {
+			for w := range rows1[b] {
+				if rows1[b][w] != r2.Rows[name][b][w] {
+					t.Fatalf("output %s bit %d word %d diverged: %#x vs %#x",
+						name, b, w, rows1[b][w], r2.Rows[name][b][w])
+				}
+			}
+		}
+	}
+}
+
+// The robustness win: a guaranteed single TRA fault breaks the unhardened
+// adder, while the TMR-hardened build of the same source survives it.
+func TestHardenSurvivesSingleFault(t *testing.T) {
+	plain := compileRel(t, false)
+	hard := compileRel(t, true)
+
+	cfg := FaultConfig{TRAFlipRate: 1, MaxFaults: 1}
+	err := plain.VerifyUnderFault(4, 17, cfg)
+	if err == nil {
+		t.Fatal("unhardened kernel survived a guaranteed TRA fault")
+	}
+	if !errors.Is(err, ErrVerify) {
+		t.Fatalf("corruption error %v does not match ErrVerify", err)
+	}
+	if err := hard.VerifyUnderFault(4, 17, cfg); err != nil {
+		t.Fatalf("hardened kernel corrupted by a single TRA fault: %v", err)
+	}
+}
+
+// Hardening must not change fault-free semantics.
+func TestHardenedKernelVerifies(t *testing.T) {
+	hard := compileRel(t, true)
+	if err := hard.Verify(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if hard.Stats().APs <= compileRel(t, false).Stats().APs {
+		t.Fatal("hardened kernel is not larger than the plain one")
+	}
+}
+
+// The reliability harness quantifies the trade: hardened kernels trade
+// latency (TimeNs overhead) for a lower silent-data-corruption rate.
+func TestReliabilityReport(t *testing.T) {
+	plain := compileRel(t, false)
+	hard := compileRel(t, true)
+
+	cfgs := []FaultConfig{
+		{},                             // control point: no faults
+		{TRAFlipRate: 1, MaxFaults: 1}, // guaranteed single fault
+	}
+	const trials = 6
+	pr, err := plain.Reliability(trials, 41, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := hard.Reliability(trials, 41, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pr.Points[0].SDCRuns != 0 || hr.Points[0].SDCRuns != 0 {
+		t.Fatalf("SDC without faults: plain %d, hardened %d", pr.Points[0].SDCRuns, hr.Points[0].SDCRuns)
+	}
+	if pr.Points[1].SDCRate() == 0 {
+		t.Fatal("unhardened kernel shows no SDC under guaranteed single faults")
+	}
+	if hr.Points[1].SDCRuns != 0 {
+		t.Fatalf("hardened kernel shows SDC under single faults: %d/%d runs",
+			hr.Points[1].SDCRuns, hr.Points[1].Runs)
+	}
+	if hr.Points[1].Injected.Total() == 0 {
+		t.Fatal("no faults injected into the hardened kernel (survival is vacuous)")
+	}
+	if hr.TimeNs <= pr.TimeNs {
+		t.Fatalf("TMR latency overhead missing: hardened %.1fns <= plain %.1fns", hr.TimeNs, pr.TimeNs)
+	}
+	t.Logf("TMR overhead: %.2fx latency, SDC %0.2f -> %0.2f",
+		hr.TimeNs/pr.TimeNs, pr.Points[1].SDCRate(), hr.Points[1].SDCRate())
+}

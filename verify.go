@@ -1,7 +1,6 @@
 package chopper
 
 import (
-	"fmt"
 	"math/big"
 	"math/rand"
 
@@ -12,36 +11,51 @@ import (
 // on `trials` batches of random inputs (64 lanes each): the compiled
 // micro-ops run on the functional DRAM simulator and every output lane is
 // compared bit-exactly with dfg evaluation. It returns the first
-// discrepancy as an error, or nil.
+// discrepancy as an ErrVerify-classed error, or nil.
 //
 // This is the library-level version of the test suite's central invariant,
 // exposed so downstream users can validate kernels they generate (for
 // example after extending the synthesis library).
-func (k *Kernel) Verify(trials int, seed int64) error {
+func (k *Kernel) Verify(trials int, seed int64) (err error) {
+	defer recoverToError(&err)
+	return k.verifyTrials(trials, seed, func(_ int, rows map[string][][]uint64, lanes int) (*RunResult, error) {
+		return k.runRows(rows, lanes, nil)
+	})
+}
+
+// VerifyUnderFault is Verify on a faulty DRAM substrate: every trial runs
+// with the fault models of cfg injected (trial t uses seed+t as the
+// injection seed, so each trial draws an independent but reproducible
+// fault pattern). A returned ErrVerify-classed error means the faults
+// caused silent data corruption the kernel could not mask; nil means every
+// trial survived bit-exact. Compile with Options.Harden to make kernels
+// that survive single intermediate-row faults which break their unhardened
+// counterparts.
+func (k *Kernel) VerifyUnderFault(trials int, seed int64, cfg FaultConfig) (err error) {
+	defer recoverToError(&err)
+	return k.verifyTrials(trials, seed, func(trial int, rows map[string][][]uint64, lanes int) (*RunResult, error) {
+		return k.RunRowsUnderFault(rows, lanes, cfg, seed+int64(trial))
+	})
+}
+
+// verifyTrials drives `trials` random-input runs through `run` and
+// compares every output lane against the reference dataflow evaluation.
+func (k *Kernel) verifyTrials(trials int, seed int64, run func(trial int, rows map[string][][]uint64, lanes int) (*RunResult, error)) error {
 	rng := rand.New(rand.NewSource(seed))
 	const lanes = 64
 	for trial := 0; trial < trials; trial++ {
-		// Random inputs, as limbs (handles any width).
-		inWide := make(map[string][][]uint64, len(k.Inputs))
+		inWide := randWideInputs(rng, k.Inputs, lanes)
+		rows := make(map[string][][]uint64, len(inWide))
 		for _, in := range k.Inputs {
-			limbs := (in.Width + 63) / 64
-			vals := make([][]uint64, lanes)
-			for l := range vals {
-				v := make([]uint64, limbs)
-				for i := range v {
-					v[i] = rng.Uint64()
-				}
-				if r := in.Width % 64; r != 0 {
-					v[limbs-1] &= (uint64(1) << uint(r)) - 1
-				}
-				vals[l] = v
-			}
-			inWide[in.Name] = vals
+			rows[in.Name] = transpose.ToVerticalWide(inWide[in.Name], in.Width, lanes)
 		}
-
-		got, err := k.RunWide(inWide, lanes)
+		res, err := run(trial, rows, lanes)
 		if err != nil {
-			return fmt.Errorf("chopper: verify trial %d: %w", trial, err)
+			return stagef(ErrVerify, "chopper: verify", "trial %d: %v", trial, err)
+		}
+		got := make(map[string][][]uint64, len(k.Outputs))
+		for _, o := range k.Outputs {
+			got[o.Name] = transpose.FromVerticalWide(res.Rows[o.Name], o.Width, lanes)
 		}
 
 		for l := 0; l < lanes; l++ {
@@ -51,18 +65,40 @@ func (k *Kernel) Verify(trials int, seed int64) error {
 			}
 			want, err := k.Graph.Eval(ref)
 			if err != nil {
-				return fmt.Errorf("chopper: verify trial %d: reference eval: %w", trial, err)
+				return stagef(ErrVerify, "chopper: verify", "trial %d: reference eval: %v", trial, err)
 			}
 			for _, out := range k.Outputs {
 				gotV := limbsToBig(got[out.Name][l])
 				if gotV.Cmp(want[out.Name]) != 0 {
-					return fmt.Errorf("chopper: verify trial %d lane %d: output %q = %v, reference says %v",
+					return stagef(ErrVerify, "chopper: verify", "trial %d lane %d: output %q = %v, reference says %v",
 						trial, l, out.Name, gotV, want[out.Name])
 				}
 			}
 		}
 	}
 	return nil
+}
+
+// randWideInputs draws one batch of random operand values in wide
+// (limbs-per-lane) layout.
+func randWideInputs(rng *rand.Rand, inputs []IOSpec, lanes int) map[string][][]uint64 {
+	inWide := make(map[string][][]uint64, len(inputs))
+	for _, in := range inputs {
+		limbs := (in.Width + 63) / 64
+		vals := make([][]uint64, lanes)
+		for l := range vals {
+			v := make([]uint64, limbs)
+			for i := range v {
+				v[i] = rng.Uint64()
+			}
+			if r := in.Width % 64; r != 0 {
+				v[limbs-1] &= (uint64(1) << uint(r)) - 1
+			}
+			vals[l] = v
+		}
+		inWide[in.Name] = vals
+	}
+	return inWide
 }
 
 func limbsToBig(limbs []uint64) *big.Int {
