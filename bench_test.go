@@ -225,6 +225,68 @@ func BenchmarkVircoeEmit(b *testing.B) {
 	}
 }
 
+// --- parallel engine benchmarks ---
+//
+// The speedup claims of the parallel execution layer: verify/sweep trials
+// fan out across the worker pool (compare workers=1 against workers=N at
+// 4+ cores for the >=2x wall-clock win; results are byte-identical either
+// way), and a warm kernel cache turns repeat compiles into map lookups.
+
+func BenchmarkVerifyUnderFaultWorkers(b *testing.B) {
+	k, err := chopper.Compile(benchKernel, chopper.Options{Target: chopper.Ambit, Harden: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := chopper.FaultConfig{TRAFlipRate: 1, MaxFaults: 1}
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := "max"
+		if workers == 1 {
+			name = "1"
+		}
+		b.Run("workers="+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := k.VerifyUnderFaultParallel(32, 7, cfg, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReliabilitySweepWorkers(b *testing.B) {
+	rates := []float64{0, 0.25, 0.5, 0.75, 1}
+	for _, workers := range []int{1, 0} {
+		name := "max"
+		if workers == 1 {
+			name = "1"
+		}
+		b.Run("workers="+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bench.ReliabilitySweepParallel(benchKernel, isa.Ambit, rates, 8, 7, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCompileCached(b *testing.B) {
+	cache := chopper.NewKernelCache(16)
+	opts := chopper.Options{Target: chopper.Ambit, Cache: cache}
+	if _, err := chopper.Compile(benchKernel, opts); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chopper.Compile(benchKernel, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := cache.Stats()
+	b.ReportMetric(float64(s.Hits)/float64(s.Hits+s.Misses), "hit-rate")
+}
+
 func BenchmarkFunctionalSim(b *testing.B) {
 	k, err := chopper.Compile(benchKernel, chopper.Options{Target: chopper.Ambit})
 	if err != nil {

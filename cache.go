@@ -1,0 +1,94 @@
+package chopper
+
+import (
+	"strconv"
+	"strings"
+
+	"chopper/internal/kcache"
+)
+
+// CacheStats is a snapshot of a KernelCache's hit/miss/eviction counters.
+type CacheStats = kcache.Stats
+
+// KernelCache is a bounded, content-addressed cache of compiled kernels.
+// Keys are SHA-256 addresses of (pipeline, normalized source, canonical
+// Options), so a repeat Compile of the same program costs a map lookup
+// instead of the DSL -> bitslice -> OBS -> codegen pipeline. Kernels are
+// immutable after compilation and the cache is safe for concurrent use,
+// so one cache can serve every goroutine of a server.
+//
+// Attach a cache via Options.Cache, or use the process-wide SharedCache.
+type KernelCache struct {
+	c *kcache.Cache[*Kernel]
+}
+
+// NewKernelCache creates a cache bounded to maxEntries compiled kernels
+// (<= 0 means kcache.DefaultEntries). Eviction is LRU.
+func NewKernelCache(maxEntries int) *KernelCache {
+	return &KernelCache{c: kcache.New[*Kernel](maxEntries)}
+}
+
+// Stats returns the cache counters (hits, misses, evictions, entries).
+func (kc *KernelCache) Stats() CacheStats { return kc.c.Stats() }
+
+// sharedCache is the process-wide kernel cache for server-style callers
+// that compile the same sources over and over from many goroutines.
+var sharedCache = NewKernelCache(256)
+
+// SharedCache returns the process-wide kernel cache. Typical use:
+//
+//	opts := chopper.Options{Target: chopper.Ambit, Cache: chopper.SharedCache()}
+//	k, err := chopper.Compile(src, opts) // first call compiles, repeats hit
+func SharedCache() *KernelCache { return sharedCache }
+
+// normalizeSource canonicalizes source text for content addressing: CRLF
+// becomes LF and trailing whitespace (per line and surrounding) is
+// dropped, so formatting-only differences still hit.
+func normalizeSource(src string) string {
+	src = strings.ReplaceAll(src, "\r\n", "\n")
+	lines := strings.Split(src, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " \t")
+	}
+	return strings.TrimSpace(strings.Join(lines, "\n"))
+}
+
+// cacheKey builds the content address for one compilation request. opts
+// must already be normalized; pipeline names the entry point ("chopper",
+// "baseline", "horizontal") since the three back-ends produce different
+// kernels from identical source. Options.Cache itself is deliberately
+// not part of the key.
+func cacheKey(pipeline, src string, opts Options) string {
+	g := opts.Geometry
+	return kcache.Key(
+		pipeline,
+		normalizeSource(src),
+		opts.Target.String(),
+		opts.Opt.String(),
+		opts.Entry,
+		strconv.FormatBool(opts.Harden),
+		strconv.Itoa(g.Banks),
+		strconv.Itoa(g.SubarraysPB),
+		strconv.Itoa(g.RowsPerSub),
+		strconv.Itoa(g.RowBytes),
+		strconv.Itoa(g.ReservedRows),
+	)
+}
+
+// cachedCompile wraps a compile function with the content-addressed
+// lookup when opts carries a cache; otherwise it just compiles.
+func cachedCompile(pipeline, src string, opts Options, compile func() (*Kernel, error)) (*Kernel, error) {
+	if opts.Cache == nil {
+		return compile()
+	}
+	key := cacheKey(pipeline, src, opts)
+	if k, ok := opts.Cache.c.Get(key); ok {
+		return k, nil
+	}
+	k, err := compile()
+	if err != nil {
+		return nil, err
+	}
+	opts.Cache.c.Put(key, k)
+	return k, nil
+}

@@ -1,0 +1,142 @@
+package chopper
+
+import (
+	"sync"
+	"testing"
+)
+
+const cacheSrc = `
+node main(a: u8, b: u8) returns (s: u8)
+  let s = a + b;
+tel`
+
+func TestCacheHitReturnsSameKernel(t *testing.T) {
+	c := NewKernelCache(8)
+	opts := Options{Target: Ambit, Cache: c}
+	k1, err := Compile(cacheSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Compile(cacheSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("repeat compile did not return the cached *Kernel")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("counters %+v, want 1 hit / 1 miss / 1 entry", s)
+	}
+	// A cached kernel is fully usable.
+	if err := k2.Verify(2, 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheKeyCoversOptions(t *testing.T) {
+	c := NewKernelCache(16)
+	base := Options{Target: Ambit, Cache: c}
+	if _, err := Compile(cacheSrc, base); err != nil {
+		t.Fatal(err)
+	}
+	variants := []Options{
+		{Target: SIMDRAM, Cache: c},
+		{Target: Ambit, Harden: true, Cache: c},
+		base.WithOpt(OptBitslice), // Cache rides along in the copy
+	}
+	for i, o := range variants {
+		before := c.Stats().Entries
+		if _, err := Compile(cacheSrc, o); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Stats().Entries; got != before+1 {
+			t.Errorf("variant %d did not get its own cache entry (%d -> %d)", i, before, got)
+		}
+	}
+	// Different pipelines must not collide either.
+	before := c.Stats().Entries
+	if _, err := CompileBaseline(cacheSrc, Options{Target: Ambit, Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Entries; got != before+1 {
+		t.Error("baseline compile collided with the CHOPPER pipeline entry")
+	}
+}
+
+func TestCacheNormalizesSource(t *testing.T) {
+	c := NewKernelCache(8)
+	opts := Options{Target: Ambit, Cache: c}
+	k1, err := Compile("node main(a: u8) returns (z: u8) let z = a + 1; tel", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CRLF line endings and trailing whitespace hit the same entry.
+	k2, err := Compile("node main(a: u8) returns (z: u8) let z = a + 1; tel \r\n", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("formatting-only difference missed the cache")
+	}
+}
+
+func TestCacheFailedCompileNotCached(t *testing.T) {
+	c := NewKernelCache(8)
+	opts := Options{Target: Ambit, Cache: c}
+	if _, err := Compile("not a program", opts); err == nil {
+		t.Fatal("bad program compiled")
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("failed compile left %d cache entries", s.Entries)
+	}
+}
+
+func TestCacheConcurrentCompile(t *testing.T) {
+	// Server shape: many goroutines compiling the same few sources through
+	// the shared cache. Checked further by `go test -race`.
+	c := NewKernelCache(4)
+	srcs := []string{
+		"node main(a: u8) returns (z: u8) let z = a + 1; tel",
+		"node main(a: u8) returns (z: u8) let z = a - 1; tel",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				k, err := Compile(srcs[(g+i)%len(srcs)], Options{Target: Ambit, Cache: c})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := k.Run(map[string][]uint64{"a": {uint64(i)}}, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits == 0 {
+		t.Fatalf("no cache hits across 80 compiles of 2 sources: %+v", s)
+	}
+}
+
+func TestSharedCacheIsWired(t *testing.T) {
+	before := SharedCache().Stats()
+	opts := Options{Target: Ambit, Cache: SharedCache()}
+	src := "node main(a: u4) returns (z: u4) let z = a ^ 10:u4; tel"
+	if _, err := Compile(src, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(src, opts); err != nil {
+		t.Fatal(err)
+	}
+	after := SharedCache().Stats()
+	if after.Hits < before.Hits+1 {
+		t.Fatalf("shared cache saw no hit: %+v -> %+v", before, after)
+	}
+}

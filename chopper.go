@@ -82,6 +82,15 @@ type Options struct {
 	// is the zero value, from "use the default"). Use WithOpt to build
 	// Options fluently, or set both fields.
 	SetOpt bool
+	// Cache, when non-nil, memoizes compilation: Compile, CompileBaseline
+	// and CompileHorizontal first look up the SHA-256 content address of
+	// (normalized source, canonical options) and return the cached kernel
+	// on a hit, skipping the whole pipeline. Kernels are immutable after
+	// compilation, so a cached kernel is safe to share across goroutines.
+	// The Cache field itself is not part of the cache key. See
+	// NewKernelCache and SharedCache; docs/CONCURRENCY.md has the keying
+	// and eviction contract.
+	Cache *KernelCache
 }
 
 // WithOpt returns o with the optimization level set.
@@ -144,12 +153,21 @@ func (k *Kernel) Prog() *isa.Program { return k.prog }
 // Compile compiles CHOPPER source into a kernel. Failures are classed by
 // pipeline stage (ErrParse, ErrTypecheck, ErrNormalize, ErrCodegen) and
 // internal panics surface as ErrInternal errors, never as crashes.
+//
+// With Options.Cache set, a repeat compile of the same (source, Options)
+// pair returns the previously compiled kernel in O(1).
 func Compile(src string, opts Options) (k *Kernel, err error) {
 	defer recoverToError(&err)
 	opts = opts.normalize()
 	if err := opts.Geometry.Validate(); err != nil {
 		return nil, err
 	}
+	return cachedCompile("chopper", src, opts, func() (*Kernel, error) {
+		return compileSource(src, opts)
+	})
+}
+
+func compileSource(src string, opts Options) (*Kernel, error) {
 	prog, err := dsl.ParseAndExpand(src)
 	if err != nil {
 		return nil, stage(ErrParse, "chopper: parse", err)
@@ -462,6 +480,12 @@ func CompileBaseline(src string, opts Options) (k *Kernel, err error) {
 	if err := opts.Geometry.Validate(); err != nil {
 		return nil, err
 	}
+	return cachedCompile("baseline", src, opts, func() (*Kernel, error) {
+		return compileBaselineSource(src, opts)
+	})
+}
+
+func compileBaselineSource(src string, opts Options) (*Kernel, error) {
 	prog, err := dsl.ParseAndExpand(src)
 	if err != nil {
 		return nil, stage(ErrParse, "chopper: parse", err)
@@ -478,7 +502,7 @@ func CompileBaseline(src string, opts Options) (k *Kernel, err error) {
 	if err != nil {
 		return nil, stage(ErrNormalize, "chopper: normalize", err)
 	}
-	k, err = compileBaselineGraph(graph, opts)
+	k, err := compileBaselineGraph(graph, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -100,4 +100,30 @@ func TestCLIPipeline(t *testing.T) {
 	if !strings.Contains(string(out), "undeclared") {
 		t.Errorf("error output: %s", out)
 	}
+
+	// -show beyond -lanes is clamped, not an index panic.
+	out, err = exec.Command(choppersim, "-lanes", "4", "-show", "8", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("choppersim -show 8 -lanes 4: %v\n%s", err, out)
+	}
+	if strings.Contains(string(out), "panic") {
+		t.Errorf("clamping failed:\n%s", out)
+	}
+
+	// Unknown -target / -opt exit with a one-line error listing the
+	// valid values instead of silently defaulting.
+	out, err = exec.Command(choppersim, "-target", "hbmpim", src).CombinedOutput()
+	if err == nil {
+		t.Error("choppersim accepted an unknown -target")
+	}
+	if !strings.Contains(string(out), "ambit") || !strings.Contains(string(out), "simdram") {
+		t.Errorf("unknown -target error does not list valid values:\n%s", out)
+	}
+	out, err = exec.Command(choppersim, "-opt", "turbo", src).CombinedOutput()
+	if err == nil {
+		t.Error("choppersim accepted an unknown -opt")
+	}
+	if !strings.Contains(string(out), "rename") {
+		t.Errorf("unknown -opt error does not list valid values:\n%s", out)
+	}
 }

@@ -75,20 +75,29 @@ func main() {
 		fatal(err)
 	}
 
-	arch := map[string]isa.Arch{"ambit": isa.Ambit, "elp2im": isa.ELP2IM, "simdram": isa.SIMDRAM}[strings.ToLower(*target)]
+	archs := map[string]isa.Arch{"ambit": isa.Ambit, "elp2im": isa.ELP2IM, "simdram": isa.SIMDRAM}
+	arch, ok := archs[strings.ToLower(*target)]
+	if !ok {
+		fatal(fmt.Errorf("unknown -target %q (valid: ambit, elp2im, simdram)", *target))
+	}
+	if *lanes <= 0 {
+		fatal(fmt.Errorf("-lanes must be positive, got %d", *lanes))
+	}
 	if *asmMode {
 		runAsm(string(srcBytes), arch, *lanes)
 		return
 	}
 	var lv obs.Variant
 	found := false
+	var valid []string
 	for _, v := range obs.AllVariants {
+		valid = append(valid, v.String())
 		if v.String() == *opt {
 			lv, found = v, true
 		}
 	}
 	if !found {
-		fatal(fmt.Errorf("unknown -opt %q", *opt))
+		fatal(fmt.Errorf("unknown -opt %q (valid: %s)", *opt, strings.Join(valid, ", ")))
 	}
 
 	opts := chopper.Options{Target: arch, Harden: *harden}.WithOpt(lv)
@@ -152,16 +161,28 @@ func main() {
 	}
 	fmt.Println()
 
+	// Clamp -show to [0, -lanes]: decoded slices hold exactly -lanes
+	// entries, so printing more would index past them.
 	n := *show
 	if n > *lanes {
 		n = *lanes
 	}
+	if n < 0 {
+		n = 0
+	}
 	for _, in := range k.Inputs {
-		fmt.Printf("%-8s in  %v\n", in.Name, inVals[in.Name][:n])
+		vals := inVals[in.Name]
+		if n < len(vals) {
+			vals = vals[:n]
+		}
+		fmt.Printf("%-8s in  %v\n", in.Name, vals)
 	}
 	for _, out := range k.Outputs {
 		vals := transpose.FromVertical(res.Rows[out.Name], out.Width, *lanes)
-		fmt.Printf("%-8s out %v\n", out.Name, vals[:n])
+		if n < len(vals) {
+			vals = vals[:n]
+		}
+		fmt.Printf("%-8s out %v\n", out.Name, vals)
 	}
 }
 

@@ -33,6 +33,12 @@ func CompileHorizontal(src string, opts Options) (*Kernel, error) {
 	if err := opts.Geometry.Validate(); err != nil {
 		return nil, err
 	}
+	return cachedCompile("horizontal", src, opts, func() (*Kernel, error) {
+		return compileHorizontalSource(src, opts)
+	})
+}
+
+func compileHorizontalSource(src string, opts Options) (*Kernel, error) {
 	prog, err := dsl.ParseAndExpand(src)
 	if err != nil {
 		return nil, fmt.Errorf("chopper: parse: %w", err)

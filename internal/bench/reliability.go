@@ -26,7 +26,17 @@ import (
 // This is the experiment behind docs/RELIABILITY.md's trade-off numbers:
 // how many nines a single fault costs an unhardened kernel, and what the
 // voted version buys back for its ~3x op count.
+//
+// The rates x trials grid is embarrassingly parallel and fans out across
+// GOMAXPROCS workers; results are byte-identical at any worker count. Use
+// ReliabilitySweepParallel to pin the worker count.
 func ReliabilitySweep(src string, arch isa.Arch, rates []float64, trials int, seed int64) (*Table, float64, error) {
+	return ReliabilitySweepParallel(src, arch, rates, trials, seed, 0)
+}
+
+// ReliabilitySweepParallel is ReliabilitySweep with an explicit worker
+// count (<= 0 means GOMAXPROCS).
+func ReliabilitySweepParallel(src string, arch isa.Arch, rates []float64, trials int, seed int64, workers int) (*Table, float64, error) {
 	plain, err := chopper.Compile(src, chopper.Options{Target: arch})
 	if err != nil {
 		return nil, 0, fmt.Errorf("bench: reliability: %w", err)
@@ -40,11 +50,11 @@ func ReliabilitySweep(src string, arch isa.Arch, rates []float64, trials int, se
 	for i, r := range rates {
 		cfgs[i] = chopper.FaultConfig{TRAFlipRate: r, MaxFaults: 1}
 	}
-	pr, err := plain.Reliability(trials, seed, cfgs)
+	pr, err := plain.ReliabilityParallel(trials, seed, cfgs, workers)
 	if err != nil {
 		return nil, 0, fmt.Errorf("bench: reliability: plain: %w", err)
 	}
-	hr, err := hard.Reliability(trials, seed, cfgs)
+	hr, err := hard.ReliabilityParallel(trials, seed, cfgs, workers)
 	if err != nil {
 		return nil, 0, fmt.Errorf("bench: reliability: tmr: %w", err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"reflect"
 	"testing"
 
 	"chopper/internal/isa"
@@ -50,5 +51,27 @@ func TestReliabilitySweep(t *testing.T) {
 	}
 	if tbl.Render() == "" || tbl.CSV() == "" {
 		t.Fatal("empty rendering")
+	}
+}
+
+// The sweep grid fans out over a worker pool; the table must be
+// byte-identical at any worker count (CI runs this under -cpu 1,4).
+func TestDeterminismReliabilitySweepAcrossWorkers(t *testing.T) {
+	rates := []float64{0, 0.5, 1}
+	ref, refOverhead, err := ReliabilitySweepParallel(sweepSrc, isa.Ambit, rates, 5, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		tbl, overhead, err := ReliabilitySweepParallel(sweepSrc, isa.Ambit, rates, 5, 7, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if overhead != refOverhead {
+			t.Errorf("workers=%d: overhead %v != %v", workers, overhead, refOverhead)
+		}
+		if !reflect.DeepEqual(ref.Rows, tbl.Rows) {
+			t.Errorf("workers=%d: table diverged from 1-worker reference", workers)
+		}
 	}
 }

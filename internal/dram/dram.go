@@ -37,12 +37,49 @@ func DefaultGeometry() Geometry {
 
 // WithRowsPerSub returns a copy with the subarray size changed while keeping
 // the total per-bank capacity fixed (as Fig. 11 does): halving the rows per
-// subarray doubles the subarray count.
+// subarray doubles the subarray count. When rows does not divide the per-bank
+// capacity, the subarray count is EXPLICITLY rounded down (never below 1) and
+// the remainder capacity is dropped — use WithRowsPerSubChecked to surface
+// that as an error instead. rows must be positive; non-positive values panic
+// with a descriptive message (they previously crashed with a bare
+// divide-by-zero).
 func (g Geometry) WithRowsPerSub(rows int) Geometry {
+	g2, err := g.WithRowsPerSubChecked(rows)
+	if err == nil {
+		return g2
+	}
+	if rows <= 0 {
+		panic(fmt.Sprintf("dram: WithRowsPerSub(%d): rows must be positive", rows))
+	}
+	// Non-dividing rows: round the subarray count down, documented above.
 	total := g.SubarraysPB * g.RowsPerSub
 	g.RowsPerSub = rows
 	g.SubarraysPB = total / rows
+	if g.SubarraysPB < 1 {
+		g.SubarraysPB = 1
+	}
 	return g
+}
+
+// WithRowsPerSubChecked is WithRowsPerSub with validation instead of
+// rounding: it errors when rows is non-positive, when rows does not divide
+// the per-bank row capacity (the silent-capacity-loss case), or when the
+// resulting geometry has no usable data rows.
+func (g Geometry) WithRowsPerSubChecked(rows int) (Geometry, error) {
+	if rows <= 0 {
+		return Geometry{}, fmt.Errorf("dram: WithRowsPerSub(%d): rows must be positive", rows)
+	}
+	total := g.SubarraysPB * g.RowsPerSub
+	if total%rows != 0 {
+		return Geometry{}, fmt.Errorf("dram: WithRowsPerSub(%d): %d rows per bank is not divisible; %d rows of capacity would be dropped",
+			rows, total, total%rows)
+	}
+	g.RowsPerSub = rows
+	g.SubarraysPB = total / rows
+	if err := g.Validate(); err != nil {
+		return Geometry{}, fmt.Errorf("dram: WithRowsPerSub(%d): %w", rows, err)
+	}
+	return g, nil
 }
 
 // DRows returns the number of usable data rows per subarray.

@@ -1,6 +1,7 @@
 package dram
 
 import (
+	"strings"
 	"testing"
 
 	"chopper/internal/isa"
@@ -30,6 +31,55 @@ func TestWithRowsPerSubKeepsCapacity(t *testing.T) {
 		if err := g2.Validate(); err != nil {
 			t.Errorf("rows=%d: %v", rows, err)
 		}
+	}
+}
+
+func TestWithRowsPerSubNonPositivePanicsDescriptively(t *testing.T) {
+	g := DefaultGeometry()
+	for _, rows := range []int{0, -5} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("rows=%d: no panic", rows)
+					return
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "must be positive") {
+					t.Errorf("rows=%d: panic %v lacks a descriptive message", rows, r)
+				}
+			}()
+			g.WithRowsPerSub(rows)
+		}()
+		if _, err := g.WithRowsPerSubChecked(rows); err == nil {
+			t.Errorf("rows=%d: Checked accepted non-positive rows", rows)
+		}
+	}
+}
+
+func TestWithRowsPerSubNonDividing(t *testing.T) {
+	g := DefaultGeometry() // 64 * 1024 = 65536 rows per bank
+	// Checked surfaces the dropped capacity as an error.
+	if _, err := g.WithRowsPerSubChecked(1000); err == nil {
+		t.Error("Checked accepted rows=1000, which drops 536 rows of capacity")
+	} else if !strings.Contains(err.Error(), "not divisible") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+	// The unchecked variant rounds down, explicitly and predictably.
+	g2 := g.WithRowsPerSub(1000)
+	if g2.RowsPerSub != 1000 || g2.SubarraysPB != 65 {
+		t.Errorf("rounding wrong: got %d x %d, want 65 x 1000", g2.SubarraysPB, g2.RowsPerSub)
+	}
+	// Valid divisors agree between the two variants.
+	gc, err := g.WithRowsPerSubChecked(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc != g.WithRowsPerSub(512) {
+		t.Error("checked and unchecked variants disagree on a valid divisor")
+	}
+	// Degenerate: rows larger than the bank never yields zero subarrays.
+	if g3 := g.WithRowsPerSub(65536 + 1); g3.SubarraysPB < 1 {
+		t.Errorf("SubarraysPB = %d, want >= 1", g3.SubarraysPB)
 	}
 }
 

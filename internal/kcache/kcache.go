@@ -1,0 +1,122 @@
+// Package kcache implements a content-addressed, bounded LRU cache.
+//
+// Keys are SHA-256 content addresses built from the canonical parts of
+// whatever produced the value (for compiled kernels: the normalized
+// source text plus every Options field that affects code generation), so
+// two semantically identical compile requests collide on purpose and the
+// second one costs a map lookup instead of the full pipeline. The cache
+// is safe for concurrent use and keeps hit/miss/eviction counters for
+// observability.
+package kcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+)
+
+// DefaultEntries is the bound used when New is given a non-positive size.
+const DefaultEntries = 128
+
+// Key hashes the given components into a content address. Components are
+// length-prefixed before hashing so ("ab","c") and ("a","bc") cannot
+// collide.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64 // Get calls that found the key
+	Misses    uint64 // Get calls that did not
+	Evictions uint64 // entries dropped by the LRU bound
+	Entries   int    // entries currently resident
+}
+
+// Cache is a bounded LRU cache from content address to V. The zero value
+// is not usable; construct with New.
+type Cache[V any] struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New creates a cache bounded to max entries (<= 0 means DefaultEntries).
+func New[V any](max int) *Cache[V] {
+	if max <= 0 {
+		max = DefaultEntries
+	}
+	return &Cache[V]{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, max),
+	}
+}
+
+// Get returns the value stored under key, marking it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put stores val under key, evicting the least recently used entry if the
+// cache is full. Re-putting an existing key refreshes its value and
+// recency without evicting.
+func (c *Cache[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*entry[V]).key)
+			c.evictions++
+		}
+	}
+	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
+}
+
+// Len returns the number of resident entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+}

@@ -1,0 +1,100 @@
+package kcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestKeyIsPositional(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Fatal("length prefixing failed: shifted parts collide")
+	}
+	if Key("x") != Key("x") {
+		t.Fatal("Key is not deterministic")
+	}
+	if len(Key()) != 64 {
+		t.Fatalf("key length %d, want 64 hex chars", len(Key()))
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes oldest
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d,%v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("c = %d,%v", v, ok)
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats %+v, want 1 eviction, 2 entries", s)
+	}
+	// Get: a hit, b miss, a hit, c hit = 3 hits 1 miss... plus the b hit
+	// check above (miss). Recount: hits a, a, c = 3; misses b = 1.
+	if s.Hits != 3 || s.Misses != 1 {
+		t.Fatalf("stats %+v, want 3 hits 1 miss", s)
+	}
+}
+
+func TestPutExistingRefreshes(t *testing.T) {
+	c := New[string](2)
+	c.Put("k", "v1")
+	c.Put("k", "v2")
+	if c.Len() != 1 {
+		t.Fatalf("len %d, want 1 (re-put must not duplicate)", c.Len())
+	}
+	if v, _ := c.Get("k"); v != "v2" {
+		t.Fatalf("got %q, want refreshed v2", v)
+	}
+	if s := c.Stats(); s.Evictions != 0 {
+		t.Fatalf("re-put evicted: %+v", s)
+	}
+}
+
+func TestDefaultBound(t *testing.T) {
+	c := New[int](0)
+	for i := 0; i < DefaultEntries+10; i++ {
+		c.Put(fmt.Sprint(i), i)
+	}
+	if c.Len() != DefaultEntries {
+		t.Fatalf("len %d, want %d", c.Len(), DefaultEntries)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	// Exercised further by `go test -race`: hammer the cache from many
+	// goroutines and make sure counters stay coherent.
+	c := New[int](32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprint(i % 48)
+				if v, ok := c.Get(k); ok && v != i%48 {
+					t.Errorf("key %s holds %d", k, v)
+				}
+				c.Put(k, i%48)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses != 8*200 {
+		t.Fatalf("counter drift: %+v", s)
+	}
+	if s.Entries > 32 {
+		t.Fatalf("bound exceeded: %+v", s)
+	}
+}

@@ -1,0 +1,78 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 97
+		hit := make([]atomic.Bool, n)
+		if err := Run(workers, n, func(i int) error {
+			if hit[i].Swap(true) {
+				return fmt.Errorf("index %d ran twice", i)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hit {
+			if !hit[i].Load() {
+				t.Fatalf("workers=%d: index %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestError(t *testing.T) {
+	// Whatever the interleaving, the reported error must be the one from
+	// the lowest failing index.
+	for _, workers := range []int{1, 2, 8} {
+		for rep := 0; rep < 20; rep++ {
+			err := Run(workers, 64, func(i int) error {
+				if i == 7 || i == 40 {
+					return fmt.Errorf("fail at %d", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "fail at 7" {
+				t.Fatalf("workers=%d rep=%d: got %v, want fail at 7", workers, rep, err)
+			}
+		}
+	}
+}
+
+func TestRunLowerIndicesAlwaysRun(t *testing.T) {
+	// A failure at a high index must not skip lower indices: the lowest
+	// failing index always executes, keeping the result deterministic.
+	var ran atomic.Int64
+	err := Run(4, 32, func(i int) error {
+		ran.Add(1)
+		if i >= 16 {
+			return errors.New("late failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if ran.Load() < 17 {
+		t.Fatalf("only %d indices ran; the 16 passing ones plus a failure must", ran.Load())
+	}
+}
+
+func TestRunEmptyAndSize(t *testing.T) {
+	if err := Run(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+	if got := Size(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Size(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Size(5); got != 5 {
+		t.Errorf("Size(5) = %d", got)
+	}
+}

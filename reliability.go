@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"chopper/internal/fault"
+	"chopper/internal/pool"
 	"chopper/internal/transpose"
 )
 
@@ -68,13 +69,31 @@ type ReliabilityReport struct {
 // Unlike VerifyUnderFault, which stops at the first discrepancy, this
 // counts all of them — it is the measurement harness behind the
 // reliability sweeps in internal/bench.
-func (k *Kernel) Reliability(trials int, seed int64, cfgs []FaultConfig) (rep *ReliabilityReport, err error) {
+//
+// The cfgs x trials grid fans out across GOMAXPROCS workers; every cell
+// derives its inputs and fault pattern from (seed, cfg index, trial)
+// alone, so the report is byte-identical at any worker count. Use
+// ReliabilityParallel to pin the worker count.
+func (k *Kernel) Reliability(trials int, seed int64, cfgs []FaultConfig) (*ReliabilityReport, error) {
+	return k.ReliabilityParallel(trials, seed, cfgs, 0)
+}
+
+// relCell is the outcome of one (fault config, trial) grid cell.
+type relCell struct {
+	laneErrors map[string]int
+	corrupted  bool
+	injected   FaultCounts
+}
+
+// ReliabilityParallel is Reliability with an explicit worker count (<= 0
+// means GOMAXPROCS). Any worker count produces the same report.
+func (k *Kernel) ReliabilityParallel(trials int, seed int64, cfgs []FaultConfig, workers int) (rep *ReliabilityReport, err error) {
 	defer recoverToError(&err)
 	const lanes = 64
 	rep = &ReliabilityReport{Lanes: lanes}
-	rng := rand.New(rand.NewSource(seed))
 
 	// Fault-free timing reference.
+	rng := rand.New(rand.NewSource(seed))
 	base := randWideInputs(rng, k.Inputs, lanes)
 	baseRows := make(map[string][][]uint64, len(base))
 	for _, in := range k.Inputs {
@@ -86,6 +105,50 @@ func (k *Kernel) Reliability(trials int, seed int64, cfgs []FaultConfig) (rep *R
 	}
 	rep.TimeNs = res.TimeNs
 
+	// One pool job per (cfg, trial) cell; cell j writes only cells[j], so
+	// the merge below sees the same data regardless of scheduling.
+	cells := make([]relCell, len(cfgs)*trials)
+	err = pool.Run(workers, len(cells), func(j int) error {
+		ci, trial := j/trials, j%trials
+		cfg := cfgs[ci]
+		trng := rand.New(rand.NewSource(trialSeed(seed, j)))
+		inWide := randWideInputs(trng, k.Inputs, lanes)
+		rows := make(map[string][][]uint64, len(inWide))
+		for _, in := range k.Inputs {
+			rows[in.Name] = transpose.ToVerticalWide(inWide[in.Name], in.Width, lanes)
+		}
+		res, err := k.RunRowsUnderFault(rows, lanes, cfg, seed+int64(ci)<<16+int64(trial))
+		if err != nil {
+			return err
+		}
+		cell := relCell{laneErrors: make(map[string]int, len(k.Outputs)), injected: res.Faults}
+		got := make(map[string][][]uint64, len(k.Outputs))
+		for _, o := range k.Outputs {
+			got[o.Name] = transpose.FromVerticalWide(res.Rows[o.Name], o.Width, lanes)
+		}
+		for l := 0; l < lanes; l++ {
+			ref := make(map[string]*big.Int, len(k.Inputs))
+			for name, vals := range inWide {
+				ref[name] = limbsToBig(vals[l])
+			}
+			want, err := k.Graph.Eval(ref)
+			if err != nil {
+				return err
+			}
+			for _, out := range k.Outputs {
+				if limbsToBig(got[out.Name][l]).Cmp(want[out.Name]) != 0 {
+					cell.laneErrors[out.Name]++
+					cell.corrupted = true
+				}
+			}
+		}
+		cells[j] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	for ci, cfg := range cfgs {
 		pt := ReliabilityPoint{
 			Config:        cfg,
@@ -93,38 +156,12 @@ func (k *Kernel) Reliability(trials int, seed int64, cfgs []FaultConfig) (rep *R
 			LaneErrorRate: make(map[string]float64, len(k.Outputs)),
 		}
 		for trial := 0; trial < trials; trial++ {
-			inWide := randWideInputs(rng, k.Inputs, lanes)
-			rows := make(map[string][][]uint64, len(inWide))
-			for _, in := range k.Inputs {
-				rows[in.Name] = transpose.ToVerticalWide(inWide[in.Name], in.Width, lanes)
+			cell := cells[ci*trials+trial]
+			pt.Injected.Add(cell.injected)
+			for name, n := range cell.laneErrors {
+				pt.LaneErrors[name] += n
 			}
-			res, err := k.RunRowsUnderFault(rows, lanes, cfg, seed+int64(ci)<<16+int64(trial))
-			if err != nil {
-				return nil, err
-			}
-			pt.Injected.Add(res.Faults)
-			got := make(map[string][][]uint64, len(k.Outputs))
-			for _, o := range k.Outputs {
-				got[o.Name] = transpose.FromVerticalWide(res.Rows[o.Name], o.Width, lanes)
-			}
-			corrupted := false
-			for l := 0; l < lanes; l++ {
-				ref := make(map[string]*big.Int, len(k.Inputs))
-				for name, vals := range inWide {
-					ref[name] = limbsToBig(vals[l])
-				}
-				want, err := k.Graph.Eval(ref)
-				if err != nil {
-					return nil, err
-				}
-				for _, out := range k.Outputs {
-					if limbsToBig(got[out.Name][l]).Cmp(want[out.Name]) != 0 {
-						pt.LaneErrors[out.Name]++
-						corrupted = true
-					}
-				}
-			}
-			if corrupted {
+			if cell.corrupted {
 				pt.SDCRuns++
 			}
 			pt.Runs++

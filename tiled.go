@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"chopper/internal/dram"
+	"chopper/internal/pool"
 	"chopper/internal/sim"
 	"chopper/internal/transpose"
 	"chopper/internal/vircoe"
@@ -71,10 +72,6 @@ func (k *Kernel) RunTiled(inputs map[string][][]uint64, lanes int) (*TiledResult
 	}
 
 	placements := vircoe.Placements(geom, tiles)
-	placeOfTile := make(map[[2]int]int, tiles)
-	for i, p := range placements {
-		placeOfTile[[2]int{p.Bank, p.Subarray}] = i
-	}
 
 	// Tag lookup tables (mirrors hostIO, but per tile).
 	type bitRef struct {
@@ -110,49 +107,60 @@ func (k *Kernel) RunTiled(inputs map[string][][]uint64, lanes int) (*TiledResult
 
 	stream, _ := vircoe.Emit(k.prog, placements, vircoe.BankAware, dram.TimingFor(k.Opts.Target, geom))
 
-	m := sim.NewMachine(sim.MachineConfig{Geom: geom, Arch: k.Opts.Target, Lanes: tileLanes})
-	io := &sim.HostIO{
-		WriteDataAt: func(bank, sub, tag int) []uint64 {
-			tl, ok := placeOfTile[[2]int{bank, sub}]
-			if !ok {
+	// Tiles are independent subarray programs: each runs the same micro-op
+	// sequence over its own rows, so their functional execution fans out
+	// across GOMAXPROCS workers. Tile tl touches only the tileRows/outRows
+	// entries keyed by tl (both maps are fully populated above, so workers
+	// only read the maps), which keeps the fan-out race-free and the
+	// gathered result identical at any worker count.
+	if err := pool.Run(0, tiles, func(tl int) error {
+		sub := sim.NewSubarray(geom.DRows(), tileLanes)
+		spill := sim.NewSpillStore()
+		io := &sim.HostIO{
+			WriteData: func(tag int) []uint64 {
+				if ref, ok := inByTag[tag]; ok {
+					return tileRows[tileKey{ref.base, tl}][ref.bit]
+				}
+				if pat, ok := k.constPattern[tag]; ok {
+					row := make([]uint64, transpose.Words(laneCount(tl)))
+					for i := range row {
+						row[i] = pat
+					}
+					if r := laneCount(tl) % 64; r != 0 {
+						row[len(row)-1] &= (uint64(1) << uint(r)) - 1
+					}
+					return row
+				}
 				return nil
-			}
-			if ref, ok := inByTag[tag]; ok {
-				return tileRows[tileKey{ref.base, tl}][ref.bit]
-			}
-			if pat, ok := k.constPattern[tag]; ok {
-				row := make([]uint64, transpose.Words(laneCount(tl)))
-				for i := range row {
-					row[i] = pat
+			},
+			ReadSink: func(tag int, data []uint64) {
+				if ref, ok := outByTag[tag]; ok {
+					copy(outRows[tileKey{ref.base, tl}][ref.bit], data)
 				}
-				if r := laneCount(tl) % 64; r != 0 {
-					row[len(row)-1] &= (uint64(1) << uint(r)) - 1
-				}
-				return row
+			},
+		}
+		for i := range k.prog.Ops {
+			if err := sub.Exec(&k.prog.Ops[i], io, spill); err != nil {
+				return fmt.Errorf("chopper: tile %d op %d: %w", tl, i, err)
 			}
-			return nil
-		},
-		ReadSinkAt: func(bank, sub, tag int, data []uint64) {
-			tl, ok := placeOfTile[[2]int{bank, sub}]
-			if !ok {
-				return
-			}
-			if ref, ok := outByTag[tag]; ok {
-				copy(outRows[tileKey{ref.base, tl}][ref.bit], data)
-			}
-		},
-	}
-	timeNs, err := m.Run(stream, io)
-	if err != nil {
+		}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
+
+	// The timing model stays serialized over the VIRCOE-ordered stream:
+	// makespan depends on issue order and shared-bus contention, which the
+	// engine accounts for command by command.
+	eng := dram.NewEngine(geom, dram.TimingFor(k.Opts.Target, geom), false)
+	timeNs := eng.Run(stream)
 
 	// Gather tiles back into lane order.
 	res := &TiledResult{
 		Outputs: make(map[string][][]uint64, len(k.Outputs)),
 		TimeNs:  timeNs,
 		Tiles:   tiles,
-		Stats:   m.Stats(),
+		Stats:   eng.Stats(),
 	}
 	for _, o := range k.Outputs {
 		all := make([][]uint64, 0, lanes)

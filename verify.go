@@ -4,21 +4,58 @@ import (
 	"math/big"
 	"math/rand"
 
+	"chopper/internal/pool"
 	"chopper/internal/transpose"
 )
 
+// verifyLaneSchedule is the SIMD width each verification trial runs at.
+// Trial t uses entry t mod len: trial 0 keeps the historical 64-lane
+// shape, and the rest deliberately straddle the 64-bit word boundary
+// (1, 63, 65) and cross it (128) so partial-word masking bugs in the
+// transposition and simulator paths cannot hide behind whole-word lane
+// counts.
+var verifyLaneSchedule = []int{64, 1, 63, 65, 128}
+
+// trialSeed derives an independent RNG seed for one trial from the
+// user-supplied seed. Each trial must be self-contained — no RNG state
+// flowing from trial t into trial t+1 — so trials can run on any worker
+// of the pool and still produce byte-identical results at any worker
+// count. The splitmix64 finalizer decorrelates consecutive (seed, trial)
+// pairs.
+func trialSeed(seed int64, trial int) int64 {
+	z := uint64(seed) + (uint64(trial)+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
 // Verify checks a compiled kernel against the reference dataflow semantics
-// on `trials` batches of random inputs (64 lanes each): the compiled
-// micro-ops run on the functional DRAM simulator and every output lane is
-// compared bit-exactly with dfg evaluation. It returns the first
-// discrepancy as an ErrVerify-classed error, or nil.
+// on `trials` batches of random inputs: the compiled micro-ops run on the
+// functional DRAM simulator and every output lane is compared bit-exactly
+// with dfg evaluation. Lane counts vary per trial (1, 63, 64, 65, 128) to
+// exercise partial-word masking. It returns the first discrepancy — the
+// one from the lowest failing trial, regardless of parallelism — as an
+// ErrVerify-classed error, or nil.
+//
+// Trials fan out across GOMAXPROCS workers; results are byte-identical at
+// any worker count because each trial derives its inputs from (seed,
+// trial) alone. Use VerifyParallel to pin the worker count.
 //
 // This is the library-level version of the test suite's central invariant,
 // exposed so downstream users can validate kernels they generate (for
 // example after extending the synthesis library).
-func (k *Kernel) Verify(trials int, seed int64) (err error) {
+func (k *Kernel) Verify(trials int, seed int64) error {
+	return k.VerifyParallel(trials, seed, 0)
+}
+
+// VerifyParallel is Verify with an explicit worker count (<= 0 means
+// GOMAXPROCS). Any worker count returns the same result.
+func (k *Kernel) VerifyParallel(trials int, seed int64, workers int) (err error) {
 	defer recoverToError(&err)
-	return k.verifyTrials(trials, seed, func(_ int, rows map[string][][]uint64, lanes int) (*RunResult, error) {
+	return k.verifyTrials(trials, seed, workers, func(_ int, rows map[string][][]uint64, lanes int) (*RunResult, error) {
 		return k.runRows(rows, lanes, nil)
 	})
 }
@@ -31,19 +68,29 @@ func (k *Kernel) Verify(trials int, seed int64) (err error) {
 // trial survived bit-exact. Compile with Options.Harden to make kernels
 // that survive single intermediate-row faults which break their unhardened
 // counterparts.
-func (k *Kernel) VerifyUnderFault(trials int, seed int64, cfg FaultConfig) (err error) {
+func (k *Kernel) VerifyUnderFault(trials int, seed int64, cfg FaultConfig) error {
+	return k.VerifyUnderFaultParallel(trials, seed, cfg, 0)
+}
+
+// VerifyUnderFaultParallel is VerifyUnderFault with an explicit worker
+// count (<= 0 means GOMAXPROCS). Any worker count returns the same
+// result.
+func (k *Kernel) VerifyUnderFaultParallel(trials int, seed int64, cfg FaultConfig, workers int) (err error) {
 	defer recoverToError(&err)
-	return k.verifyTrials(trials, seed, func(trial int, rows map[string][][]uint64, lanes int) (*RunResult, error) {
+	return k.verifyTrials(trials, seed, workers, func(trial int, rows map[string][][]uint64, lanes int) (*RunResult, error) {
 		return k.RunRowsUnderFault(rows, lanes, cfg, seed+int64(trial))
 	})
 }
 
 // verifyTrials drives `trials` random-input runs through `run` and
 // compares every output lane against the reference dataflow evaluation.
-func (k *Kernel) verifyTrials(trials int, seed int64, run func(trial int, rows map[string][][]uint64, lanes int) (*RunResult, error)) error {
-	rng := rand.New(rand.NewSource(seed))
-	const lanes = 64
-	for trial := 0; trial < trials; trial++ {
+// Trials are independent units of work: inputs come from trialSeed(seed,
+// trial), the lane count from verifyLaneSchedule, so the pool can place
+// them on any worker without changing the outcome.
+func (k *Kernel) verifyTrials(trials int, seed int64, workers int, run func(trial int, rows map[string][][]uint64, lanes int) (*RunResult, error)) error {
+	return pool.Run(workers, trials, func(trial int) error {
+		lanes := verifyLaneSchedule[trial%len(verifyLaneSchedule)]
+		rng := rand.New(rand.NewSource(trialSeed(seed, trial)))
 		inWide := randWideInputs(rng, k.Inputs, lanes)
 		rows := make(map[string][][]uint64, len(inWide))
 		for _, in := range k.Inputs {
@@ -75,8 +122,8 @@ func (k *Kernel) verifyTrials(trials int, seed int64, run func(trial int, rows m
 				}
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // randWideInputs draws one batch of random operand values in wide
