@@ -72,6 +72,12 @@ func cacheKey(pipeline, src string, opts Options) string {
 		strconv.Itoa(g.RowsPerSub),
 		strconv.Itoa(g.RowBytes),
 		strconv.Itoa(g.ReservedRows),
+		// Budgets change what compiles (a capped emission fails where an
+		// uncapped one succeeds), so they are part of the content address.
+		strconv.Itoa(opts.Budget.MaxMicroOps),
+		strconv.Itoa(opts.Budget.MaxDRAMCommands),
+		strconv.Itoa(opts.Budget.MaxNetGates),
+		strconv.Itoa(opts.Budget.MaxSimSteps),
 	)
 }
 

@@ -18,6 +18,7 @@
 package chopper
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"chopper/internal/dram"
 	"chopper/internal/dsl"
 	"chopper/internal/fault"
+	"chopper/internal/guard"
 	"chopper/internal/isa"
 	"chopper/internal/logic"
 	"chopper/internal/obs"
@@ -78,6 +80,11 @@ type Options struct {
 	// Kernel.Reliability and see docs/RELIABILITY.md for the trade-offs.
 	// CHOPPER pipeline only (CompileBaseline rejects it).
 	Harden bool
+	// Budget caps resource dimensions (micro-ops emitted, logic-net
+	// gates, simulator steps, DRAM commands) at deterministic
+	// checkpoints; the zero value is unlimited. Exceeding a dimension
+	// surfaces as a *BudgetError matching ErrBudget. See docs/GUARDS.md.
+	Budget Budget
 	// SetOpt marks Opt as explicitly set (distinguishes OptBitslice, which
 	// is the zero value, from "use the default"). Use WithOpt to build
 	// Options fluently, or set both fields.
@@ -111,6 +118,18 @@ func (o Options) normalize() Options {
 	return o
 }
 
+// validate rejects nonsensical options with ErrOptions-classed errors.
+// o must already be normalized.
+func (o Options) validate() error {
+	if err := o.Budget.Validate(); err != nil {
+		return optionsErrf("%v", err)
+	}
+	if o.Opt < OptBitslice || o.Opt > OptFull {
+		return optionsErrf("unknown optimization level %d", int(o.Opt))
+	}
+	return o.Geometry.Validate()
+}
+
 // IOSpec describes one operand of a compiled kernel.
 type IOSpec struct {
 	Name  string
@@ -141,6 +160,13 @@ type Kernel struct {
 	Inputs  []IOSpec
 	Outputs []IOSpec
 
+	// Degradation is non-nil when the compiler could not use the
+	// requested optimization pipeline and walked the degradation ladder
+	// (full -> pass-disabled -> OptBitslice) instead; it records which
+	// levels failed and why, and the level this kernel actually compiled
+	// at. Nil means the requested pipeline worked.
+	Degradation *DegradationReport
+
 	prog         *isa.Program
 	inputTag     map[string]int
 	outputTag    map[string]int
@@ -157,17 +183,29 @@ func (k *Kernel) Prog() *isa.Program { return k.prog }
 // With Options.Cache set, a repeat compile of the same (source, Options)
 // pair returns the previously compiled kernel in O(1).
 func Compile(src string, opts Options) (k *Kernel, err error) {
+	return CompileCtx(nil, src, opts)
+}
+
+// CompileCtx is Compile under the guard layer: a non-nil ctx is observed
+// at pipeline checkpoints (including inside codegen emission), so a
+// canceled or deadline-expired context stops the compile promptly with
+// ErrCanceled/ErrDeadline; Options.Budget is enforced at the same
+// checkpoints. A nil ctx disables the cancellation checks.
+func CompileCtx(ctx context.Context, src string, opts Options) (k *Kernel, err error) {
 	defer recoverToError(&err)
 	opts = opts.normalize()
-	if err := opts.Geometry.Validate(); err != nil {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := guard.Ctx(ctx); err != nil {
 		return nil, err
 	}
 	return cachedCompile("chopper", src, opts, func() (*Kernel, error) {
-		return compileSource(src, opts)
+		return compileSource(ctx, src, opts)
 	})
 }
 
-func compileSource(src string, opts Options) (*Kernel, error) {
+func compileSource(ctx context.Context, src string, opts Options) (*Kernel, error) {
 	prog, err := dsl.ParseAndExpand(src)
 	if err != nil {
 		return nil, stage(ErrParse, "chopper: parse", err)
@@ -188,10 +226,18 @@ func compileSource(src string, opts Options) (*Kernel, error) {
 	if err != nil {
 		return nil, stage(ErrNormalize, "chopper: normalize", err)
 	}
-	return compileGraph(prog, entry, graph, opts)
+	return compileGraph(ctx, prog, entry, graph, opts)
 }
 
-func compileGraph(prog *dsl.Program, entry string, graph *dfg.Graph, opts Options) (*Kernel, error) {
+// compileGraph drives the graceful-degradation ladder: it attempts the
+// back-end pipeline at the requested optimization level and, when a pass
+// panics or its output fails the inter-pass structural check, retries one
+// cumulative level lower (disabling the failed pass and everything above
+// it), down to the un-optimized OptBitslice pipeline. Abandoned attempts
+// are recorded in a DegradationReport on the kernel. Ordinary input
+// errors and guard stops (budget, cancellation) fail directly — retrying
+// cannot fix the former and must not mask the latter.
+func compileGraph(ctx context.Context, prog *dsl.Program, entry string, graph *dfg.Graph, opts Options) (*Kernel, error) {
 	// Honour the @noreuse annotation: the OBS-2 hook that lets programmers
 	// "transparently decide whether this optimization shall be enforced".
 	opt := opts.Opt
@@ -200,29 +246,116 @@ func compileGraph(prog *dsl.Program, entry string, graph *dfg.Graph, opts Option
 			opt = obs.Schedule
 		}
 	}
-	net, err := bitslice.Lower(graph, bitslice.Options{Fold: opt.HasReuse()})
-	if err != nil {
-		return nil, stage(ErrCodegen, "chopper: bitslice", err)
-	}
-	leg, err := logic.Legalize(net, opts.Target, logic.BuilderOptions{Fold: opt.HasReuse(), CSE: true})
-	if err != nil {
-		return nil, stage(ErrCodegen, "chopper: legalize", err)
-	}
-	leg = leg.DCE()
-	if opts.Harden {
-		leg, err = logic.TMR(leg, logic.NativeGates(opts.Target))
-		if err != nil {
-			return nil, stage(ErrCodegen, "chopper: harden", err)
+	report := &DegradationReport{Requested: opt}
+	for lv := opt; ; lv-- {
+		k, err := compileGraphAt(ctx, prog, graph, opts, lv)
+		if err == nil {
+			report.Effective = lv
+			if report.Degraded() {
+				k.Degradation = report
+			}
+			return k, nil
+		}
+		pf, ok := degradable(err)
+		if !ok {
+			return nil, err
+		}
+		report.Events = append(report.Events, DegradationEvent{Opt: lv, Stage: pf.stage, Reason: pf.reason})
+		if lv == OptBitslice {
+			return nil, stagef(ErrInternal, "chopper: internal",
+				"all optimization levels failed; last: pass %s: %s", pf.stage, pf.reason)
 		}
 	}
-	code, err := codegen.Generate(leg, codegen.Options{
-		Arch:    opts.Target,
-		Variant: opt,
-		DRows:   opts.Geometry.DRows(),
-	})
-	if err != nil {
-		return nil, stage(ErrCodegen, "chopper: codegen", err)
+}
+
+// compileGraphAt runs the back-end pipeline at one fixed optimization
+// level, with every pass under panic isolation and a structural self-check
+// after each one. Pass panics and check failures come back as *passFailure
+// for the ladder in compileGraph; budget and cancellation checkpoints
+// surface guard errors directly.
+func compileGraphAt(ctx context.Context, prog *dsl.Program, graph *dfg.Graph, opts Options, opt OptLevel) (*Kernel, error) {
+	b := opts.Budget
+
+	var net *logic.Net
+	if err := protect("bitslice", func() error {
+		n, err := bitslice.Lower(graph, bitslice.Options{Fold: opt.HasReuse()})
+		if err != nil {
+			return stage(ErrCodegen, "chopper: bitslice", err)
+		}
+		net = n
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	if err := guard.Check(guard.DimNetGates, b.MaxNetGates, len(net.Gates)); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, checkFailure("bitslice", err)
+	}
+	if err := guard.Ctx(ctx); err != nil {
+		return nil, err
+	}
+
+	var leg *logic.Net
+	if err := protect("legalize", func() error {
+		l, err := logic.Legalize(net, opts.Target, logic.BuilderOptions{Fold: opt.HasReuse(), CSE: true})
+		if err != nil {
+			return stage(ErrCodegen, "chopper: legalize", err)
+		}
+		leg = l.DCE()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if opts.Harden {
+		if err := protect("harden", func() error {
+			h, err := logic.TMR(leg, logic.NativeGates(opts.Target))
+			if err != nil {
+				return stage(ErrCodegen, "chopper: harden", err)
+			}
+			leg = h
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := guard.Check(guard.DimNetGates, b.MaxNetGates, len(leg.Gates)); err != nil {
+		return nil, err
+	}
+	if err := leg.Validate(); err != nil {
+		return nil, checkFailure("legalize", err)
+	}
+	if err := guard.Ctx(ctx); err != nil {
+		return nil, err
+	}
+
+	var code *codegen.Result
+	if err := protect("codegen", func() error {
+		c, err := codegen.Generate(leg, codegen.Options{
+			Arch:    opts.Target,
+			Variant: opt,
+			DRows:   opts.Geometry.DRows(),
+			MaxOps:  b.MaxMicroOps,
+			Ctx:     ctx,
+		})
+		if err != nil {
+			if guard.IsGuard(err) {
+				return err
+			}
+			return stage(ErrCodegen, "chopper: codegen", err)
+		}
+		code = c
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// isa.Program.Validate as the inter-pass invariant: a structurally
+	// broken program from a buggy pass degrades instead of shipping.
+	if err := code.Prog.Validate(opts.Geometry.DRows()); err != nil {
+		return nil, checkFailure("codegen", err)
+	}
+
 	k := &Kernel{
 		Opts: opts, Program: prog, Graph: graph, Net: leg, Code: code,
 		prog: code.Prog, inputTag: code.InputTag, outputTag: code.OutputTag,
@@ -243,10 +376,10 @@ func compileGraph(prog *dsl.Program, entry string, graph *dfg.Graph, opts Option
 func CompileGraph(graph *dfg.Graph, opts Options) (k *Kernel, err error) {
 	defer recoverToError(&err)
 	opts = opts.normalize()
-	if err := opts.Geometry.Validate(); err != nil {
+	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	return compileGraph(nil, "", graph, opts)
+	return compileGraph(nil, nil, "", graph, opts)
 }
 
 // splitBit parses "name[3]" into ("name", 3).
@@ -353,7 +486,15 @@ type RunResult struct {
 // lanes, and returns outputs in vertical layout.
 func (k *Kernel) RunRows(rows map[string][][]uint64, lanes int) (res *RunResult, err error) {
 	defer recoverToError(&err)
-	return k.runRows(rows, lanes, nil)
+	return k.runRows(nil, rows, lanes, nil)
+}
+
+// RunRowsCtx is RunRows under the guard layer: the kernel's compile-time
+// Options.Budget caps simulator steps and DRAM commands, and a non-nil
+// ctx is observed between micro-ops for cooperative cancellation.
+func (k *Kernel) RunRowsCtx(ctx context.Context, rows map[string][][]uint64, lanes int) (res *RunResult, err error) {
+	defer recoverToError(&err)
+	return k.runRows(ctx, rows, lanes, nil)
 }
 
 // RunRowsUnderFault is RunRows on a faulty subarray: the fault models in
@@ -361,8 +502,19 @@ func (k *Kernel) RunRows(rows map[string][][]uint64, lanes int) (res *RunResult,
 // result's Faults field counts what was injected.
 func (k *Kernel) RunRowsUnderFault(rows map[string][][]uint64, lanes int, cfg FaultConfig, seed int64) (res *RunResult, err error) {
 	defer recoverToError(&err)
+	return k.runRowsUnderFault(nil, rows, lanes, cfg, seed)
+}
+
+// RunRowsUnderFaultCtx is RunRowsUnderFault under the guard layer (see
+// RunRowsCtx).
+func (k *Kernel) RunRowsUnderFaultCtx(ctx context.Context, rows map[string][][]uint64, lanes int, cfg FaultConfig, seed int64) (res *RunResult, err error) {
+	defer recoverToError(&err)
+	return k.runRowsUnderFault(ctx, rows, lanes, cfg, seed)
+}
+
+func (k *Kernel) runRowsUnderFault(ctx context.Context, rows map[string][][]uint64, lanes int, cfg FaultConfig, seed int64) (*RunResult, error) {
 	inj := fault.New(cfg, seed)
-	res, err = k.runRows(rows, lanes, func(bank, sub int) sim.FaultHook {
+	res, err := k.runRows(ctx, rows, lanes, func(bank, sub int) sim.FaultHook {
 		if bank == 0 && sub == 0 {
 			return inj
 		}
@@ -377,7 +529,10 @@ func (k *Kernel) RunRowsUnderFault(rows map[string][][]uint64, lanes int, cfg Fa
 	return res, nil
 }
 
-func (k *Kernel) runRows(rows map[string][][]uint64, lanes int, hook func(bank, sub int) sim.FaultHook) (*RunResult, error) {
+func (k *Kernel) runRows(ctx context.Context, rows map[string][][]uint64, lanes int, hook func(bank, sub int) sim.FaultHook) (*RunResult, error) {
+	if lanes <= 0 {
+		return nil, optionsErrf("lanes must be positive, have %d", lanes)
+	}
 	io, outRows, err := k.hostIO(rows, lanes)
 	if err != nil {
 		return nil, err
@@ -392,7 +547,7 @@ func (k *Kernel) runRows(rows map[string][][]uint64, lanes int, hook func(bank, 
 	for i, op := range k.prog.Ops {
 		stream[i] = dram.Placed{Bank: 0, Subarray: 0, Op: op}
 	}
-	t, err := m.Run(stream, io)
+	t, err := m.RunCtx(ctx, stream, io, k.Opts.Budget)
 	if err != nil {
 		return nil, err
 	}
@@ -477,7 +632,7 @@ func (k *Kernel) Stats() codegen.Stats {
 func CompileBaseline(src string, opts Options) (k *Kernel, err error) {
 	defer recoverToError(&err)
 	opts = opts.normalize()
-	if err := opts.Geometry.Validate(); err != nil {
+	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	return cachedCompile("baseline", src, opts, func() (*Kernel, error) {
@@ -514,7 +669,7 @@ func compileBaselineSource(src string, opts Options) (*Kernel, error) {
 func CompileBaselineGraph(graph *dfg.Graph, opts Options) (k *Kernel, err error) {
 	defer recoverToError(&err)
 	opts = opts.normalize()
-	if err := opts.Geometry.Validate(); err != nil {
+	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	return compileBaselineGraph(graph, opts)
@@ -530,6 +685,11 @@ func compileBaselineGraph(graph *dfg.Graph, opts Options) (*Kernel, error) {
 	})
 	if err != nil {
 		return nil, stage(ErrCodegen, "chopper: baseline", err)
+	}
+	// The baseline generator has no emission-time checkpoint; enforce the
+	// micro-op budget on its finished program instead.
+	if err := guard.Check(guard.DimMicroOps, opts.Budget.MaxMicroOps, len(res.Prog.Ops)); err != nil {
+		return nil, err
 	}
 	k := &Kernel{
 		Opts: opts, Graph: graph, Baseline: res,

@@ -5,12 +5,18 @@
 //
 //	choppersim [-target ...] [-opt ...] [-baseline] [-lanes N]
 //	           [-harden] [-fault-rate P] [-fault-seed S]
+//	           [-timeout D] [-max-uops N]
 //	           [-in name=v1,v2,... ...] file.chop
 //	choppersim -asm file.pud       # execute raw PUD assembly
 //
 // -harden compiles with TMR (see docs/RELIABILITY.md); -fault-rate runs the
 // program on a faulty subarray, injecting TRA charge-sharing flips at the
 // given per-operation probability, reproducibly from -fault-seed.
+//
+// -timeout bounds the whole compile+run by wall clock and -max-uops caps
+// how many micro-ops the compiler may emit (see docs/GUARDS.md). A budget
+// or deadline stop exits with status 3 and a one-line diagnostic naming
+// the exhausted dimension and its limit.
 //
 // Inputs not supplied default to a deterministic ramp (lane index modulo
 // the operand's range), so quick experiments need no flags at all. In -asm
@@ -19,6 +25,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -62,6 +70,8 @@ func main() {
 	harden := flag.Bool("harden", false, "compile with TMR hardening (triplicated logic, majority-voted outputs)")
 	faultRate := flag.Float64("fault-rate", 0, "per-TRA charge-sharing fault probability; 0 disables injection")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (same seed, same faults)")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for compile+run (e.g. 5s); 0 disables")
+	maxUops := flag.Int("max-uops", 0, "cap on emitted micro-ops; 0 means unlimited")
 	ins := inputFlags{}
 	flag.Var(ins, "in", "input operand values: name=v1,v2,... (repeatable)")
 	flag.Parse()
@@ -100,15 +110,28 @@ func main() {
 		fatal(fmt.Errorf("unknown -opt %q (valid: %s)", *opt, strings.Join(valid, ", ")))
 	}
 
+	// Wire -timeout and -max-uops to the guard layer: the context bounds
+	// the whole compile+run; the budget caps codegen emission.
+	ctx := context.Context(nil)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+	}
+	if *maxUops < 0 {
+		fatal(fmt.Errorf("-max-uops must be non-negative, got %d", *maxUops))
+	}
+
 	opts := chopper.Options{Target: arch, Harden: *harden}.WithOpt(lv)
+	opts.Budget = chopper.Budget{MaxMicroOps: *maxUops}
 	var k *chopper.Kernel
 	if *baselineFlag {
 		k, err = chopper.CompileBaseline(string(srcBytes), opts)
 	} else {
-		k, err = chopper.Compile(string(srcBytes), opts)
+		k, err = chopper.CompileCtx(ctx, string(srcBytes), opts)
 	}
 	if err != nil {
-		fatal(err)
+		fatalGuard(err)
 	}
 
 	// Assemble inputs: flags first, ramps for the rest.
@@ -143,12 +166,17 @@ func main() {
 
 	var res *chopper.RunResult
 	if *faultRate > 0 {
-		res, err = k.RunRowsUnderFault(rows, *lanes, chopper.FaultConfig{TRAFlipRate: *faultRate}, *faultSeed)
+		res, err = k.RunRowsUnderFaultCtx(ctx, rows, *lanes, chopper.FaultConfig{TRAFlipRate: *faultRate}, *faultSeed)
 	} else {
-		res, err = k.RunRows(rows, *lanes)
+		res, err = k.RunRowsCtx(ctx, rows, *lanes)
 	}
 	if err != nil {
-		fatal(err)
+		fatalGuard(err)
+	}
+
+	if k.Degradation != nil {
+		fmt.Fprintf(os.Stderr, "choppersim: warning: compiled degraded at %s (requested %s, %d pass failures)\n",
+			k.Degradation.Effective, k.Degradation.Requested, len(k.Degradation.Events))
 	}
 
 	fmt.Printf("compiled for %v (%s): %d micro-ops, %d D rows, %d spill slots\n",
@@ -223,4 +251,24 @@ func runAsm(text string, arch isa.Arch, lanes int) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "choppersim:", err)
 	os.Exit(1)
+}
+
+// fatalGuard is fatal with a one-line diagnostic for guard-layer stops:
+// budget exhaustion prints the dimension and limit, deadline/cancel stops
+// say so plainly; both exit with status 3 so scripts can tell a resource
+// stop from an ordinary failure (status 1).
+func fatalGuard(err error) {
+	var be *chopper.BudgetError
+	switch {
+	case errors.As(err, &be):
+		fmt.Fprintf(os.Stderr, "choppersim: budget exceeded: %s limit %d (used %d)\n", be.Dimension, be.Limit, be.Count)
+		os.Exit(3)
+	case errors.Is(err, chopper.ErrDeadline):
+		fmt.Fprintln(os.Stderr, "choppersim: deadline exceeded (-timeout)")
+		os.Exit(3)
+	case errors.Is(err, chopper.ErrCanceled):
+		fmt.Fprintln(os.Stderr, "choppersim: canceled")
+		os.Exit(3)
+	}
+	fatal(err)
 }

@@ -1,0 +1,86 @@
+package chopper
+
+import (
+	"fmt"
+
+	"chopper/internal/guard"
+)
+
+// DegradationEvent records one step of the compiler's graceful-degradation
+// ladder: an optimization level whose pipeline panicked or produced output
+// that failed the inter-pass structural check, and was therefore abandoned.
+type DegradationEvent struct {
+	// Opt is the optimization level that was attempted and failed.
+	Opt OptLevel
+	// Stage names the pipeline stage that failed ("schedule", "bitslice",
+	// "legalize", "harden", "codegen", or a "-check" suffixed stage for a
+	// post-pass invariant failure).
+	Stage string
+	// Reason is the recovered panic value or check failure, as text.
+	Reason string
+}
+
+// DegradationReport describes how a kernel was compiled when the requested
+// optimization pipeline could not be used as-is. The compiler retries at
+// successively lower cumulative OBS levels (full -> pass-disabled ->
+// OptBitslice) and records each abandoned attempt; the report is attached
+// to the resulting Kernel so services can log that they are running
+// degraded code. The ladder is deterministic: the same source and options
+// produce the same events and the same effective level on every compile.
+type DegradationReport struct {
+	// Requested is the optimization level the caller asked for.
+	Requested OptLevel
+	// Effective is the level the kernel was actually compiled at.
+	Effective OptLevel
+	// Events lists the abandoned attempts, highest level first.
+	Events []DegradationEvent
+}
+
+// Degraded reports whether the kernel compiled below its requested level.
+func (r *DegradationReport) Degraded() bool {
+	return r != nil && (r.Effective != r.Requested || len(r.Events) > 0)
+}
+
+// passFailure is a degradation-eligible failure: an OBS/codegen pass
+// panicked, or its output failed the post-pass structural self-check.
+// Ordinary input errors (parse, typecheck, too-small subarray) and guard
+// stops are NOT passFailures — they fail the compile directly, because
+// retrying at a lower level cannot change them (or must not mask them).
+type passFailure struct {
+	stage  string
+	reason string
+}
+
+func (f *passFailure) Error() string {
+	return fmt.Sprintf("chopper: pass %s failed: %s", f.stage, f.reason)
+}
+
+// protect runs one pipeline stage with panic isolation: a panic in fn
+// becomes a *passFailure for the degradation ladder instead of unwinding
+// the whole compile. Errors fn returns itself pass through untouched —
+// only panics are reclassified.
+func protect(stage string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &passFailure{stage: stage, reason: fmt.Sprint(r)}
+		}
+	}()
+	return fn()
+}
+
+// checkFailure wraps a post-pass invariant violation as a *passFailure so
+// it takes the same ladder as a pass panic.
+func checkFailure(stage string, err error) error {
+	return &passFailure{stage: stage + "-check", reason: err.Error()}
+}
+
+// degradable reports whether err should send the compile down the ladder.
+// Guard stops (budget, cancellation) are explicitly excluded: a canceled
+// compile must stop, not silently retry at a lower level.
+func degradable(err error) (*passFailure, bool) {
+	if guard.IsGuard(err) {
+		return nil, false
+	}
+	pf, ok := err.(*passFailure)
+	return pf, ok
+}

@@ -3,6 +3,8 @@ package chopper
 import (
 	"errors"
 	"fmt"
+
+	"chopper/internal/guard"
 )
 
 // Sentinel error classes. Every error the public API returns wraps one of
@@ -29,6 +31,43 @@ var (
 	// ErrInternal marks a recovered internal panic: the pipeline hit a
 	// bug or an unchecked invariant, not a problem with the input.
 	ErrInternal = errors.New("chopper: internal error")
+	// ErrOptions marks nonsensical caller-supplied options or arguments
+	// (negative lanes, zero trials, negative budgets) rejected up front
+	// instead of surfacing as panics deep in the pipeline.
+	ErrOptions = errors.New("chopper: options error")
+)
+
+// Guard-layer sentinels, re-exported from internal/guard so callers can
+// errors.Is against the chopper package directly. These mark cooperative
+// terminations — a canceled context, an expired deadline, an exhausted
+// resource budget — as opposed to pipeline failures.
+var (
+	// ErrCanceled marks a run stopped because its context was canceled.
+	ErrCanceled = guard.ErrCanceled
+	// ErrDeadline marks a run stopped because its context's deadline
+	// expired.
+	ErrDeadline = guard.ErrDeadline
+	// ErrBudget marks a run stopped because a resource budget dimension
+	// was exhausted; the concrete error is a *BudgetError naming the
+	// dimension and count.
+	ErrBudget = guard.ErrBudget
+)
+
+// Budget re-exports guard.Budget: per-dimension resource ceilings
+// (micro-ops, DRAM commands, logic-net gates, simulator steps) enforced at
+// deterministic checkpoints. The zero value is unlimited.
+type Budget = guard.Budget
+
+// BudgetError re-exports guard.BudgetError, the concrete budget-exceeded
+// error; errors.As against it to learn which dimension a run exhausted.
+type BudgetError = guard.BudgetError
+
+// Budget dimension names, as they appear in BudgetError.Dimension.
+const (
+	DimMicroOps     = guard.DimMicroOps
+	DimDRAMCommands = guard.DimDRAMCommands
+	DimNetGates     = guard.DimNetGates
+	DimSimSteps     = guard.DimSimSteps
 )
 
 // stageError attaches a sentinel class to an underlying error while
@@ -52,6 +91,11 @@ func stage(class error, msg string, err error) error {
 // stagef is stage over a formatted cause.
 func stagef(class error, msg, format string, args ...interface{}) error {
 	return &stageError{class: class, msg: msg, err: fmt.Errorf(format, args...)}
+}
+
+// optionsErrf builds an ErrOptions-classed error.
+func optionsErrf(format string, args ...interface{}) error {
+	return stagef(ErrOptions, "chopper: options", format, args...)
 }
 
 // recoverToError converts a panic escaping a public API function into an

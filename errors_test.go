@@ -85,19 +85,20 @@ func TestCompileGraphNilRecovers(t *testing.T) {
 	}
 }
 
-func TestRunRecoversSimPanic(t *testing.T) {
+func TestRunRejectsBadLanes(t *testing.T) {
 	k, err := Compile(errAdderSrc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// lanes = -1 panics deep inside sim.NewSubarray; the API must return
-	// an ErrInternal error instead of crashing.
+	// lanes = -1 used to panic deep inside sim.NewSubarray and surface as
+	// a recovered ErrInternal; options validation now rejects it up front
+	// with the ErrOptions sentinel (and never a crash).
 	_, err = k.Run(map[string][]uint64{"a": {1}, "b": {2}}, -1)
 	if err == nil {
 		t.Fatal("Run with lanes=-1 succeeded")
 	}
-	if !errors.Is(err, ErrInternal) {
-		t.Fatalf("error %v does not match ErrInternal", err)
+	if !errors.Is(err, ErrOptions) {
+		t.Fatalf("error %v does not match ErrOptions", err)
 	}
 }
 

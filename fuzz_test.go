@@ -28,6 +28,9 @@ func FuzzCompile(f *testing.F) {
 		"node main(a: u8) returns (z: u8) let z = " + strings.Repeat("~", 3000) + "a; tel",
 		"node main(a: u128, b: u128) returns (z: u128) let z = a + b; tel",
 		"\x00\xff\xfe garbage \x80",
+		// A 32-bit multiply lowers to thousands of gates: known to blow
+		// the small gate budget below, exercising the ErrBudget path.
+		"node main(a: u32, b: u32) returns (z: u32) let z = a * b; tel",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -36,6 +39,10 @@ func FuzzCompile(f *testing.F) {
 		for _, opts := range []Options{
 			{Target: Ambit},
 			{Target: ELP2IM, Harden: true},
+			// A tight guard budget: inputs that compile at all now also
+			// exercise the deterministic budget-exceeded paths (net-gates
+			// at bit-slicing/legalization, micro-ops during emission).
+			{Target: Ambit, Budget: Budget{MaxNetGates: 256, MaxMicroOps: 1024}},
 		} {
 			k, err := Compile(src, opts)
 			if err == nil && k == nil {

@@ -8,6 +8,7 @@ import (
 	"chopper/internal/codegen"
 	"chopper/internal/dfg"
 	"chopper/internal/dsl"
+	"chopper/internal/guard"
 	"chopper/internal/logic"
 	"chopper/internal/typecheck"
 )
@@ -30,7 +31,7 @@ import (
 // (lanes/width elements).
 func CompileHorizontal(src string, opts Options) (*Kernel, error) {
 	opts = opts.normalize()
-	if err := opts.Geometry.Validate(); err != nil {
+	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	return cachedCompile("horizontal", src, opts, func() (*Kernel, error) {
@@ -131,8 +132,12 @@ func compileHorizontalGraph(graph *dfg.Graph, opts Options) (*Kernel, error) {
 		Arch:    opts.Target,
 		Variant: opt,
 		DRows:   opts.Geometry.DRows(),
+		MaxOps:  opts.Budget.MaxMicroOps,
 	})
 	if err != nil {
+		if guard.IsGuard(err) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("chopper: codegen: %w", err)
 	}
 	k := &Kernel{

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"chopper"
+	"chopper/internal/guard"
 	"chopper/internal/isa"
 )
 
@@ -37,26 +39,42 @@ func ReliabilitySweep(src string, arch isa.Arch, rates []float64, trials int, se
 // ReliabilitySweepParallel is ReliabilitySweep with an explicit worker
 // count (<= 0 means GOMAXPROCS).
 func ReliabilitySweepParallel(src string, arch isa.Arch, rates []float64, trials int, seed int64, workers int) (*Table, float64, error) {
-	plain, err := chopper.Compile(src, chopper.Options{Target: arch})
-	if err != nil {
-		return nil, 0, fmt.Errorf("bench: reliability: %w", err)
+	return ReliabilitySweepCtx(nil, src, arch, rates, trials, seed, workers)
+}
+
+// ReliabilitySweepCtx is ReliabilitySweepParallel under the guard layer:
+// both compiles and both reliability grids observe ctx, so a canceled or
+// deadline-expired context stops the sweep promptly with the
+// chopper.ErrCanceled/ErrDeadline sentinel (unwrapped, so errors.Is works
+// on the return) and a nil table — a half-measured sweep is never
+// reported as a result.
+func ReliabilitySweepCtx(ctx context.Context, src string, arch isa.Arch, rates []float64, trials int, seed int64, workers int) (*Table, float64, error) {
+	wrap := func(what string, err error) error {
+		if guard.IsGuard(err) {
+			return err
+		}
+		return fmt.Errorf("bench: reliability: %s: %w", what, err)
 	}
-	hard, err := chopper.Compile(src, chopper.Options{Target: arch, Harden: true})
+	plain, err := chopper.CompileCtx(ctx, src, chopper.Options{Target: arch})
 	if err != nil {
-		return nil, 0, fmt.Errorf("bench: reliability: harden: %w", err)
+		return nil, 0, wrap("compile", err)
+	}
+	hard, err := chopper.CompileCtx(ctx, src, chopper.Options{Target: arch, Harden: true})
+	if err != nil {
+		return nil, 0, wrap("harden", err)
 	}
 
 	cfgs := make([]chopper.FaultConfig, len(rates))
 	for i, r := range rates {
 		cfgs[i] = chopper.FaultConfig{TRAFlipRate: r, MaxFaults: 1}
 	}
-	pr, err := plain.ReliabilityParallel(trials, seed, cfgs, workers)
+	pr, err := plain.ReliabilityCtx(ctx, trials, seed, cfgs, workers)
 	if err != nil {
-		return nil, 0, fmt.Errorf("bench: reliability: plain: %w", err)
+		return nil, 0, wrap("plain", err)
 	}
-	hr, err := hard.ReliabilityParallel(trials, seed, cfgs, workers)
+	hr, err := hard.ReliabilityCtx(ctx, trials, seed, cfgs, workers)
 	if err != nil {
-		return nil, 0, fmt.Errorf("bench: reliability: tmr: %w", err)
+		return nil, 0, wrap("tmr", err)
 	}
 
 	t := &Table{

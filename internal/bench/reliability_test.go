@@ -1,9 +1,14 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
+	"chopper"
 	"chopper/internal/isa"
 )
 
@@ -51,6 +56,66 @@ func TestReliabilitySweep(t *testing.T) {
 	}
 	if tbl.Render() == "" || tbl.CSV() == "" {
 		t.Fatal("empty rendering")
+	}
+}
+
+// A canceled sweep must stop promptly with the guard sentinel, report no
+// table (a half-measured grid is not a result), and leave no worker
+// goroutines behind.
+func TestReliabilitySweepCtxCancelNoLeakNoPartial(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		tbl *Table
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		// A large grid so cancellation lands mid-sweep.
+		tbl, _, err := ReliabilitySweepCtx(ctx, sweepSrc, isa.Ambit,
+			[]float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}, 500, 7, 4)
+		done <- result{tbl, err}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	var res result
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("ReliabilitySweepCtx did not return after cancellation")
+	}
+	if !errors.Is(res.err, chopper.ErrCanceled) {
+		t.Fatalf("canceled sweep returned %v, want chopper.ErrCanceled", res.err)
+	}
+	if res.tbl != nil {
+		t.Fatalf("canceled sweep returned a table with %d rows", len(res.tbl.Rows))
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	after := runtime.NumGoroutine()
+	for after > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before+2 {
+		t.Fatalf("goroutine leak: %d before, %d after cancellation", before, after)
+	}
+}
+
+// A pre-expired deadline stops the sweep before any work, with the
+// deadline sentinel, at any worker count.
+func TestReliabilitySweepCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for _, workers := range []int{1, 4} {
+		tbl, _, err := ReliabilitySweepCtx(ctx, sweepSrc, isa.Ambit, []float64{0, 1}, 5, 7, workers)
+		if !errors.Is(err, chopper.ErrDeadline) {
+			t.Fatalf("workers=%d: %v does not match chopper.ErrDeadline", workers, err)
+		}
+		if tbl != nil {
+			t.Fatalf("workers=%d: deadline-expired sweep returned a table", workers)
+		}
 	}
 }
 

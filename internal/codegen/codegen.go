@@ -21,9 +21,11 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 
 	"chopper/internal/alloc"
+	"chopper/internal/guard"
 	"chopper/internal/isa"
 	"chopper/internal/logic"
 	"chopper/internal/obs"
@@ -50,6 +52,15 @@ type Options struct {
 	// slots instead of host READs.
 	ExtIn  map[string]ExtLoc
 	ExtOut map[string]ExtLoc
+
+	// MaxOps, when positive, caps how many micro-ops the generated program
+	// may contain (the guard.DimMicroOps budget dimension). The check runs
+	// after every emitted gate, so a runaway emission stops at a
+	// deterministic gate index with a *guard.BudgetError.
+	MaxOps int
+	// Ctx, when non-nil, is observed periodically during emission for
+	// cooperative cancellation.
+	Ctx context.Context
 }
 
 // ExtLoc locates an externally managed value: a resident row, or an SSD
@@ -260,6 +271,11 @@ func Generate(net *logic.Net, opts Options) (*Result, error) {
 		res.OutputTag[net.OutputNames[i]] = i
 	}
 	for pos, gid := range order {
+		if pos&63 == 0 {
+			if err := guard.Ctx(opts.Ctx); err != nil {
+				return nil, err
+			}
+		}
 		if err := e.emitGate(pos, gid); err != nil {
 			return nil, err
 		}
@@ -267,6 +283,9 @@ func Generate(net *logic.Net, opts Options) (*Result, error) {
 			if err := e.eagerRead(pos, gid); err != nil {
 				return nil, err
 			}
+		}
+		if err := guard.Check(guard.DimMicroOps, opts.MaxOps, len(e.prog.Ops)); err != nil {
+			return nil, err
 		}
 	}
 	for i, o := range net.Outputs {
@@ -293,6 +312,10 @@ func Generate(net *logic.Net, opts Options) (*Result, error) {
 		e.stats.Reads++
 		e.outDone[i] = true
 		e.finishOutput(o)
+	}
+
+	if err := guard.Check(guard.DimMicroOps, opts.MaxOps, len(e.prog.Ops)); err != nil {
+		return nil, err
 	}
 
 	e.stats.MaxLiveRows = e.pool.MaxUsed()

@@ -12,9 +12,11 @@
 package dram
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"chopper/internal/guard"
 	"chopper/internal/isa"
 )
 
@@ -385,11 +387,30 @@ func (e *Engine) Issue(p Placed) float64 {
 // Run issues a whole stream and returns the makespan in nanoseconds,
 // including refresh dilation.
 func (e *Engine) Run(stream []Placed) float64 {
+	ns, _ := e.RunCtx(nil, stream, 0)
+	return ns
+}
+
+// RunCtx is Run under the guard layer: maxCommands > 0 caps how many
+// commands the stream may issue (the guard.DimDRAMCommands budget
+// dimension, checked per command so the cap is exact and deterministic),
+// and a non-nil ctx is observed every 256 commands for cooperative
+// cancellation. The returned makespan covers the commands issued before
+// the stop.
+func (e *Engine) RunCtx(ctx context.Context, stream []Placed, maxCommands int) (float64, error) {
 	for i := range stream {
+		if i&255 == 0 {
+			if err := guard.Ctx(ctx); err != nil {
+				return e.Makespan(), err
+			}
+		}
+		if err := guard.Check(guard.DimDRAMCommands, maxCommands, i+1); err != nil {
+			return e.Makespan(), err
+		}
 		e.Issue(stream[i])
 	}
 	e.stats.MakespanNs = e.Makespan()
-	return e.stats.MakespanNs
+	return e.stats.MakespanNs, guard.Ctx(ctx)
 }
 
 // Makespan returns the completion time of everything issued so far,

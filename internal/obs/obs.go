@@ -61,6 +61,12 @@ func (v Variant) HasReuse() bool { return v >= Reuse }
 // HasRename reports whether O3 is enabled at this level.
 func (v Variant) HasRename() bool { return v >= Rename }
 
+// TestPanicHook, when non-nil, is invoked at the top of ScheduleGates with
+// the pressureAware flag. It exists so tests of the compiler's graceful
+// degradation ladder can force an OBS pass to panic on demand; production
+// code never sets it.
+var TestPanicHook func(pressureAware bool)
+
 // ScheduleGates computes an execution order for the net's computation gates.
 // When pressureAware is false it returns the natural (creation) order,
 // which mirrors the full-size-operand execution order the bit-sliced code
@@ -79,6 +85,9 @@ func (v Variant) HasRename() bool { return v >= Rename }
 // live. On accumulator-shaped cones (multipliers) the natural order is
 // already the aggregated one and the cost model keeps it.
 func ScheduleGates(n *logic.Net, pressureAware bool) []logic.NodeID {
+	if TestPanicHook != nil {
+		TestPanicHook(pressureAware)
+	}
 	isComp := func(k logic.GateKind) bool {
 		switch k {
 		case logic.GInput, logic.GConst0, logic.GConst1:

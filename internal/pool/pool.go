@@ -9,12 +9,20 @@
 // the lowest failing index, regardless of how goroutines interleave — so
 // `Verify` under 1 worker and under GOMAXPROCS workers return the same
 // error, message and all.
+//
+// RunCtx adds cooperative cancellation on top: workers observe the
+// context between items and a canceled run surfaces as the distinct
+// guard.ErrCanceled / guard.ErrDeadline sentinels, never as a silently
+// truncated "success".
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"chopper/internal/guard"
 )
 
 // Size resolves a requested worker count: values <= 0 mean "one worker
@@ -38,8 +46,28 @@ func Size(workers int) int {
 // (e.g. slot i of a results slice) for the whole section to stay
 // deterministic.
 func Run(workers, n int, fn func(i int) error) error {
+	return RunCtx(nil, workers, n, fn)
+}
+
+// RunCtx is Run with cooperative cancellation: every worker observes ctx
+// between items, so a canceled or deadline-expired context stops the
+// fan-out promptly — no new items start, in-flight items finish — and
+// RunCtx returns guard.ErrCanceled or guard.ErrDeadline. A nil ctx (what
+// Run passes) disables the checks at negligible cost.
+//
+// The deterministic error contract is preserved: if any item failed, the
+// error of the LOWEST failing index wins, exactly as in Run, regardless
+// of worker count. The cancellation sentinel is returned only when no
+// item error was recorded, so a partial run is never reported as
+// complete: a nil result still means every index ran. A context that is
+// already dead on entry returns its sentinel before item 0 starts, at
+// any worker count.
+func RunCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return guard.Ctx(ctx)
+	}
+	if err := guard.Ctx(ctx); err != nil {
+		return err
 	}
 	w := Size(workers)
 	if w > n {
@@ -47,6 +75,9 @@ func Run(workers, n int, fn func(i int) error) error {
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			if err := guard.Ctx(ctx); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -65,6 +96,9 @@ func Run(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if guard.Ctx(ctx) != nil {
+					return
+				}
 				i := int(next.Add(1) - 1)
 				if i >= n {
 					return
@@ -92,5 +126,5 @@ func Run(workers, n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return guard.Ctx(ctx)
 }

@@ -1,11 +1,15 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"chopper/internal/guard"
 )
 
 func TestRunExecutesAllIndices(t *testing.T) {
@@ -62,6 +66,81 @@ func TestRunLowerIndicesAlwaysRun(t *testing.T) {
 	}
 	if ran.Load() < 17 {
 		t.Fatalf("only %d indices ran; the 16 passing ones plus a failure must", ran.Load())
+	}
+}
+
+func TestRunCtxPreCanceledRunsNothing(t *testing.T) {
+	// A context that is dead on entry must return its sentinel before any
+	// item runs — identically at every worker count.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 2, 8} {
+		var ran atomic.Int64
+		err := RunCtx(ctx, workers, 64, func(int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, guard.ErrCanceled) {
+			t.Fatalf("workers=%d: got %v, want ErrCanceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d items ran under a pre-canceled ctx", workers, ran.Load())
+		}
+	}
+	// Deadline expiry surfaces as the distinct deadline sentinel.
+	d, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if err := RunCtx(d, 4, 8, func(int) error { return nil }); !errors.Is(err, guard.ErrDeadline) {
+		t.Fatalf("got %v, want ErrDeadline", err)
+	}
+}
+
+func TestRunCtxMidRunCancelNeverCompletes(t *testing.T) {
+	// Cancel once the run is in flight: the pool must stop promptly and
+	// must NOT return nil (a partial run reported as complete).
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := RunCtx(ctx, workers, 10000, func(i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, guard.ErrCanceled) {
+			t.Fatalf("workers=%d: got %v, want ErrCanceled", workers, err)
+		}
+		if ran.Load() >= 10000 {
+			t.Fatalf("workers=%d: all items ran despite cancellation", workers)
+		}
+	}
+}
+
+func TestRunCtxItemErrorBeatsLateCancel(t *testing.T) {
+	// The lowest-failing-index contract survives cancellation: an item
+	// error recorded before the cancel wins over the sentinel.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := RunCtx(ctx, 4, 64, func(i int) error {
+		if i == 3 {
+			defer cancel()
+			return fmt.Errorf("fail at %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail at 3" {
+		t.Fatalf("got %v, want fail at 3", err)
+	}
+}
+
+func TestRunCtxNilCtxBehavesLikeRun(t *testing.T) {
+	var ran atomic.Int64
+	if err := RunCtx(nil, 4, 32, func(int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 32 {
+		t.Fatalf("ran %d of 32", ran.Load())
 	}
 }
 

@@ -9,9 +9,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"chopper/internal/dram"
+	"chopper/internal/guard"
 	"chopper/internal/isa"
 	"chopper/internal/ssd"
 )
@@ -377,7 +379,29 @@ func (m *Machine) Sub(bank, sub int) *Subarray {
 // engine, returning the makespan in nanoseconds. The first functional error
 // aborts the run.
 func (m *Machine) Run(stream []dram.Placed, io *HostIO) (float64, error) {
+	return m.RunCtx(nil, stream, io, guard.Budget{})
+}
+
+// RunCtx is Run under the guard layer: b.MaxSimSteps caps how many
+// micro-ops execute functionally and b.MaxDRAMCommands caps how many
+// reach the timing engine (both checked per op, so the same stream
+// exhausts the same dimension at the same index on every run), and a
+// non-nil ctx is observed every 256 ops for cooperative cancellation.
+// Guard stops, like functional errors, abort before the offending op
+// executes.
+func (m *Machine) RunCtx(ctx context.Context, stream []dram.Placed, io *HostIO, b guard.Budget) (float64, error) {
 	for i := range stream {
+		if i&255 == 0 {
+			if err := guard.Ctx(ctx); err != nil {
+				return m.engine.Makespan(), err
+			}
+		}
+		if err := guard.Check(guard.DimSimSteps, b.MaxSimSteps, i+1); err != nil {
+			return m.engine.Makespan(), err
+		}
+		if err := guard.Check(guard.DimDRAMCommands, b.MaxDRAMCommands, i+1); err != nil {
+			return m.engine.Makespan(), err
+		}
 		p := &stream[i]
 		sub := m.Sub(p.Bank, p.Subarray)
 		effIO := io

@@ -1,6 +1,7 @@
 package chopper
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 
@@ -88,7 +89,18 @@ type relCell struct {
 // ReliabilityParallel is Reliability with an explicit worker count (<= 0
 // means GOMAXPROCS). Any worker count produces the same report.
 func (k *Kernel) ReliabilityParallel(trials int, seed int64, cfgs []FaultConfig, workers int) (rep *ReliabilityReport, err error) {
+	return k.ReliabilityCtx(nil, trials, seed, cfgs, workers)
+}
+
+// ReliabilityCtx is ReliabilityParallel under the guard layer: workers
+// observe ctx between grid cells, so a canceled or deadline-expired
+// context stops the sweep promptly with ErrCanceled/ErrDeadline and a nil
+// report — a partially measured grid is never returned as a complete one.
+func (k *Kernel) ReliabilityCtx(ctx context.Context, trials int, seed int64, cfgs []FaultConfig, workers int) (rep *ReliabilityReport, err error) {
 	defer recoverToError(&err)
+	if trials <= 0 {
+		return nil, optionsErrf("trials must be positive, have %d", trials)
+	}
 	const lanes = 64
 	rep = &ReliabilityReport{Lanes: lanes}
 
@@ -99,7 +111,7 @@ func (k *Kernel) ReliabilityParallel(trials int, seed int64, cfgs []FaultConfig,
 	for _, in := range k.Inputs {
 		baseRows[in.Name] = transpose.ToVerticalWide(base[in.Name], in.Width, lanes)
 	}
-	res, err := k.runRows(baseRows, lanes, nil)
+	res, err := k.runRows(ctx, baseRows, lanes, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +120,7 @@ func (k *Kernel) ReliabilityParallel(trials int, seed int64, cfgs []FaultConfig,
 	// One pool job per (cfg, trial) cell; cell j writes only cells[j], so
 	// the merge below sees the same data regardless of scheduling.
 	cells := make([]relCell, len(cfgs)*trials)
-	err = pool.Run(workers, len(cells), func(j int) error {
+	err = pool.RunCtx(ctx, workers, len(cells), func(j int) error {
 		ci, trial := j/trials, j%trials
 		cfg := cfgs[ci]
 		trng := rand.New(rand.NewSource(trialSeed(seed, j)))
@@ -117,7 +129,7 @@ func (k *Kernel) ReliabilityParallel(trials int, seed int64, cfgs []FaultConfig,
 		for _, in := range k.Inputs {
 			rows[in.Name] = transpose.ToVerticalWide(inWide[in.Name], in.Width, lanes)
 		}
-		res, err := k.RunRowsUnderFault(rows, lanes, cfg, seed+int64(ci)<<16+int64(trial))
+		res, err := k.runRowsUnderFault(ctx, rows, lanes, cfg, seed+int64(ci)<<16+int64(trial))
 		if err != nil {
 			return err
 		}

@@ -1,9 +1,11 @@
 package chopper
 
 import (
+	"context"
 	"fmt"
 
 	"chopper/internal/dram"
+	"chopper/internal/guard"
 	"chopper/internal/pool"
 	"chopper/internal/sim"
 	"chopper/internal/transpose"
@@ -33,8 +35,18 @@ type TiledResult struct {
 // This is the whole-dataset counterpart of RunWide and exercises the same
 // multi-subarray path the benchmark harness measures.
 func (k *Kernel) RunTiled(inputs map[string][][]uint64, lanes int) (*TiledResult, error) {
+	return k.RunTiledCtx(nil, inputs, lanes)
+}
+
+// RunTiledCtx is RunTiled under the guard layer: workers observe ctx
+// between tiles and inside each tile's execution loop, the kernel's
+// Options.Budget caps total functional steps (sim-steps, pre-checked
+// deterministically from tiles x program length) and timing-engine
+// commands (dram-commands), and budget/deadline stops surface with their
+// sentinel identity at any worker count.
+func (k *Kernel) RunTiledCtx(ctx context.Context, inputs map[string][][]uint64, lanes int) (*TiledResult, error) {
 	if lanes <= 0 {
-		return nil, fmt.Errorf("chopper: non-positive lane count %d", lanes)
+		return nil, optionsErrf("lanes must be positive, have %d", lanes)
 	}
 	geom := k.Opts.Geometry
 	tileLanes := geom.Bitlines()
@@ -47,6 +59,12 @@ func (k *Kernel) RunTiled(inputs map[string][][]uint64, lanes int) (*TiledResult
 		if len(inputs[in.Name]) < lanes {
 			return nil, fmt.Errorf("chopper: input %q has %d lanes, need %d", in.Name, len(inputs[in.Name]), lanes)
 		}
+	}
+	// The functional work is tiles x program length, known before anything
+	// runs: enforce the sim-steps budget up front so the stop is identical
+	// at every worker count instead of depending on which tile trips it.
+	if err := guard.Check(guard.DimSimSteps, k.Opts.Budget.MaxSimSteps, tiles*len(k.prog.Ops)); err != nil {
+		return nil, err
 	}
 
 	// Transpose each tile of each input independently.
@@ -113,7 +131,7 @@ func (k *Kernel) RunTiled(inputs map[string][][]uint64, lanes int) (*TiledResult
 	// entries keyed by tl (both maps are fully populated above, so workers
 	// only read the maps), which keeps the fan-out race-free and the
 	// gathered result identical at any worker count.
-	if err := pool.Run(0, tiles, func(tl int) error {
+	if err := pool.RunCtx(ctx, 0, tiles, func(tl int) error {
 		sub := sim.NewSubarray(geom.DRows(), tileLanes)
 		spill := sim.NewSpillStore()
 		io := &sim.HostIO{
@@ -140,6 +158,11 @@ func (k *Kernel) RunTiled(inputs map[string][][]uint64, lanes int) (*TiledResult
 			},
 		}
 		for i := range k.prog.Ops {
+			if i&255 == 0 {
+				if err := guard.Ctx(ctx); err != nil {
+					return err
+				}
+			}
 			if err := sub.Exec(&k.prog.Ops[i], io, spill); err != nil {
 				return fmt.Errorf("chopper: tile %d op %d: %w", tl, i, err)
 			}
@@ -153,7 +176,10 @@ func (k *Kernel) RunTiled(inputs map[string][][]uint64, lanes int) (*TiledResult
 	// makespan depends on issue order and shared-bus contention, which the
 	// engine accounts for command by command.
 	eng := dram.NewEngine(geom, dram.TimingFor(k.Opts.Target, geom), false)
-	timeNs := eng.Run(stream)
+	timeNs, err := eng.RunCtx(ctx, stream, k.Opts.Budget.MaxDRAMCommands)
+	if err != nil {
+		return nil, err
+	}
 
 	// Gather tiles back into lane order.
 	res := &TiledResult{

@@ -1,9 +1,11 @@
 package chopper
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 
+	"chopper/internal/guard"
 	"chopper/internal/pool"
 	"chopper/internal/transpose"
 )
@@ -54,9 +56,18 @@ func (k *Kernel) Verify(trials int, seed int64) error {
 // VerifyParallel is Verify with an explicit worker count (<= 0 means
 // GOMAXPROCS). Any worker count returns the same result.
 func (k *Kernel) VerifyParallel(trials int, seed int64, workers int) (err error) {
+	return k.VerifyCtx(nil, trials, seed, workers)
+}
+
+// VerifyCtx is VerifyParallel under the guard layer: workers observe ctx
+// between trials (and the simulator observes it between micro-ops), so a
+// canceled or deadline-expired context stops the sweep promptly with
+// ErrCanceled/ErrDeadline — never reporting the partial sweep as a pass.
+// The kernel's Options.Budget is enforced inside every trial.
+func (k *Kernel) VerifyCtx(ctx context.Context, trials int, seed int64, workers int) (err error) {
 	defer recoverToError(&err)
-	return k.verifyTrials(trials, seed, workers, func(_ int, rows map[string][][]uint64, lanes int) (*RunResult, error) {
-		return k.runRows(rows, lanes, nil)
+	return k.verifyTrials(ctx, trials, seed, workers, func(_ int, rows map[string][][]uint64, lanes int) (*RunResult, error) {
+		return k.runRows(ctx, rows, lanes, nil)
 	})
 }
 
@@ -76,9 +87,15 @@ func (k *Kernel) VerifyUnderFault(trials int, seed int64, cfg FaultConfig) error
 // count (<= 0 means GOMAXPROCS). Any worker count returns the same
 // result.
 func (k *Kernel) VerifyUnderFaultParallel(trials int, seed int64, cfg FaultConfig, workers int) (err error) {
+	return k.VerifyUnderFaultCtx(nil, trials, seed, cfg, workers)
+}
+
+// VerifyUnderFaultCtx is VerifyUnderFaultParallel under the guard layer
+// (see VerifyCtx for the cancellation contract).
+func (k *Kernel) VerifyUnderFaultCtx(ctx context.Context, trials int, seed int64, cfg FaultConfig, workers int) (err error) {
 	defer recoverToError(&err)
-	return k.verifyTrials(trials, seed, workers, func(trial int, rows map[string][][]uint64, lanes int) (*RunResult, error) {
-		return k.RunRowsUnderFault(rows, lanes, cfg, seed+int64(trial))
+	return k.verifyTrials(ctx, trials, seed, workers, func(trial int, rows map[string][][]uint64, lanes int) (*RunResult, error) {
+		return k.runRowsUnderFault(ctx, rows, lanes, cfg, seed+int64(trial))
 	})
 }
 
@@ -87,8 +104,11 @@ func (k *Kernel) VerifyUnderFaultParallel(trials int, seed int64, cfg FaultConfi
 // Trials are independent units of work: inputs come from trialSeed(seed,
 // trial), the lane count from verifyLaneSchedule, so the pool can place
 // them on any worker without changing the outcome.
-func (k *Kernel) verifyTrials(trials int, seed int64, workers int, run func(trial int, rows map[string][][]uint64, lanes int) (*RunResult, error)) error {
-	return pool.Run(workers, trials, func(trial int) error {
+func (k *Kernel) verifyTrials(ctx context.Context, trials int, seed int64, workers int, run func(trial int, rows map[string][][]uint64, lanes int) (*RunResult, error)) error {
+	if trials <= 0 {
+		return optionsErrf("trials must be positive, have %d", trials)
+	}
+	return pool.RunCtx(ctx, workers, trials, func(trial int) error {
 		lanes := verifyLaneSchedule[trial%len(verifyLaneSchedule)]
 		rng := rand.New(rand.NewSource(trialSeed(seed, trial)))
 		inWide := randWideInputs(rng, k.Inputs, lanes)
@@ -98,6 +118,11 @@ func (k *Kernel) verifyTrials(trials int, seed int64, workers int, run func(tria
 		}
 		res, err := run(trial, rows, lanes)
 		if err != nil {
+			if guard.IsGuard(err) {
+				// Budget/cancellation stops keep their sentinel identity
+				// instead of being re-classed as verification failures.
+				return err
+			}
 			return stagef(ErrVerify, "chopper: verify", "trial %d: %v", trial, err)
 		}
 		got := make(map[string][][]uint64, len(k.Outputs))
