@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"chopper/internal/baseline"
 	"chopper/internal/bitslice"
@@ -171,7 +172,35 @@ type Kernel struct {
 	inputTag     map[string]int
 	outputTag    map[string]int
 	constPattern map[int]uint64
+
+	// decoded caches the pre-decoded execution stream of prog (built once,
+	// on first run). Kernels are immutable after compilation, so the cache
+	// is safe to share across goroutines — which is exactly what the
+	// parallel verify/reliability sweeps do with a cached kernel.
+	decodeOnce sync.Once
+	decoded    *sim.Decoded
 }
+
+// decodedProg returns the kernel's pre-decoded execution stream, building
+// it on first use.
+func (k *Kernel) decodedProg() *sim.Decoded {
+	k.decodeOnce.Do(func() { k.decoded = sim.Decode(k.prog) })
+	return k.decoded
+}
+
+// machinePool recycles simulation machines (subarray arenas, spill buffers,
+// timing-engine tables) across runs: a verify or reliability sweep reuses
+// one machine per worker instead of reallocating per trial. Machines are
+// reset via Reconfigure on checkout, so no trial state leaks between runs.
+var machinePool = sync.Pool{New: func() any { return new(sim.Machine) }}
+
+func getMachine(cfg sim.MachineConfig) *sim.Machine {
+	m := machinePool.Get().(*sim.Machine)
+	m.Reconfigure(cfg)
+	return m
+}
+
+func putMachine(m *sim.Machine) { machinePool.Put(m) }
 
 // Prog returns the compiled micro-op program.
 func (k *Kernel) Prog() *isa.Program { return k.prog }
@@ -444,21 +473,28 @@ func (k *Kernel) hostIO(rows map[string][][]uint64, lanes int) (*sim.HostIO, map
 		outByTag[tag] = func(data []uint64) { copy(dst[b], data) }
 	}
 
-	io := &sim.HostIO{
-		WriteData: func(tag int) []uint64 {
-			if row, ok := writeRows[tag]; ok {
-				return row
-			}
-			pat, ok := k.constPattern[tag]
-			if !ok {
-				return nil
-			}
+	// Constant-pattern rows are materialized once per run, not once per
+	// WRITE: the simulator copies the payload into the subarray, so a
+	// shared backing row is safe to hand out repeatedly.
+	var constRows map[int][]uint64
+	if len(k.constPattern) > 0 {
+		constRows = make(map[int][]uint64, len(k.constPattern))
+		for tag, pat := range k.constPattern {
 			row := make([]uint64, words)
 			for i := range row {
 				row[i] = pat
 			}
 			row[words-1] &= mask
-			return row
+			constRows[tag] = row
+		}
+	}
+
+	io := &sim.HostIO{
+		WriteData: func(tag int) []uint64 {
+			if row, ok := writeRows[tag]; ok {
+				return row
+			}
+			return constRows[tag]
 		},
 		ReadSink: func(tag int, data []uint64) {
 			if sink, ok := outByTag[tag]; ok {
@@ -479,6 +515,10 @@ type RunResult struct {
 	Stats dram.EngineStats
 	// Faults counts injected fault events (RunRowsUnderFault only).
 	Faults FaultCounts
+	// ScratchBytes is the peak reusable simulator storage the run held
+	// (subarray arenas, spill buffers, engine tables) — the working-set
+	// figure choppersim reports as "peak scratch".
+	ScratchBytes int64
 }
 
 // RunRows executes the kernel on one simulated subarray over operands
@@ -512,8 +552,13 @@ func (k *Kernel) RunRowsUnderFaultCtx(ctx context.Context, rows map[string][][]u
 	return k.runRowsUnderFault(ctx, rows, lanes, cfg, seed)
 }
 
+// injectorPool recycles fault injectors across fault trials; Reset makes a
+// pooled injector indistinguishable from a fresh fault.New.
+var injectorPool = sync.Pool{New: func() any { return fault.New(FaultConfig{}, 0) }}
+
 func (k *Kernel) runRowsUnderFault(ctx context.Context, rows map[string][][]uint64, lanes int, cfg FaultConfig, seed int64) (*RunResult, error) {
-	inj := fault.New(cfg, seed)
+	inj := injectorPool.Get().(*fault.Injector)
+	inj.Reset(cfg, seed)
 	res, err := k.runRows(ctx, rows, lanes, func(bank, sub int) sim.FaultHook {
 		if bank == 0 && sub == 0 {
 			return inj
@@ -523,9 +568,11 @@ func (k *Kernel) runRowsUnderFault(ctx context.Context, rows map[string][][]uint
 		return fault.New(cfg, seed+int64(bank)<<20+int64(sub))
 	})
 	if err != nil {
+		injectorPool.Put(inj)
 		return nil, err
 	}
 	res.Faults = inj.Counts()
+	injectorPool.Put(inj)
 	return res, nil
 }
 
@@ -537,21 +584,24 @@ func (k *Kernel) runRows(ctx context.Context, rows map[string][][]uint64, lanes 
 	if err != nil {
 		return nil, err
 	}
-	m := sim.NewMachine(sim.MachineConfig{
+	// Kernels run single-subarray programs through the pre-decoded fast
+	// path on a pooled machine: no placed-stream build, no per-trial
+	// machine allocation. The generic stream path (sim.Machine.RunCtx) is
+	// behaviorally identical — the equivalence tests hold the two together.
+	m := getMachine(sim.MachineConfig{
 		Geom:  k.Opts.Geometry,
 		Arch:  k.Opts.Target,
 		Lanes: lanes,
 		Fault: hook,
 	})
-	stream := make([]dram.Placed, len(k.prog.Ops))
-	for i, op := range k.prog.Ops {
-		stream[i] = dram.Placed{Bank: 0, Subarray: 0, Op: op}
-	}
-	t, err := m.RunCtx(ctx, stream, io, k.Opts.Budget)
+	t, err := m.RunDecodedCtx(ctx, k.decodedProg(), 0, 0, io, k.Opts.Budget)
 	if err != nil {
+		putMachine(m)
 		return nil, err
 	}
-	return &RunResult{Rows: outRows, TimeNs: t, Stats: m.Stats()}, nil
+	res := &RunResult{Rows: outRows, TimeNs: t, Stats: m.Stats(), ScratchBytes: m.MemBytes()}
+	putMachine(m)
+	return res, nil
 }
 
 // Run executes the kernel on operands given as one value per lane (widths

@@ -1,0 +1,45 @@
+// Command benchcheck validates a perfbench report file (BENCH_chopper.json)
+// against the chopper-bench/v1 schema and prints a one-line summary. CI
+// runs it over the report emitted by `choppersim -bench` so a schema drift
+// or a truncated write fails the job; exit status 1 means invalid.
+//
+// Usage:
+//
+//	benchcheck [report.json]     # default BENCH_chopper.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chopper/internal/perfbench"
+)
+
+func main() {
+	flag.Parse()
+	path := "BENCH_chopper.json"
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [report.json]")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		path = flag.Arg(0)
+	}
+	rep, err := perfbench.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+	best, bestAt := 0.0, ""
+	for _, r := range rep.Current {
+		if s := rep.Speedup(r.Workload, r.Arch); s > best {
+			best, bestAt = s, r.Workload+"/"+r.Arch
+		}
+	}
+	fmt.Printf("%s: valid %s report, %d current / %d baseline entries", path, rep.Schema, len(rep.Current), len(rep.Baseline))
+	if best > 0 {
+		fmt.Printf(", best speedup %.2fx (%s)", best, bestAt)
+	}
+	fmt.Println()
+}

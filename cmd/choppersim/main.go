@@ -8,6 +8,13 @@
 //	           [-timeout D] [-max-uops N]
 //	           [-in name=v1,v2,... ...] file.chop
 //	choppersim -asm file.pud       # execute raw PUD assembly
+//	choppersim -bench              # run the tracked benchmark suite
+//
+// -bench runs the internal/perfbench suite (paper workloads x all
+// architectures) and writes BENCH_chopper.json (override with -bench-out),
+// preserving the recorded baseline section of an existing file so the
+// before/after comparison survives refreshes. -bench-quick runs a single
+// timed iteration per pair — the CI smoke configuration.
 //
 // -harden compiles with TMR (see docs/RELIABILITY.md); -fault-rate runs the
 // program on a faulty subarray, injecting TRA charge-sharing flips at the
@@ -32,11 +39,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	chopper "chopper"
 	"chopper/internal/dram"
 	"chopper/internal/isa"
 	"chopper/internal/obs"
+	"chopper/internal/perfbench"
 	"chopper/internal/sim"
 	"chopper/internal/transpose"
 )
@@ -72,10 +81,21 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (same seed, same faults)")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for compile+run (e.g. 5s); 0 disables")
 	maxUops := flag.Int("max-uops", 0, "cap on emitted micro-ops; 0 means unlimited")
+	benchMode := flag.Bool("bench", false, "run the tracked benchmark suite and write a report instead of executing a program")
+	benchOut := flag.String("bench-out", "BENCH_chopper.json", "report path for -bench")
+	benchQuick := flag.Bool("bench-quick", false, "with -bench: one timed iteration per pair (CI smoke)")
 	ins := inputFlags{}
 	flag.Var(ins, "in", "input operand values: name=v1,v2,... (repeatable)")
 	flag.Parse()
 
+	if *benchMode {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: choppersim -bench [-bench-out file] [-bench-quick]")
+			os.Exit(2)
+		}
+		runBench(*benchOut, *benchQuick)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: choppersim [flags] file.chop")
 		os.Exit(2)
@@ -165,11 +185,13 @@ func main() {
 	}
 
 	var res *chopper.RunResult
+	wallStart := time.Now()
 	if *faultRate > 0 {
 		res, err = k.RunRowsUnderFaultCtx(ctx, rows, *lanes, chopper.FaultConfig{TRAFlipRate: *faultRate}, *faultSeed)
 	} else {
 		res, err = k.RunRowsCtx(ctx, rows, *lanes)
 	}
+	wall := time.Since(wallStart)
 	if err != nil {
 		fatalGuard(err)
 	}
@@ -182,6 +204,11 @@ func main() {
 	fmt.Printf("compiled for %v (%s): %d micro-ops, %d D rows, %d spill slots\n",
 		arch, lv, len(k.Prog().Ops), k.Prog().DRowsUsed, k.Prog().SpillSlots)
 	fmt.Printf("single-subarray makespan: %.1f us (%d lanes)\n", res.TimeNs/1000, *lanes)
+	if s := wall.Seconds(); s > 0 {
+		fmt.Printf("simulation rate: %.0f uops/s, %.0f DRAM commands/s (%.2f ms wall clock)\n",
+			float64(len(k.Prog().Ops))/s, float64(res.Stats.Ops)/s, s*1e3)
+	}
+	fmt.Printf("peak scratch: %d bytes (subarray arenas, spill buffers, engine tables)\n", res.ScratchBytes)
 	if *faultRate > 0 {
 		f := res.Faults
 		fmt.Printf("injected faults (rate %g, seed %d): %d TRA, %d copy, %d decay, %d stuck\n",
@@ -212,6 +239,42 @@ func main() {
 		}
 		fmt.Printf("%-8s out %v\n", out.Name, vals)
 	}
+}
+
+// runBench runs the tracked benchmark suite and writes the report. When
+// outPath already holds a report, its baseline section is carried over
+// verbatim so refreshing the current numbers never loses the recorded
+// pre-optimization reference.
+func runBench(outPath string, quick bool) {
+	note := "choppersim -bench"
+	if quick {
+		note += " -bench-quick (single iteration; not comparable across machines)"
+	}
+	cur, err := perfbench.RunSuite(quick)
+	if err != nil {
+		fatal(err)
+	}
+	rep := perfbench.NewReport(cur, note)
+	if prev, err := perfbench.Load(outPath); err == nil && len(prev.Baseline) > 0 {
+		rep.Baseline = prev.Baseline
+		rep.BaselineNote = prev.BaselineNote
+	}
+	if err := perfbench.Validate(rep); err != nil {
+		fatal(err)
+	}
+	if err := rep.WriteFile(outPath); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-14s %-8s %14s %12s %14s %10s\n", "workload", "arch", "ns/op", "allocs/op", "uops/s", "speedup")
+	for _, r := range rep.Current {
+		sp := "-"
+		if s := rep.Speedup(r.Workload, r.Arch); s > 0 {
+			sp = fmt.Sprintf("%.2fx", s)
+		}
+		fmt.Printf("%-14s %-8s %14.0f %12.0f %14.0f %10s\n",
+			r.Workload, r.Arch, r.NsPerOp, r.AllocsPerOp, r.UopsPerSec, sp)
+	}
+	fmt.Printf("wrote %s (%d current entries, %d baseline entries)\n", outPath, len(rep.Current), len(rep.Baseline))
 }
 
 // runAsm assembles and executes a raw micro-op program. Each WRITE tag t

@@ -199,7 +199,8 @@ func (h *Harness) PUDTimeNs(spec workloads.Spec, arch isa.Arch, comp Compiler, v
 	prog := residentProgram(c.prog, c.constTags)
 
 	dev := ssd.New(ssd.DefaultConfig())
-	eng := dram.NewEngine(cfg.Geom, timing, cfg.SALP)
+	eng := getEngine(cfg.Geom, timing, cfg.SALP)
+	defer putEngine(eng)
 	rowBytes := cfg.Geom.RowBytes
 	eng.SSDDelay = func(out bool, slot uint64, start float64) float64 {
 		if out {
@@ -218,6 +219,25 @@ func (h *Harness) PUDTimeNs(spec workloads.Spec, arch isa.Arch, comp Compiler, v
 	waveNs := eng.Makespan()
 	waves := (tiles + inFlight - 1) / inFlight
 	return waveNs * float64(waves), nil
+}
+
+// enginePool recycles timing engines across measurements: every sweep cell
+// re-arms a pooled engine via Reconfigure instead of allocating fresh
+// scheduling tables (a bank x subarray slice set per engine).
+var enginePool sync.Pool
+
+func getEngine(g dram.Geometry, t dram.Timing, salp bool) *dram.Engine {
+	if v := enginePool.Get(); v != nil {
+		e := v.(*dram.Engine)
+		e.Reconfigure(g, t, salp)
+		return e
+	}
+	return dram.NewEngine(g, t, salp)
+}
+
+func putEngine(e *dram.Engine) {
+	e.SSDDelay = nil
+	enginePool.Put(e)
 }
 
 // residentProgram rewrites input WRITEs and output READs into

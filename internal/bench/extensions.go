@@ -42,7 +42,8 @@ func (h *Harness) EmissionStudy(sel Selection) (*Table, error) {
 
 		measure := func(feed func(vircoe.Sink)) float64 {
 			dev := ssd.New(ssd.DefaultConfig())
-			eng := dram.NewEngine(cfg.Geom, timing, cfg.SALP)
+			eng := getEngine(cfg.Geom, timing, cfg.SALP)
+			defer putEngine(eng)
 			rowBytes := cfg.Geom.RowBytes
 			eng.SSDDelay = func(out bool, slot uint64, start float64) float64 {
 				if out {
@@ -156,7 +157,8 @@ func (h *Harness) pudTimeWithSSD(spec workloads.Spec, comp Compiler, cfg Config,
 	sc.ReadLatencyNs = readNs
 	sc.ProgramLatencyNs = progNs
 	dev := ssd.New(sc)
-	eng := dram.NewEngine(cfg.Geom, timing, cfg.SALP)
+	eng := getEngine(cfg.Geom, timing, cfg.SALP)
+	defer putEngine(eng)
 	rowBytes := cfg.Geom.RowBytes
 	eng.SSDDelay = func(out bool, slot uint64, start float64) float64 {
 		if out {

@@ -255,6 +255,11 @@ type Placed struct {
 //
 // Ops must be presented in issue order; the engine preserves per-subarray
 // program order regardless of resource availability.
+//
+// Scheduling state lives in dense slices sized from the Geometry (one slot
+// per bank x subarray), so issuing a command performs no map operations and
+// no allocation; placements outside the geometry fall back to maps,
+// preserving the historical tolerance for out-of-range banks.
 type Engine struct {
 	geom   Geometry
 	timing Timing
@@ -266,9 +271,20 @@ type Engine struct {
 
 	busFree   float64
 	lastStart float64
-	unit      map[unitKey]float64 // next-free time per bank (or subarray)
-	subSeq    map[unitKey]float64 // per-subarray completion (program order)
 	now       float64
+
+	unit   []float64 // next-free time per unit (bank, or subarray with SALP)
+	subSeq []float64 // per-subarray completion (program order)
+	seen   []bool    // unit ever issued to (drives DistinctUnit)
+	// Overflow state for placements outside the geometry (lazily built).
+	xunit, xsubSeq map[unitKey]float64
+
+	// Per-OpKind latency/bus/energy tables, precomputed from the Timing so
+	// the issue path does no switch dispatch.
+	latByKind    [numOpKinds]float64
+	busByKind    [numOpKinds]float64
+	energyByKind [numOpKinds]float64
+	xferByKind   [numOpKinds]bool
 
 	// SSDDelay, when non-nil, is consulted for the extra latency of spill
 	// ops; it receives the direction, the spill slot, and the time the
@@ -279,6 +295,10 @@ type Engine struct {
 
 	stats EngineStats
 }
+
+// numOpKinds bounds the per-kind lookup tables (OpRowInit is the largest
+// micro-op kind; unknown kinds cost zero, as Timing.OpLatency always said).
+const numOpKinds = int(isa.OpRowInit) + 1
 
 type unitKey struct{ bank, sub int }
 
@@ -303,33 +323,93 @@ type EngineStats struct {
 // NewEngine builds an engine for the geometry/timing pair. salp enables
 // Subarray-Level Parallelism.
 func NewEngine(g Geometry, t Timing, salp bool) *Engine {
-	return &Engine{
-		geom: g, timing: t, salp: salp,
-		IssueGapNs: 0.833, // one DDR4-2400 clock
-		unit:       make(map[unitKey]float64),
-		subSeq:     make(map[unitKey]float64),
-	}
+	e := &Engine{}
+	e.Reconfigure(g, t, salp)
+	return e
 }
 
-func (e *Engine) unitKeyFor(p *Placed) unitKey {
-	if e.salp {
-		return unitKey{p.Bank, p.Subarray}
+// Reconfigure re-arms the engine for a new run under a (possibly different)
+// geometry/timing pair, reusing the scheduling slices when the unit count
+// is unchanged. IssueGapNs and SSDDelay return to their NewEngine defaults.
+func (e *Engine) Reconfigure(g Geometry, t Timing, salp bool) {
+	units := g.Banks * g.SubarraysPB
+	if len(e.unit) != units {
+		e.unit = make([]float64, units)
+		e.subSeq = make([]float64, units)
+		e.seen = make([]bool, units)
 	}
-	return unitKey{p.Bank, 0}
+	e.geom, e.timing, e.salp = g, t, salp
+	e.IssueGapNs = 0.833 // one DDR4-2400 clock
+	e.SSDDelay = nil
+	for k := 0; k < numOpKinds; k++ {
+		op := isa.Op{Kind: isa.OpKind(k)}
+		e.latByKind[k] = t.OpLatency(&op)
+		e.busByKind[k] = t.BusLatency(&op)
+		e.energyByKind[k] = t.OpEnergyPJ(&op)
+		e.xferByKind[k] = op.IsTransfer()
+	}
+	e.Reset()
+}
+
+// Reset rewinds the engine to time zero with empty stats, keeping the
+// geometry, timing tables and scheduling slices for reuse across trials.
+func (e *Engine) Reset() {
+	e.busFree, e.lastStart, e.now = 0, 0, 0
+	for i := range e.unit {
+		e.unit[i] = 0
+		e.subSeq[i] = 0
+		e.seen[i] = false
+	}
+	e.xunit, e.xsubSeq = nil, nil
+	e.stats = EngineStats{}
+}
+
+// MemBytes reports the bytes of scheduling state the engine retains.
+func (e *Engine) MemBytes() int64 {
+	return int64(cap(e.unit)+cap(e.subSeq))*8 + int64(cap(e.seen))
 }
 
 // Issue schedules one placed op and returns its completion time (ns since
 // engine start).
 func (e *Engine) Issue(p Placed) float64 {
-	lat := e.timing.OpLatency(&p.Op)
-	bus := e.timing.BusLatency(&p.Op)
+	return e.IssueOp(p.Bank, p.Subarray, p.Op.Kind, p.Op.Imm)
+}
 
-	uk := e.unitKeyFor(&p)
-	sk := unitKey{p.Bank, p.Subarray}
+// IssueOp is Issue without the Placed wrapper: schedulers that already hold
+// the op's kind and immediate (the pre-decoded execution stream) issue
+// through it without copying a whole isa.Op per command.
+func (e *Engine) IssueOp(bank, sub int, kind isa.OpKind, imm uint64) float64 {
+	var lat, bus, energy float64
+	var transfer bool
+	if k := int(kind); k >= 0 && k < numOpKinds {
+		lat, bus, energy, transfer = e.latByKind[k], e.busByKind[k], e.energyByKind[k], e.xferByKind[k]
+	}
 
-	start := e.unit[uk]
-	if s := e.subSeq[sk]; s > start {
-		start = s
+	dense := bank >= 0 && sub >= 0 && bank < e.geom.Banks && sub < e.geom.SubarraysPB
+	var ui, si int
+	var uk, sk unitKey
+	var uVal, sVal float64
+	var unitSeen bool
+	if dense {
+		si = bank*e.geom.SubarraysPB + sub
+		ui = si
+		if !e.salp {
+			ui = bank * e.geom.SubarraysPB
+		}
+		uVal, sVal, unitSeen = e.unit[ui], e.subSeq[si], e.seen[ui]
+	} else {
+		uk = unitKey{bank, 0}
+		if e.salp {
+			uk.sub = sub
+		}
+		sk = unitKey{bank, sub}
+		uVal, sVal = e.xunit[uk], e.xsubSeq[sk]
+		_, unitSeen = e.xunit[uk]
+	}
+
+	start := uVal
+	if sVal > start {
+		start = sVal
 	}
 	if s := e.lastStart + e.IssueGapNs; s > start && e.stats.Ops > 0 {
 		start = s
@@ -344,42 +424,51 @@ func (e *Engine) Issue(p Placed) float64 {
 	}
 
 	var ssdNs float64
-	switch p.Op.Kind {
+	switch kind {
 	case isa.OpSpillOut:
 		e.stats.SpillOuts++
 		if e.SSDDelay != nil {
-			ssdNs = e.SSDDelay(true, p.Op.Imm, start)
+			ssdNs = e.SSDDelay(true, imm, start)
 		}
 	case isa.OpSpillIn:
 		e.stats.SpillIns++
 		if e.SSDDelay != nil {
-			ssdNs = e.SSDDelay(false, p.Op.Imm, start)
+			ssdNs = e.SSDDelay(false, imm, start)
 		}
 	}
 
 	end := start + lat + ssdNs
 	e.lastStart = start
-	if _, seen := e.unit[uk]; !seen {
+	if !unitSeen {
 		e.stats.DistinctUnit++
 	}
-	e.unit[uk] = end
-	e.subSeq[sk] = end
+	if dense {
+		e.unit[ui] = end
+		e.seen[ui] = true
+		e.subSeq[si] = end
+	} else {
+		if e.xunit == nil {
+			e.xunit = make(map[unitKey]float64)
+			e.xsubSeq = make(map[unitKey]float64)
+		}
+		e.xunit[uk] = end
+		e.xsubSeq[sk] = end
+	}
 	if end > e.now {
 		e.now = end
 	}
 
 	e.stats.Ops++
-	e.stats.EnergyPJ += e.timing.OpEnergyPJ(&p.Op)
-	if p.Op.IsTransfer() {
+	e.stats.EnergyPJ += energy
+	if transfer {
 		e.stats.Transfers++
 		e.stats.TransferNs += lat
 	} else {
 		e.stats.ComputeNs += lat
 	}
 	e.stats.SSDNs += ssdNs
-	busy := e.unit[uk]
-	if busy > e.stats.MaxUnitBusy {
-		e.stats.MaxUnitBusy = busy
+	if end > e.stats.MaxUnitBusy {
+		e.stats.MaxUnitBusy = end
 	}
 	return end
 }

@@ -108,11 +108,22 @@ type Injector struct {
 
 // New creates an injector for cfg, reproducible from seed.
 func New(cfg Config, seed int64) *Injector {
-	return &Injector{
-		cfg:  cfg,
-		seed: mix(uint64(seed) ^ 0x9e3779b97f4a7c15),
-		last: make(map[isa.Row]int),
-	}
+	in := &Injector{last: make(map[isa.Row]int)}
+	in.Reset(cfg, seed)
+	return in
+}
+
+// Reset re-arms the injector for a new trial under (cfg, seed), clearing
+// all counters and retention state while keeping its storage. A reset
+// injector is indistinguishable from New(cfg, seed) — the fault sequence
+// is a stateless hash of (seed, op index), not of injector history — which
+// is what lets reliability sweeps pool injectors across trials.
+func (in *Injector) Reset(cfg Config, seed int64) {
+	in.cfg = cfg
+	in.seed = mix(uint64(seed) ^ 0x9e3779b97f4a7c15)
+	in.spent = 0
+	clear(in.last)
+	in.counts = Counts{}
 }
 
 // Counts returns the faults injected so far.

@@ -1,0 +1,33 @@
+package perfbench
+
+// The pre-optimization reference numbers, measured at commit 5e56f8e (the
+// last commit before the arena/pre-decode simulator rewrite) with the exact
+// Measure loop methodology via `go test -bench -benchmem -benchtime=2s` on
+// the project's reference machine (Intel Xeon @ 2.10GHz, linux/amd64).
+// They are data, not measurements to re-run: refreshing the current section
+// (choppersim -bench) preserves this section verbatim so every future
+// report keeps the original before/after comparison.
+
+const baselineNote = "map-backed simulator at commit 5e56f8e; " +
+	"go test -bench, benchtime=2s, Intel Xeon @ 2.10GHz, linux/amd64"
+
+// BaselineResults returns a fresh copy of the recorded baseline table.
+func BaselineResults() []Result {
+	src := []Result{
+		{Workload: "DenseNet-16", Arch: "Ambit", Lanes: 128, NsPerOp: 4167508, AllocsPerOp: 18948, BytesPerOp: 1831728},
+		{Workload: "DenseNet-16", Arch: "ELP2IM", Lanes: 128, NsPerOp: 4322772, AllocsPerOp: 18948, BytesPerOp: 1831728},
+		{Workload: "DenseNet-16", Arch: "SIMDRAM", Lanes: 128, NsPerOp: 3995117, AllocsPerOp: 17916, BytesPerOp: 1733296},
+		{Workload: "WTC-64", Arch: "Ambit", Lanes: 128, NsPerOp: 8863429, AllocsPerOp: 40701, BytesPerOp: 3945352},
+		{Workload: "WTC-64", Arch: "ELP2IM", Lanes: 128, NsPerOp: 8601156, AllocsPerOp: 40701, BytesPerOp: 3945352},
+		{Workload: "WTC-64", Arch: "SIMDRAM", Lanes: 128, NsPerOp: 6292558, AllocsPerOp: 27866, BytesPerOp: 2707800},
+		{Workload: "DiffGen-64", Arch: "Ambit", Lanes: 128, NsPerOp: 352561, AllocsPerOp: 1587, BytesPerOp: 191792},
+		{Workload: "DiffGen-64", Arch: "ELP2IM", Lanes: 128, NsPerOp: 365611, AllocsPerOp: 1587, BytesPerOp: 191792},
+		{Workload: "DiffGen-64", Arch: "SIMDRAM", Lanes: 128, NsPerOp: 387067, AllocsPerOp: 1587, BytesPerOp: 191792},
+		{Workload: "SW-64", Arch: "Ambit", Lanes: 128, NsPerOp: 1323444, AllocsPerOp: 5658, BytesPerOp: 554496},
+		{Workload: "SW-64", Arch: "ELP2IM", Lanes: 128, NsPerOp: 1308953, AllocsPerOp: 5658, BytesPerOp: 554496},
+		{Workload: "SW-64", Arch: "SIMDRAM", Lanes: 128, NsPerOp: 1266159, AllocsPerOp: 5658, BytesPerOp: 554496},
+	}
+	out := make([]Result, len(src))
+	copy(out, src)
+	return out
+}

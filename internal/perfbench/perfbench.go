@@ -1,0 +1,278 @@
+// Package perfbench is the tracked performance-benchmark suite: a
+// reproducible measurement of the end-to-end kernel run path (compile once,
+// RunRows per iteration) over one representative workload per paper domain,
+// on every PUD architecture. Results are serialized to BENCH_chopper.json
+// at the repository root so simulator-performance changes land with a
+// before/after record; docs/PERFORMANCE.md describes how to refresh it.
+//
+// The methodology is fixed so numbers stay comparable across commits:
+// 128 lanes, inputs drawn from math/rand with seed 1 and pre-transposed to
+// vertical layout outside the timed region, default optimization level,
+// default geometry. The committed baseline section was measured with
+// exactly this loop at the last commit before the zero-allocation
+// simulator rewrite.
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"chopper"
+	"chopper/internal/isa"
+	"chopper/internal/transpose"
+	"chopper/internal/workloads"
+)
+
+// Schema identifies the BENCH_chopper.json format.
+const Schema = "chopper-bench/v1"
+
+// Lanes is the SIMD width every suite measurement runs at.
+const Lanes = 128
+
+// inputSeed seeds the input generator; fixed for reproducibility.
+const inputSeed = 1
+
+// Workloads is the measured subset: the smallest Table II configuration of
+// each paper domain (compile time stays in seconds while the run path —
+// the thing this suite tracks — is exercised for thousands of micro-ops).
+var Workloads = []string{"DenseNet-16", "WTC-64", "DiffGen-64", "SW-64"}
+
+// Result is one (workload, arch) measurement.
+type Result struct {
+	Workload string `json:"workload"`
+	Arch     string `json:"arch"`
+	Lanes    int    `json:"lanes"`
+	// MicroOps is the compiled program length (0 in historical baseline
+	// entries, which recorded only the Go benchmark metrics).
+	MicroOps int `json:"micro_ops,omitempty"`
+	// NsPerOp is wall-clock nanoseconds per RunRows call.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are heap allocations per RunRows call.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// UopsPerSec is simulated micro-ops retired per wall-clock second.
+	UopsPerSec float64 `json:"uops_per_sec,omitempty"`
+	// CommandsPerSec is DRAM commands issued to the timing engine per
+	// wall-clock second (equal to UopsPerSec for single-subarray kernels,
+	// where every micro-op becomes exactly one command).
+	CommandsPerSec float64 `json:"commands_per_sec,omitempty"`
+}
+
+// Report is the persisted benchmark record.
+type Report struct {
+	Schema string `json:"schema"`
+	// BaselineNote says where the baseline numbers came from.
+	BaselineNote string `json:"baseline_note,omitempty"`
+	// Baseline holds the pre-optimization reference measurements.
+	Baseline []Result `json:"baseline,omitempty"`
+	// CurrentNote says how/when the current numbers were produced.
+	CurrentNote string `json:"current_note,omitempty"`
+	// Current holds the latest measurements.
+	Current []Result `json:"current"`
+}
+
+// arches is the measured architecture set, in paper order.
+var arches = []isa.Arch{isa.Ambit, isa.ELP2IM, isa.SIMDRAM}
+
+// Inputs builds the suite's deterministic pre-transposed operand rows for
+// a compiled kernel: rand(seed 1), each input filled lane-major with
+// width-masked values, transposed to vertical layout once.
+func Inputs(k *chopper.Kernel, lanes int) map[string][][]uint64 {
+	rng := rand.New(rand.NewSource(inputSeed))
+	rows := make(map[string][][]uint64, len(k.Inputs))
+	for _, in := range k.Inputs {
+		vals := make([][]uint64, lanes)
+		for l := range vals {
+			limbs := (in.Width + 63) / 64
+			v := make([]uint64, limbs)
+			for i := range v {
+				v[i] = rng.Uint64()
+			}
+			if r := in.Width % 64; r != 0 {
+				v[limbs-1] &= (uint64(1) << uint(r)) - 1
+			}
+			vals[l] = v
+		}
+		rows[in.Name] = transpose.ToVerticalWide(vals, in.Width, lanes)
+	}
+	return rows
+}
+
+// measureOpts tunes how long Measure samples.
+type measureOpts struct {
+	minIters int
+	minTime  time.Duration
+}
+
+func sampling(quick bool) measureOpts {
+	if quick {
+		return measureOpts{minIters: 1}
+	}
+	return measureOpts{minIters: 5, minTime: 300 * time.Millisecond}
+}
+
+// Measure benchmarks one (workload, arch) pair. quick runs a single timed
+// iteration (CI smoke); otherwise the run loop repeats until both the
+// iteration floor and the time floor are met.
+func Measure(workload string, arch isa.Arch, quick bool) (Result, error) {
+	spec, ok := workloads.Get(workload)
+	if !ok {
+		return Result{}, fmt.Errorf("perfbench: unknown workload %q", workload)
+	}
+	k, err := chopper.Compile(spec.Src, chopper.Options{Target: arch})
+	if err != nil {
+		return Result{}, fmt.Errorf("perfbench: compile %s/%s: %w", workload, arch, err)
+	}
+	rows := Inputs(k, Lanes)
+
+	// Warm run: first-touch arena growth, pool population, decode cache.
+	res, err := k.RunRows(rows, Lanes)
+	if err != nil {
+		return Result{}, fmt.Errorf("perfbench: run %s/%s: %w", workload, arch, err)
+	}
+	commandsPerRun := float64(res.Stats.Ops)
+
+	opts := sampling(quick)
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	iters := 0
+	for {
+		if _, err := k.RunRows(rows, Lanes); err != nil {
+			return Result{}, err
+		}
+		iters++
+		if iters >= opts.minIters && time.Since(start) >= opts.minTime {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+	uops := len(k.Prog().Ops)
+	r := Result{
+		Workload:    workload,
+		Arch:        arch.String(),
+		Lanes:       Lanes,
+		MicroOps:    uops,
+		NsPerOp:     nsPerOp,
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(iters),
+		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(iters),
+	}
+	if nsPerOp > 0 {
+		r.UopsPerSec = float64(uops) * 1e9 / nsPerOp
+		r.CommandsPerSec = commandsPerRun * 1e9 / nsPerOp
+	}
+	return r, nil
+}
+
+// RunSuite measures every (workload, arch) pair of the suite.
+func RunSuite(quick bool) ([]Result, error) {
+	var out []Result
+	for _, wl := range Workloads {
+		for _, arch := range arches {
+			r, err := Measure(wl, arch, quick)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// NewReport wraps current measurements with the recorded baseline.
+func NewReport(current []Result, note string) *Report {
+	return &Report{
+		Schema:       Schema,
+		BaselineNote: baselineNote,
+		Baseline:     BaselineResults(),
+		CurrentNote:  note,
+		Current:      current,
+	}
+}
+
+// Validate checks a report's structure: schema tag, non-empty current
+// section, and per-entry sanity (identity fields set, positive timings,
+// non-negative allocation counts).
+func Validate(r *Report) error {
+	if r == nil {
+		return fmt.Errorf("perfbench: nil report")
+	}
+	if r.Schema != Schema {
+		return fmt.Errorf("perfbench: schema %q, want %q", r.Schema, Schema)
+	}
+	if len(r.Current) == 0 {
+		return fmt.Errorf("perfbench: empty current section")
+	}
+	check := func(section string, rs []Result, needUops bool) error {
+		for i, e := range rs {
+			switch {
+			case e.Workload == "" || e.Arch == "":
+				return fmt.Errorf("perfbench: %s[%d]: missing workload/arch", section, i)
+			case e.Lanes <= 0:
+				return fmt.Errorf("perfbench: %s[%d] %s/%s: lanes %d", section, i, e.Workload, e.Arch, e.Lanes)
+			case e.NsPerOp <= 0:
+				return fmt.Errorf("perfbench: %s[%d] %s/%s: ns_per_op %v", section, i, e.Workload, e.Arch, e.NsPerOp)
+			case e.AllocsPerOp < 0 || e.BytesPerOp < 0:
+				return fmt.Errorf("perfbench: %s[%d] %s/%s: negative allocation metric", section, i, e.Workload, e.Arch)
+			case needUops && (e.MicroOps <= 0 || e.UopsPerSec <= 0 || e.CommandsPerSec <= 0):
+				return fmt.Errorf("perfbench: %s[%d] %s/%s: missing throughput metrics", section, i, e.Workload, e.Arch)
+			}
+		}
+		return nil
+	}
+	if err := check("baseline", r.Baseline, false); err != nil {
+		return err
+	}
+	return check("current", r.Current, true)
+}
+
+// Speedup returns baseline-ns / current-ns for one (workload, arch) pair,
+// or 0 when either side is missing.
+func (r *Report) Speedup(workload, arch string) float64 {
+	find := func(rs []Result) float64 {
+		for _, e := range rs {
+			if e.Workload == workload && e.Arch == arch {
+				return e.NsPerOp
+			}
+		}
+		return 0
+	}
+	base, cur := find(r.Baseline), find(r.Current)
+	if base <= 0 || cur <= 0 {
+		return 0
+	}
+	return base / cur
+}
+
+// Load reads and validates a report file.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perfbench: %s: %w", path, err)
+	}
+	if err := Validate(&r); err != nil {
+		return nil, fmt.Errorf("perfbench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteFile serializes the report (indented, trailing newline) to path.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,169 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"chopper"
+	"chopper/internal/isa"
+	"chopper/internal/workloads"
+)
+
+// BenchmarkRunRows is the suite under `go test -bench`: same workloads,
+// inputs and run loop as Measure, with Go's benchmark machinery doing the
+// sampling. uops/s and commands/s are reported as custom metrics.
+func BenchmarkRunRows(b *testing.B) {
+	wls := Workloads
+	if testing.Short() {
+		wls = Workloads[:1]
+	}
+	for _, wl := range wls {
+		for _, arch := range arches {
+			b.Run(wl+"/"+arch.String(), func(b *testing.B) {
+				spec, ok := workloads.Get(wl)
+				if !ok {
+					b.Fatalf("unknown workload %s", wl)
+				}
+				k, err := chopper.Compile(spec.Src, chopper.Options{Target: arch})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows := Inputs(k, Lanes)
+				var cmds float64
+				res, err := k.RunRows(rows, Lanes) // warm
+				if err != nil {
+					b.Fatal(err)
+				}
+				cmds = float64(res.Stats.Ops)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := k.RunRows(rows, Lanes); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				if nsPerOp > 0 {
+					b.ReportMetric(float64(len(k.Prog().Ops))*1e9/nsPerOp, "uops/s")
+					b.ReportMetric(cmds*1e9/nsPerOp, "commands/s")
+				}
+			})
+		}
+	}
+}
+
+// TestQuickSuiteAndSchema runs the quick (single-iteration) suite, wraps it
+// in a report, and round-trips it through the JSON schema.
+func TestQuickSuiteAndSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick suite still compiles 12 kernels")
+	}
+	cur, err := RunSuite(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(Workloads) * len(arches); len(cur) != want {
+		t.Fatalf("suite returned %d results, want %d", len(cur), want)
+	}
+	rep := NewReport(cur, "test run")
+	if err := Validate(rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(&back); err != nil {
+		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+	if back.Baseline[0].NsPerOp != 4167508 {
+		t.Fatalf("baseline table lost in round trip: %+v", back.Baseline[0])
+	}
+}
+
+// TestValidateRejects pins the validator's failure modes.
+func TestValidateRejects(t *testing.T) {
+	good := func() *Report {
+		return NewReport([]Result{{
+			Workload: "DenseNet-16", Arch: "Ambit", Lanes: 128,
+			MicroOps: 100, NsPerOp: 5, AllocsPerOp: 1, BytesPerOp: 64,
+			UopsPerSec: 1, CommandsPerSec: 1,
+		}}, "")
+	}
+	if err := Validate(good()); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+	cases := []func(*Report){
+		func(r *Report) { r.Schema = "other/v0" },
+		func(r *Report) { r.Current = nil },
+		func(r *Report) { r.Current[0].Workload = "" },
+		func(r *Report) { r.Current[0].NsPerOp = 0 },
+		func(r *Report) { r.Current[0].Lanes = 0 },
+		func(r *Report) { r.Current[0].AllocsPerOp = -1 },
+		func(r *Report) { r.Current[0].UopsPerSec = 0 },
+		func(r *Report) { r.Baseline[0].NsPerOp = -3 },
+	}
+	for i, mutate := range cases {
+		r := good()
+		mutate(r)
+		if err := Validate(r); err == nil {
+			t.Errorf("case %d: broken report accepted", i)
+		}
+	}
+	if err := Validate(nil); err == nil {
+		t.Error("nil report accepted")
+	}
+}
+
+// TestCommittedReport validates the BENCH_chopper.json checked in at the
+// repository root and holds the PR's acceptance criterion: at least a 2x
+// ns/op improvement over the recorded baseline on at least two workloads.
+func TestCommittedReport(t *testing.T) {
+	rep, err := Load("../../BENCH_chopper.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoX := 0
+	for _, wl := range Workloads {
+		s := rep.Speedup(wl, "Ambit")
+		if s == 0 {
+			t.Fatalf("workload %s missing from baseline or current section", wl)
+		}
+		t.Logf("%s/Ambit: %.2fx vs baseline", wl, s)
+		if s >= 2 {
+			twoX++
+		}
+	}
+	if twoX < 2 {
+		t.Fatalf("only %d workloads show >=2x over the recorded baseline, want >=2", twoX)
+	}
+}
+
+// TestSpeedupMissing pins Speedup's missing-entry behavior.
+func TestSpeedupMissing(t *testing.T) {
+	r := NewReport([]Result{{
+		Workload: "DenseNet-16", Arch: "Ambit", Lanes: 128,
+		MicroOps: 1, NsPerOp: 2083754, AllocsPerOp: 0, BytesPerOp: 0,
+		UopsPerSec: 1, CommandsPerSec: 1,
+	}}, "")
+	if s := r.Speedup("DenseNet-16", "Ambit"); s < 1.99 || s > 2.01 {
+		t.Fatalf("speedup %v, want ~2", s)
+	}
+	if s := r.Speedup("NoSuch-1", "Ambit"); s != 0 {
+		t.Fatalf("missing workload speedup %v, want 0", s)
+	}
+	if s := r.Speedup("DenseNet-16", "NoArch"); s != 0 {
+		t.Fatalf("missing arch speedup %v, want 0", s)
+	}
+}
+
+func TestMeasureUnknownWorkload(t *testing.T) {
+	if _, err := Measure("NoSuch-1", isa.Ambit, true); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

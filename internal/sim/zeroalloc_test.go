@@ -1,0 +1,129 @@
+package sim
+
+// The acceptance bar for the arena/pre-decode rewrite: once a subarray,
+// spill store and timing engine are warm, the decoded Exec + IssueOp loop
+// must not allocate at all. testing.AllocsPerRun gates this so a future
+// change that reintroduces a per-op make/map write fails the suite rather
+// than silently regressing throughput.
+
+import (
+	"context"
+	"testing"
+
+	"chopper/internal/dram"
+	"chopper/internal/guard"
+	"chopper/internal/isa"
+)
+
+// steadyProgram covers every op kind on its fast path: AAP (single- and
+// multi-destination), AP, WRITE, READ, SPILL_OUT, SPILL_IN, and ROWINIT on
+// both a D-group row and an already-correct C-group row (the skip path).
+func steadyProgram() *isa.Program {
+	p := &isa.Program{Ops: []isa.Op{
+		isa.NewWrite(isa.Row(0), 0),
+		isa.NewWrite(isa.Row(1), 1),
+		isa.NewRowInit(isa.Row(2), 0xAAAA),
+		isa.NewRowInit(isa.C0, 0),          // correct pattern: skip path
+		isa.NewRowInit(isa.C1, ^uint64(0)), // correct pattern: skip path
+		isa.NewAAP(isa.Row(0), isa.T0),
+		{Kind: isa.OpAAP, Src: isa.Row(1), Dst: [3]isa.Row{isa.T1, isa.T2, isa.RowNone}, NDst: 2},
+		isa.NewAP(isa.T0, isa.T1, isa.T2),
+		isa.NewSpillOut(isa.T0, 3),
+		isa.NewSpillIn(isa.Row(4), 3),
+		isa.NewAAP(isa.Row(4), isa.Row(5)),
+		isa.NewRead(isa.Row(5), 2),
+	}}
+	return p
+}
+
+func steadyIO(words int) *HostIO {
+	w0 := make([]uint64, words)
+	w1 := make([]uint64, words)
+	for i := range w0 {
+		w0[i] = 0x0123456789abcdef
+		w1[i] = ^uint64(0) >> 1
+	}
+	return &HostIO{
+		WriteData: func(tag int) []uint64 {
+			if tag == 0 {
+				return w0
+			}
+			return w1
+		},
+		ReadSink: func(tag int, data []uint64) { _ = data[0] },
+	}
+}
+
+// TestExecDecodedZeroAlloc drives the raw per-op loop — ExecDecoded plus
+// Engine.IssueOp — on warm state and requires exactly zero allocations.
+func TestExecDecodedZeroAlloc(t *testing.T) {
+	const lanes = 128
+	sub := NewSubarray(64, lanes)
+	spill := NewSpillStore()
+	g := dram.DefaultGeometry()
+	eng := dram.NewEngine(g, dram.TimingFor(isa.Ambit, g), false)
+	d := Decode(steadyProgram())
+	io := steadyIO(sub.words)
+
+	run := func() {
+		for i := 0; i < d.Len(); i++ {
+			if err := sub.ExecDecoded(d, i, io, spill); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			eng.IssueOp(0, 0, d.ops[i].kind, d.ops[i].imm)
+		}
+	}
+	run() // warm: first touch allocates arena rows and the spill slot
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Fatalf("steady-state ExecDecoded+IssueOp loop allocates %v allocs/op-sequence, want 0", n)
+	}
+}
+
+// TestRunDecodedCtxZeroAlloc asserts the full Machine entry point — guard
+// checkpoints included — is allocation-free once warm.
+func TestRunDecodedCtxZeroAlloc(t *testing.T) {
+	g := dram.DefaultGeometry()
+	m := NewMachine(MachineConfig{Geom: g, Arch: isa.Ambit, Lanes: 96})
+	d := Decode(steadyProgram())
+	io := steadyIO(m.Sub(0, 0).words)
+	ctx := context.Background()
+	b := guard.Budget{}
+
+	run := func() {
+		if _, err := m.RunDecodedCtx(ctx, d, 0, 0, io, b); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	run()
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Fatalf("steady-state RunDecodedCtx allocates %v allocs/run, want 0", n)
+	}
+}
+
+// TestResetKeepsZeroAlloc proves trial-style reuse (Reset between replays,
+// as verify and reliability loops do) stays allocation-free after the first
+// post-reset replay re-touches the arena.
+func TestResetKeepsZeroAlloc(t *testing.T) {
+	sub := NewSubarray(64, 64)
+	spill := NewSpillStore()
+	g := dram.DefaultGeometry()
+	eng := dram.NewEngine(g, dram.TimingFor(isa.SIMDRAM, g), true)
+	d := Decode(steadyProgram())
+	io := steadyIO(sub.words)
+
+	trial := func() {
+		sub.Reset()
+		spill.Reset()
+		eng.Reset()
+		for i := 0; i < d.Len(); i++ {
+			if err := sub.ExecDecoded(d, i, io, spill); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			eng.IssueOp(0, 0, d.ops[i].kind, d.ops[i].imm)
+		}
+	}
+	trial()
+	if n := testing.AllocsPerRun(50, trial); n != 0 {
+		t.Fatalf("Reset+replay trial allocates %v allocs/trial, want 0", n)
+	}
+}

@@ -118,7 +118,10 @@ func (k *Kernel) ReliabilityCtx(ctx context.Context, trials int, seed int64, cfg
 	rep.TimeNs = res.TimeNs
 
 	// One pool job per (cfg, trial) cell; cell j writes only cells[j], so
-	// the merge below sees the same data regardless of scheduling.
+	// the merge below sees the same data regardless of scheduling. Cells
+	// execute on pooled simulation machines (machinePool) and pooled fault
+	// injectors (injectorPool), so a sweep's steady-state cost is the
+	// functional replay itself, not per-trial allocation.
 	cells := make([]relCell, len(cfgs)*trials)
 	err = pool.RunCtx(ctx, workers, len(cells), func(j int) error {
 		ci, trial := j/trials, j%trials

@@ -3,6 +3,7 @@ package chopper
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"chopper/internal/dram"
 	"chopper/internal/guard"
@@ -11,6 +12,29 @@ import (
 	"chopper/internal/transpose"
 	"chopper/internal/vircoe"
 )
+
+// tileScratch is the per-worker functional state of one tile run: a
+// subarray and a spill store, pooled so repeated RunTiled calls (and the
+// benchmark harness driving them) reuse arenas instead of reallocating
+// them per tile.
+type tileScratch struct {
+	sub   *sim.Subarray
+	spill *sim.SpillStore
+}
+
+var tileScratchPool sync.Pool
+
+func getTileScratch(dRows, lanes int) *tileScratch {
+	if v := tileScratchPool.Get(); v != nil {
+		ts := v.(*tileScratch)
+		ts.sub.Configure(dRows, lanes)
+		ts.spill.Reset()
+		return ts
+	}
+	return &tileScratch{sub: sim.NewSubarray(dRows, lanes), spill: sim.NewSpillStore()}
+}
+
+func putTileScratch(ts *tileScratch) { tileScratchPool.Put(ts) }
 
 // TiledResult carries a tiled run's outputs and timing.
 type TiledResult struct {
@@ -131,25 +155,33 @@ func (k *Kernel) RunTiledCtx(ctx context.Context, inputs map[string][][]uint64, 
 	// entries keyed by tl (both maps are fully populated above, so workers
 	// only read the maps), which keeps the fan-out race-free and the
 	// gathered result identical at any worker count.
+	d := k.decodedProg()
 	if err := pool.RunCtx(ctx, 0, tiles, func(tl int) error {
-		sub := sim.NewSubarray(geom.DRows(), tileLanes)
-		spill := sim.NewSpillStore()
+		ts := getTileScratch(geom.DRows(), tileLanes)
+		defer putTileScratch(ts)
+		// Constant-pattern rows for this tile are built once, not per
+		// WRITE (the simulator copies payloads, so sharing is safe).
+		var constRows map[int][]uint64
+		if len(k.constPattern) > 0 {
+			constRows = make(map[int][]uint64, len(k.constPattern))
+			n := laneCount(tl)
+			for tag, pat := range k.constPattern {
+				row := make([]uint64, transpose.Words(n))
+				for i := range row {
+					row[i] = pat
+				}
+				if r := n % 64; r != 0 {
+					row[len(row)-1] &= (uint64(1) << uint(r)) - 1
+				}
+				constRows[tag] = row
+			}
+		}
 		io := &sim.HostIO{
 			WriteData: func(tag int) []uint64 {
 				if ref, ok := inByTag[tag]; ok {
 					return tileRows[tileKey{ref.base, tl}][ref.bit]
 				}
-				if pat, ok := k.constPattern[tag]; ok {
-					row := make([]uint64, transpose.Words(laneCount(tl)))
-					for i := range row {
-						row[i] = pat
-					}
-					if r := laneCount(tl) % 64; r != 0 {
-						row[len(row)-1] &= (uint64(1) << uint(r)) - 1
-					}
-					return row
-				}
-				return nil
+				return constRows[tag]
 			},
 			ReadSink: func(tag int, data []uint64) {
 				if ref, ok := outByTag[tag]; ok {
@@ -157,13 +189,13 @@ func (k *Kernel) RunTiledCtx(ctx context.Context, inputs map[string][][]uint64, 
 				}
 			},
 		}
-		for i := range k.prog.Ops {
+		for i := 0; i < d.Len(); i++ {
 			if i&255 == 0 {
 				if err := guard.Ctx(ctx); err != nil {
 					return err
 				}
 			}
-			if err := sub.Exec(&k.prog.Ops[i], io, spill); err != nil {
+			if err := ts.sub.ExecDecoded(d, i, io, ts.spill); err != nil {
 				return fmt.Errorf("chopper: tile %d op %d: %w", tl, i, err)
 			}
 		}

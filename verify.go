@@ -103,7 +103,10 @@ func (k *Kernel) VerifyUnderFaultCtx(ctx context.Context, trials int, seed int64
 // compares every output lane against the reference dataflow evaluation.
 // Trials are independent units of work: inputs come from trialSeed(seed,
 // trial), the lane count from verifyLaneSchedule, so the pool can place
-// them on any worker without changing the outcome.
+// them on any worker without changing the outcome. Each trial runs on a
+// pooled simulation machine (see machinePool): workers reuse subarray
+// arenas, spill buffers and engine tables across trials instead of
+// reallocating them, with Reconfigure resetting all trial state.
 func (k *Kernel) verifyTrials(ctx context.Context, trials int, seed int64, workers int, run func(trial int, rows map[string][][]uint64, lanes int) (*RunResult, error)) error {
 	if trials <= 0 {
 		return optionsErrf("trials must be positive, have %d", trials)
