@@ -35,6 +35,7 @@ import (
 	"chopper/internal/isa"
 	"chopper/internal/logic"
 	"chopper/internal/obs"
+	"chopper/internal/pool"
 	"chopper/internal/sim"
 	"chopper/internal/transpose"
 	"chopper/internal/typecheck"
@@ -202,6 +203,14 @@ func getMachine(cfg sim.MachineConfig) *sim.Machine {
 
 func putMachine(m *sim.Machine) { machinePool.Put(m) }
 
+// compilePool recycles the code generator's per-compile scratch arena
+// (location tables, CSR use/output indices, the row-allocator free list)
+// across compiles, the same way machinePool recycles simulators. The
+// scratch is reset by Generate on checkout, so no state leaks between
+// kernels; it is returned to the pool only after the last pass that
+// reads it has finished.
+var compilePool = sync.Pool{New: func() any { return new(codegen.Scratch) }}
+
 // Prog returns the compiled micro-op program.
 func (k *Kernel) Prog() *isa.Program { return k.prog }
 
@@ -305,9 +314,18 @@ func compileGraph(ctx context.Context, prog *dsl.Program, entry string, graph *d
 func compileGraphAt(ctx context.Context, prog *dsl.Program, graph *dfg.Graph, opts Options, opt OptLevel) (*Kernel, error) {
 	b := opts.Budget
 
+	// Parallel bit-slicing of independent equations. Kept serial when a
+	// kernel cache absorbs repeat compiles anyway, or when budgets are
+	// set: the guard checkpoints then observe exactly the serial pass
+	// sequence, so truncation points stay reproducible.
+	workers := 1
+	if opts.Cache == nil && b == (Budget{}) {
+		workers = pool.Size(0)
+	}
+
 	var net *logic.Net
 	if err := protect("bitslice", func() error {
-		n, err := bitslice.Lower(graph, bitslice.Options{Fold: opt.HasReuse()})
+		n, err := bitslice.Lower(graph, bitslice.Options{Fold: opt.HasReuse(), Workers: workers})
 		if err != nil {
 			return stage(ErrCodegen, "chopper: bitslice", err)
 		}
@@ -360,6 +378,8 @@ func compileGraphAt(ctx context.Context, prog *dsl.Program, graph *dfg.Graph, op
 	}
 
 	var code *codegen.Result
+	scratch := compilePool.Get().(*codegen.Scratch)
+	defer compilePool.Put(scratch)
 	if err := protect("codegen", func() error {
 		c, err := codegen.Generate(leg, codegen.Options{
 			Arch:    opts.Target,
@@ -367,6 +387,7 @@ func compileGraphAt(ctx context.Context, prog *dsl.Program, graph *dfg.Graph, op
 			DRows:   opts.Geometry.DRows(),
 			MaxOps:  b.MaxMicroOps,
 			Ctx:     ctx,
+			Scratch: scratch,
 		})
 		if err != nil {
 			if guard.IsGuard(err) {

@@ -3,24 +3,34 @@
 // runs it over the report emitted by `choppersim -bench` so a schema drift
 // or a truncated write fails the job; exit status 1 means invalid.
 //
+// With -min-compile-speedup S (S > 0) it additionally gates on the
+// compile-throughput section: at least -min-compile-workloads workloads
+// must reach an Sx cold-compile speedup over the recorded baseline in at
+// least one measured (arch, opt) configuration.
+//
 // Usage:
 //
-//	benchcheck [report.json]     # default BENCH_chopper.json
+//	benchcheck [flags] [report.json]     # default BENCH_chopper.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"chopper/internal/perfbench"
 )
 
 func main() {
+	minCompile := flag.Float64("min-compile-speedup", 0,
+		"fail unless this compile speedup is met on enough workloads (0 disables)")
+	minWorkloads := flag.Int("min-compile-workloads", 2,
+		"how many workloads must meet -min-compile-speedup")
 	flag.Parse()
 	path := "BENCH_chopper.json"
 	if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck [report.json]")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [flags] [report.json]")
 		os.Exit(2)
 	}
 	if flag.NArg() == 1 {
@@ -42,4 +52,37 @@ func main() {
 		fmt.Printf(", best speedup %.2fx (%s)", best, bestAt)
 	}
 	fmt.Println()
+
+	if rep.Compile != nil {
+		perWorkload := rep.CompileWorkloadBest()
+		names := make([]string, 0, len(perWorkload))
+		for wl := range perWorkload {
+			names = append(names, wl)
+		}
+		sort.Strings(names)
+		fmt.Printf("compile: %d entries", len(rep.Compile.Current))
+		for _, wl := range names {
+			fmt.Printf(", %s %.2fx", wl, perWorkload[wl])
+		}
+		fmt.Println()
+	}
+
+	if *minCompile > 0 {
+		if rep.Compile == nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: -min-compile-speedup %.2g set but %s has no compile section\n", *minCompile, path)
+			os.Exit(1)
+		}
+		met := 0
+		for _, s := range rep.CompileWorkloadBest() {
+			if s >= *minCompile {
+				met++
+			}
+		}
+		if met < *minWorkloads {
+			fmt.Fprintf(os.Stderr, "benchcheck: only %d workloads reach a %.2gx compile speedup, need %d\n",
+				met, *minCompile, *minWorkloads)
+			os.Exit(1)
+		}
+		fmt.Printf("compile gate: %d workloads at >=%.2gx (need %d) — ok\n", met, *minCompile, *minWorkloads)
+	}
 }

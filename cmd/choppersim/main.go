@@ -9,12 +9,19 @@
 //	           [-in name=v1,v2,... ...] file.chop
 //	choppersim -asm file.pud       # execute raw PUD assembly
 //	choppersim -bench              # run the tracked benchmark suite
+//	choppersim -compile-bench      # run the compile-throughput suite
 //
 // -bench runs the internal/perfbench suite (paper workloads x all
 // architectures) and writes BENCH_chopper.json (override with -bench-out),
 // preserving the recorded baseline section of an existing file so the
 // before/after comparison survives refreshes. -bench-quick runs a single
 // timed iteration per pair — the CI smoke configuration.
+//
+// -compile-bench refreshes the report's `compile` section (cold-compile
+// ns/op, allocs, gates/s across workloads x architectures x opt levels);
+// combined with -bench both suites run in one invocation. Alone, it
+// rewrites only the compile section of an existing report, leaving the
+// simulator sections untouched.
 //
 // -harden compiles with TMR (see docs/RELIABILITY.md); -fault-rate runs the
 // program on a faulty subarray, injecting TRA charge-sharing flips at the
@@ -84,16 +91,17 @@ func main() {
 	benchMode := flag.Bool("bench", false, "run the tracked benchmark suite and write a report instead of executing a program")
 	benchOut := flag.String("bench-out", "BENCH_chopper.json", "report path for -bench")
 	benchQuick := flag.Bool("bench-quick", false, "with -bench: one timed iteration per pair (CI smoke)")
+	compileBench := flag.Bool("compile-bench", false, "run the compile-throughput suite and record it in the report's compile section")
 	ins := inputFlags{}
 	flag.Var(ins, "in", "input operand values: name=v1,v2,... (repeatable)")
 	flag.Parse()
 
-	if *benchMode {
+	if *benchMode || *compileBench {
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: choppersim -bench [-bench-out file] [-bench-quick]")
+			fmt.Fprintln(os.Stderr, "usage: choppersim [-bench] [-compile-bench] [-bench-out file] [-bench-quick]")
 			os.Exit(2)
 		}
-		runBench(*benchOut, *benchQuick)
+		runBench(*benchOut, *benchQuick, *benchMode, *compileBench)
 		return
 	}
 	if flag.NArg() != 1 {
@@ -144,12 +152,18 @@ func main() {
 
 	opts := chopper.Options{Target: arch, Harden: *harden}.WithOpt(lv)
 	opts.Budget = chopper.Budget{MaxMicroOps: *maxUops}
+	// Compile through the process-wide kernel cache so the summary reports
+	// the serving-path counters a long-lived embedder would see (a one-shot
+	// invocation records one miss).
+	opts.Cache = chopper.SharedCache()
 	var k *chopper.Kernel
+	compileStart := time.Now()
 	if *baselineFlag {
 		k, err = chopper.CompileBaseline(string(srcBytes), opts)
 	} else {
 		k, err = chopper.CompileCtx(ctx, string(srcBytes), opts)
 	}
+	compileWall := time.Since(compileStart)
 	if err != nil {
 		fatalGuard(err)
 	}
@@ -203,6 +217,15 @@ func main() {
 
 	fmt.Printf("compiled for %v (%s): %d micro-ops, %d D rows, %d spill slots\n",
 		arch, lv, len(k.Prog().Ops), k.Prog().DRowsUsed, k.Prog().SpillSlots)
+	if cs := compileWall.Seconds(); cs > 0 {
+		gates := 0
+		if k.Net != nil {
+			gates = len(k.Net.Gates)
+		}
+		stats := chopper.SharedCache().Stats()
+		fmt.Printf("compile: %.2f ms wall, %.0f gates/s; kernel cache: %d hits / %d misses\n",
+			cs*1e3, float64(gates)/cs, stats.Hits, stats.Misses)
+	}
 	fmt.Printf("single-subarray makespan: %.1f us (%d lanes)\n", res.TimeNs/1000, *lanes)
 	if s := wall.Seconds(); s > 0 {
 		fmt.Printf("simulation rate: %.0f uops/s, %.0f DRAM commands/s (%.2f ms wall clock)\n",
@@ -241,23 +264,50 @@ func main() {
 	}
 }
 
-// runBench runs the tracked benchmark suite and writes the report. When
-// outPath already holds a report, its baseline section is carried over
+// runBench runs the tracked benchmark suites and writes the report. When
+// outPath already holds a report, its baseline sections are carried over
 // verbatim so refreshing the current numbers never loses the recorded
-// pre-optimization reference.
-func runBench(outPath string, quick bool) {
+// pre-optimization references. sim selects the simulator-throughput suite
+// (-bench), compile the cold-compile suite (-compile-bench); with only the
+// latter, the existing simulator sections are preserved untouched.
+func runBench(outPath string, quick, sim, compile bool) {
 	note := "choppersim -bench"
+	if !sim {
+		note = "choppersim -compile-bench"
+	}
 	if quick {
 		note += " -bench-quick (single iteration; not comparable across machines)"
 	}
-	cur, err := perfbench.RunSuite(quick)
-	if err != nil {
-		fatal(err)
+	prev, prevErr := perfbench.Load(outPath)
+
+	var rep *perfbench.Report
+	if sim {
+		cur, err := perfbench.RunSuite(quick)
+		if err != nil {
+			fatal(err)
+		}
+		rep = perfbench.NewReport(cur, note)
+		if prevErr == nil && len(prev.Baseline) > 0 {
+			rep.Baseline = prev.Baseline
+			rep.BaselineNote = prev.BaselineNote
+		}
+		if prevErr == nil {
+			rep.Compile = prev.Compile
+		}
+	} else {
+		// Compile-only refresh: the simulator sections must come from an
+		// existing valid report, since a report without them is invalid.
+		if prevErr != nil {
+			fatal(fmt.Errorf("-compile-bench without -bench needs an existing report: %w", prevErr))
+		}
+		rep = prev
 	}
-	rep := perfbench.NewReport(cur, note)
-	if prev, err := perfbench.Load(outPath); err == nil && len(prev.Baseline) > 0 {
-		rep.Baseline = prev.Baseline
-		rep.BaselineNote = prev.BaselineNote
+	if compile {
+		cc, err := perfbench.RunCompileSuite(quick)
+		if err != nil {
+			fatal(err)
+		}
+		rep.SetCompile(cc, note)
 	}
 	if err := perfbench.Validate(rep); err != nil {
 		fatal(err)
@@ -265,16 +315,34 @@ func runBench(outPath string, quick bool) {
 	if err := rep.WriteFile(outPath); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-14s %-8s %14s %12s %14s %10s\n", "workload", "arch", "ns/op", "allocs/op", "uops/s", "speedup")
-	for _, r := range rep.Current {
-		sp := "-"
-		if s := rep.Speedup(r.Workload, r.Arch); s > 0 {
-			sp = fmt.Sprintf("%.2fx", s)
+	if sim {
+		fmt.Printf("%-14s %-8s %14s %12s %14s %10s\n", "workload", "arch", "ns/op", "allocs/op", "uops/s", "speedup")
+		for _, r := range rep.Current {
+			sp := "-"
+			if s := rep.Speedup(r.Workload, r.Arch); s > 0 {
+				sp = fmt.Sprintf("%.2fx", s)
+			}
+			fmt.Printf("%-14s %-8s %14.0f %12.0f %14.0f %10s\n",
+				r.Workload, r.Arch, r.NsPerOp, r.AllocsPerOp, r.UopsPerSec, sp)
 		}
-		fmt.Printf("%-14s %-8s %14.0f %12.0f %14.0f %10s\n",
-			r.Workload, r.Arch, r.NsPerOp, r.AllocsPerOp, r.UopsPerSec, sp)
 	}
-	fmt.Printf("wrote %s (%d current entries, %d baseline entries)\n", outPath, len(rep.Current), len(rep.Baseline))
+	if compile && rep.Compile != nil {
+		fmt.Printf("\n%-14s %-8s %-9s %14s %12s %14s %10s\n",
+			"workload", "arch", "opt", "ns/op", "allocs/op", "gates/s", "speedup")
+		for _, r := range rep.Compile.Current {
+			sp := "-"
+			if s := rep.CompileSpeedup(r.Workload, r.Arch, r.Opt); s > 0 {
+				sp = fmt.Sprintf("%.2fx", s)
+			}
+			fmt.Printf("%-14s %-8s %-9s %14.0f %12.0f %14.0f %10s\n",
+				r.Workload, r.Arch, r.Opt, r.NsPerOp, r.AllocsPerOp, r.GatesPerSec, sp)
+		}
+	}
+	fmt.Printf("wrote %s (%d current entries, %d baseline entries", outPath, len(rep.Current), len(rep.Baseline))
+	if rep.Compile != nil {
+		fmt.Printf(", %d compile entries", len(rep.Compile.Current))
+	}
+	fmt.Println(")")
 }
 
 // runAsm assembles and executes a raw micro-op program. Each WRITE tag t

@@ -1,0 +1,71 @@
+package chopper_test
+
+// Determinism of the parallel bitslicing path at the full-compiler level:
+// repeated compiles of a many-component workload must emit byte-identical
+// programs regardless of worker scheduling, and must match a compile that
+// is forced onto the serial path (a cache-carrying compile). CI runs this
+// under -race with -cpu 1,4.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"chopper"
+	"chopper/internal/workloads"
+)
+
+// TestDeterminismParallelCompile compiles DiffGen-64 (128 independent DFG
+// components, the workload that actually engages parallel lowering) many
+// times concurrently and requires every emitted program to be identical.
+func TestDeterminismParallelCompile(t *testing.T) {
+	spec, ok := workloads.Get("DiffGen-64")
+	if !ok {
+		t.Fatal("unknown workload DiffGen-64")
+	}
+	for _, opt := range []chopper.OptLevel{chopper.OptBitslice, chopper.OptFull} {
+		t.Run(fmt.Sprint(opt), func(t *testing.T) {
+			ref, err := chopper.Compile(spec.Src, chopper.Options{Target: chopper.Ambit}.WithOpt(opt))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref.Prog().Format()
+
+			// A cache-carrying compile takes the serial path; its output
+			// must agree with the parallel one.
+			serial, err := chopper.Compile(spec.Src, chopper.Options{
+				Target: chopper.Ambit,
+				Cache:  chopper.NewKernelCache(4),
+			}.WithOpt(opt))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := serial.Prog().Format(); got != want {
+				t.Fatal("serial (cached) compile differs from parallel compile")
+			}
+
+			var wg sync.WaitGroup
+			errs := make([]error, 8)
+			for i := range errs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					k, err := chopper.Compile(spec.Src, chopper.Options{Target: chopper.Ambit}.WithOpt(opt))
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if got := k.Prog().Format(); got != want {
+						errs[i] = fmt.Errorf("compile %d produced a different program (%d vs %d bytes)", i, len(got), len(want))
+					}
+				}(i)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

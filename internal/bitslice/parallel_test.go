@@ -1,0 +1,128 @@
+package bitslice
+
+import (
+	"math/big"
+	"reflect"
+	"testing"
+
+	"chopper/internal/dfg"
+)
+
+// twoComponentGraph builds x = a+b, y = c+d — two equations sharing no
+// intermediate value, so the parallel path has two components to spread.
+func twoComponentGraph() *dfg.Graph {
+	g := &dfg.Graph{}
+	in := func(name string) dfg.ValueID {
+		id := dfg.ValueID(len(g.Values))
+		g.Values = append(g.Values, dfg.Value{Kind: dfg.OpInput, Width: 4, Name: name})
+		g.Inputs = append(g.Inputs, id)
+		return id
+	}
+	a, b, c, d := in("a"), in("b"), in("c"), in("d")
+	add := func(x, y dfg.ValueID) dfg.ValueID {
+		id := dfg.ValueID(len(g.Values))
+		g.Values = append(g.Values, dfg.Value{Kind: dfg.OpAdd, Args: []dfg.ValueID{x, y}, Width: 4})
+		return id
+	}
+	x, y := add(a, b), add(c, d)
+	g.Outputs = []dfg.ValueID{x, y}
+	g.OutputNames = []string{"x", "y"}
+	return g
+}
+
+// sharedConstGraph adds constants and a shared subexpression duplicated
+// across components, exercising replay-time CSE and const sharing.
+func sharedConstGraph() *dfg.Graph {
+	g := &dfg.Graph{}
+	in := func(name string) dfg.ValueID {
+		id := dfg.ValueID(len(g.Values))
+		g.Values = append(g.Values, dfg.Value{Kind: dfg.OpInput, Width: 8, Name: name})
+		g.Inputs = append(g.Inputs, id)
+		return id
+	}
+	a, b := in("a"), in("b")
+	val := func(k dfg.OpKind, w int, imm int64, args ...dfg.ValueID) dfg.ValueID {
+		id := dfg.ValueID(len(g.Values))
+		v := dfg.Value{Kind: k, Args: args, Width: w}
+		if k == dfg.OpConst {
+			v.Imm = big.NewInt(imm)
+		}
+		g.Values = append(g.Values, v)
+		return id
+	}
+	c5 := val(dfg.OpConst, 8, 5)
+	// Both components compute a+5 internally; serial CSE shares the
+	// adder, so the merge must reproduce that sharing to stay identical.
+	x := val(dfg.OpAdd, 8, 0, a, c5)
+	y := val(dfg.OpAdd, 8, 0, a, c5)
+	p := val(dfg.OpMul, 8, 0, x, b)
+	q := val(dfg.OpSub, 8, 0, y, b)
+	g.Outputs = []dfg.ValueID{p, q}
+	g.OutputNames = []string{"p", "q"}
+	return g
+}
+
+func assertSameNet(t *testing.T, g *dfg.Graph, opts Options) {
+	t.Helper()
+	serial, err := lowerSerial(g, opts)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		opts := opts
+		opts.Workers = workers
+		par, err := Lower(g, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial.Gates, par.Gates) ||
+			!reflect.DeepEqual(serial.Inputs, par.Inputs) ||
+			!reflect.DeepEqual(serial.InputNames, par.InputNames) ||
+			!reflect.DeepEqual(serial.Outputs, par.Outputs) ||
+			!reflect.DeepEqual(serial.OutputNames, par.OutputNames) {
+			t.Fatalf("workers=%d: parallel net differs from serial (fold=%v)", workers, opts.Fold)
+		}
+	}
+}
+
+// TestDeterminismParallelLower asserts the parallel lowering reproduces
+// the serial net exactly, at any worker count, with and without folding.
+// CI runs it under -race with -cpu 1,4.
+func TestDeterminismParallelLower(t *testing.T) {
+	for _, fold := range []bool{false, true} {
+		assertSameNet(t, twoComponentGraph(), Options{Fold: fold})
+		assertSameNet(t, sharedConstGraph(), Options{Fold: fold})
+	}
+}
+
+// TestDeterminismParallelComponents pins the component analysis: shared
+// inputs/constants never join equations, computation chains do.
+func TestDeterminismParallelComponents(t *testing.T) {
+	root, n := components(twoComponentGraph())
+	if n != 2 {
+		t.Fatalf("two-equation graph: got %d components, want 2", n)
+	}
+	if root[0] != -1 || root[4] == -1 || root[5] == -1 || root[4] == root[5] {
+		t.Fatalf("unexpected roots %v", root)
+	}
+	if _, n := components(sharedConstGraph()); n != 2 {
+		t.Fatalf("shared-const graph: got %d components, want 2", n)
+	}
+}
+
+// TestDeterminismParallelFallback asserts single-component graphs decline
+// the parallel path (and still compile).
+func TestDeterminismParallelFallback(t *testing.T) {
+	g := &dfg.Graph{}
+	g.Values = append(g.Values, dfg.Value{Kind: dfg.OpInput, Width: 4, Name: "a"})
+	g.Inputs = []dfg.ValueID{0}
+	g.Values = append(g.Values, dfg.Value{Kind: dfg.OpAdd, Args: []dfg.ValueID{0, 0}, Width: 4})
+	g.Outputs = []dfg.ValueID{1}
+	g.OutputNames = []string{"z"}
+	if _, ok := lowerParallel(g, Options{Workers: 4}); ok {
+		t.Fatal("single-component graph took the parallel path")
+	}
+	if _, err := Lower(g, Options{Workers: 4}); err != nil {
+		t.Fatalf("fallback lower: %v", err)
+	}
+}

@@ -343,21 +343,47 @@ func (g *Graph) Eval(inputs map[string]*big.Int) (map[string]*big.Int, error) {
 // builder constructs graphs with hash-consing.
 type builder struct {
 	g    Graph
-	hash map[string]ValueID
+	hash map[valueKey]ValueID
+}
+
+// valueKey is the comparable identity of a value for hash-consing. Args
+// are padded with -1 (never a real id); every kind has a fixed arity, so
+// padding cannot collide. Imm is keyed by its decimal text ("" for nil —
+// big.Int.String never returns the empty string).
+type valueKey struct {
+	kind       OpKind
+	a0, a1, a2 ValueID
+	width      int
+	imm        string
+	name       string
 }
 
 func (b *builder) add(v Value) ValueID {
-	key := fmt.Sprintf("%d|%v|%d|%v|%s", v.Kind, v.Args, v.Width, v.Imm, v.Name)
 	if v.Kind != OpInput {
+		key := valueKey{kind: v.Kind, a0: -1, a1: -1, a2: -1, width: v.Width, name: v.Name}
+		switch len(v.Args) {
+		case 3:
+			key.a2 = v.Args[2]
+			fallthrough
+		case 2:
+			key.a1 = v.Args[1]
+			fallthrough
+		case 1:
+			key.a0 = v.Args[0]
+		}
+		if v.Imm != nil {
+			key.imm = v.Imm.String()
+		}
 		if id, ok := b.hash[key]; ok {
 			return id
 		}
+		id := ValueID(len(b.g.Values))
+		b.g.Values = append(b.g.Values, v)
+		b.hash[key] = id
+		return id
 	}
 	id := ValueID(len(b.g.Values))
 	b.g.Values = append(b.g.Values, v)
-	if v.Kind != OpInput {
-		b.hash[key] = id
-	}
 	return id
 }
 
@@ -377,7 +403,7 @@ func BuildNode(ch *typecheck.Checked, name string) (*Graph, error) {
 	if entry == nil {
 		return nil, fmt.Errorf("dfg: no node named %q", name)
 	}
-	b := &builder{hash: make(map[string]ValueID)}
+	b := &builder{hash: make(map[valueKey]ValueID)}
 	args := make([]ValueID, len(entry.Params))
 	for i, p := range entry.Params {
 		id := b.add(Value{Kind: OpInput, Width: p.Type.Bits, Name: p.Name})

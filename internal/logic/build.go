@@ -1,6 +1,10 @@
 package logic
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
 
 // BuilderOptions control the local simplifications the Builder applies as
 // gates are created. CHOPPER-bitslice (the no-optimization variant in the
@@ -21,36 +25,183 @@ type BuilderOptions struct {
 	Target *GateSet
 }
 
-// Builder constructs Nets incrementally.
+// Builder constructs Nets incrementally. The structural-hashing and
+// negation caches live in dense, reusable storage (an open-addressed
+// interning table and NodeID-indexed slices) rather than Go maps, so a
+// pooled builder compiles in steady state without per-gate allocation.
 type Builder struct {
-	opts  BuilderOptions
-	net   Net
-	hash  map[gateKey]NodeID
-	zero  NodeID
-	one   NodeID
-	nots  map[NodeID]NodeID // cached NOT of each node (for ~~x = x)
-	notOf map[NodeID]NodeID // inverse: node -> the node it is the NOT of
+	opts   BuilderOptions
+	net    Net
+	intern internTable
+	zero   NodeID
+	one    NodeID
+	// nots[x] is the cached NOT of node x (for ~~x = x); notOf[id] is the
+	// node id negates. None when absent; maintained only under Fold, with
+	// length kept equal to len(net.Gates).
+	nots  []NodeID
+	notOf []NodeID
 }
 
-type gateKey struct {
+// internTable is an open-addressed (linear probing, power-of-two sized)
+// hash table interning computation gates for CSE. Slots are stamped with
+// the table's generation, so reset is O(1) — stale slots from earlier
+// nets read as empty without a bulk clear (a pooled builder carries the
+// largest table it ever grew; small compiles must not pay to wipe it).
+type internTable struct {
+	slots []internSlot
+	n     int
+	cur   uint32 // current generation; 0 is never current, so zeroed slots are empty
+}
+
+type internSlot struct {
 	kind GateKind
-	a    [3]NodeID
+	args [3]NodeID
+	idP1 int32  // NodeID + 1; 0 marks an empty slot
+	gen  uint32 // generation the slot was written in
+}
+
+func hashGate(kind GateKind, a [3]NodeID) uint64 {
+	h := uint64(kind) + 1
+	h = h*0x9E3779B97F4A7C15 + uint64(uint32(a[0]))
+	h = h*0x9E3779B97F4A7C15 + uint64(uint32(a[1]))
+	h = h*0x9E3779B97F4A7C15 + uint64(uint32(a[2]))
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+// lookup returns the interned id for (kind, args), or None with the probe
+// slot where it belongs.
+func (t *internTable) lookup(kind GateKind, args [3]NodeID) (NodeID, int) {
+	mask := uint64(len(t.slots) - 1)
+	i := hashGate(kind, args) & mask
+	for {
+		s := &t.slots[i]
+		if s.idP1 == 0 || s.gen != t.cur {
+			return None, int(i)
+		}
+		if s.kind == kind && s.args == args {
+			return NodeID(s.idP1 - 1), int(i)
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// insert stores id at slot (from a preceding lookup miss), growing and
+// rehashing past 3/4 load.
+func (t *internTable) insert(slot int, kind GateKind, args [3]NodeID, id NodeID) {
+	t.slots[slot] = internSlot{kind: kind, args: args, idP1: int32(id) + 1, gen: t.cur}
+	t.n++
+	if t.n*4 >= len(t.slots)*3 {
+		t.grow(len(t.slots) * 2)
+	}
+}
+
+func (t *internTable) grow(size int) {
+	old := t.slots
+	t.slots = make([]internSlot, size)
+	mask := uint64(size - 1)
+	for _, s := range old {
+		if s.idP1 == 0 || s.gen != t.cur {
+			continue
+		}
+		i := hashGate(s.kind, s.args) & mask
+		for t.slots[i].idP1 != 0 {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = s
+	}
+}
+
+// reset empties the table keeping its capacity by advancing the
+// generation (O(1); a full clear happens only on uint32 wraparound).
+func (t *internTable) reset() {
+	t.cur++
+	if t.cur == 0 {
+		clear(t.slots)
+		t.cur = 1
+	}
+	t.n = 0
+}
+
+func nextPow2(n int) int {
+	if n < 16 {
+		return 16
+	}
+	return 1 << bits.Len(uint(n-1))
 }
 
 // NewBuilder creates a builder with the given options.
 func NewBuilder(opts BuilderOptions) *Builder {
-	return &Builder{
-		opts:  opts,
-		hash:  make(map[gateKey]NodeID),
-		zero:  None,
-		one:   None,
-		nots:  make(map[NodeID]NodeID),
-		notOf: make(map[NodeID]NodeID),
-	}
+	b := &Builder{}
+	b.intern.slots = make([]internSlot, 256)
+	b.Reset(opts)
+	return b
 }
 
 // NewOptBuilder returns a builder with all local simplifications enabled.
 func NewOptBuilder() *Builder { return NewBuilder(BuilderOptions{Fold: true, CSE: true}) }
+
+// Reset re-initializes the builder for a fresh net under opts, keeping
+// every internal buffer's capacity (and, when the previous net was not
+// taken with Net(), the net slices' capacity too).
+func (b *Builder) Reset(opts BuilderOptions) {
+	b.opts = opts
+	b.net.Gates = b.net.Gates[:0]
+	b.net.Inputs = b.net.Inputs[:0]
+	b.net.InputNames = b.net.InputNames[:0]
+	b.net.Outputs = b.net.Outputs[:0]
+	b.net.OutputNames = b.net.OutputNames[:0]
+	b.net.inIdx = nil
+	b.net.inDup = ""
+	b.intern.reset()
+	b.zero, b.one = None, None
+	b.nots = b.nots[:0]
+	b.notOf = b.notOf[:0]
+}
+
+// Grow hints the expected gate count, pre-sizing the gate slice and the
+// interning table so steady-state building does not reallocate.
+func (b *Builder) Grow(gates int) {
+	if cap(b.net.Gates) < gates {
+		g := make([]Gate, len(b.net.Gates), gates)
+		copy(g, b.net.Gates)
+		b.net.Gates = g
+	}
+	if want := nextPow2(gates * 2); len(b.intern.slots) < want {
+		b.intern.grow(want)
+	}
+	if b.opts.Fold && cap(b.nots) < gates {
+		ns := make([]NodeID, len(b.nots), gates)
+		copy(ns, b.nots)
+		b.nots = ns
+		no := make([]NodeID, len(b.notOf), gates)
+		copy(no, b.notOf)
+		b.notOf = no
+	}
+}
+
+// builderPool recycles Builders across compiles; see AcquireBuilder.
+var builderPool = sync.Pool{New: func() any { return NewBuilder(BuilderOptions{}) }}
+
+// AcquireBuilder returns a pooled builder reset to opts. Release it with
+// Builder.Release once the net has been taken; builders abandoned on
+// panic/error paths may simply be dropped.
+func AcquireBuilder(opts BuilderOptions) *Builder {
+	b := builderPool.Get().(*Builder)
+	b.Reset(opts)
+	return b
+}
+
+// Release returns the builder to the pool. The caller must not use it
+// afterwards. Net slices still held (when Net was never called) are
+// dropped so the pool retains only the dense scratch structures.
+func (b *Builder) Release() {
+	b.net = Net{}
+	b.opts.Target = nil
+	builderPool.Put(b)
+}
 
 func (b *Builder) raw(kind GateKind, args ...NodeID) NodeID {
 	g := Gate{Kind: kind}
@@ -59,18 +210,27 @@ func (b *Builder) raw(kind GateKind, args ...NodeID) NodeID {
 		g.Args[i] = None
 	}
 	if b.opts.CSE && kind != GInput {
-		key := gateKey{kind, g.Args}
-		if id, ok := b.hash[key]; ok {
+		id, slot := b.intern.lookup(kind, g.Args)
+		if id != None {
 			return id
 		}
-		id := NodeID(len(b.net.Gates))
-		b.net.Gates = append(b.net.Gates, g)
-		b.hash[key] = id
+		id = NodeID(len(b.net.Gates))
+		b.append(g)
+		b.intern.insert(slot, kind, g.Args, id)
 		return id
 	}
 	id := NodeID(len(b.net.Gates))
-	b.net.Gates = append(b.net.Gates, g)
+	b.append(g)
 	return id
+}
+
+// append adds the gate, keeping the negation caches in step under Fold.
+func (b *Builder) append(g Gate) {
+	b.net.Gates = append(b.net.Gates, g)
+	if b.opts.Fold {
+		b.nots = append(b.nots, None)
+		b.notOf = append(b.notOf, None)
+	}
 }
 
 // Input declares a fresh named input bit.
@@ -100,10 +260,10 @@ func (b *Builder) allowOr() bool  { return b.opts.Target == nil || b.opts.Target
 
 // isNotOf reports whether y is the negation of x (in either direction).
 func (b *Builder) isNotOf(x, y NodeID) bool {
-	if n, ok := b.notOf[x]; ok && n == y {
+	if n := b.notOf[x]; n == y {
 		return true
 	}
-	if n, ok := b.notOf[y]; ok && n == x {
+	if n := b.notOf[y]; n == x {
 		return true
 	}
 	return false
@@ -125,10 +285,10 @@ func (b *Builder) Not(x NodeID) NodeID {
 		if v, ok := b.isConst(x); ok {
 			return b.Const(!v)
 		}
-		if orig, ok := b.notOf[x]; ok { // ~~y = y
+		if orig := b.notOf[x]; orig != None { // ~~y = y
 			return orig
 		}
-		if n, ok := b.nots[x]; ok {
+		if n := b.nots[x]; n != None {
 			return n
 		}
 	}
@@ -232,12 +392,10 @@ func (b *Builder) Maj(x, y, z NodeID) NodeID {
 		// A constant arm reduces majority to AND/OR (kept as MAJ when
 		// the target architecture has no native AND/OR: a MAJ with a
 		// C-group operand row *is* that architecture's AND/OR).
-		if v, ok := b.isConst(x); ok {
+		if _, ok := b.isConst(x); ok {
 			x, z = z, x
-			_ = v
-		} else if v, ok := b.isConst(y); ok {
+		} else if _, ok := b.isConst(y); ok {
 			y, z = z, y
-			_ = v
 		}
 		if v, ok := b.isConst(z); ok {
 			if v && b.allowOr() {
@@ -298,6 +456,36 @@ func (b *Builder) Mux(c, t, f NodeID) NodeID {
 	return b.Or(b.And(c, t), b.And(b.Not(c), f))
 }
 
+// Replay appends a computation gate whose folding decisions were already
+// made elsewhere (a worker building a private sub-net), re-applying only
+// the id-order normalization and structural hashing of this builder. The
+// caller passes args already remapped into this builder's id space; the
+// returned id reflects any CSE merge with an existing gate. Constants and
+// inputs are not replayable (use Const and Input, which keep their
+// sharing semantics).
+func (b *Builder) Replay(kind GateKind, args [3]NodeID) NodeID {
+	switch kind {
+	case GNot:
+		return b.raw(GNot, args[0])
+	case GAnd, GOr, GXor:
+		x, y := normalize2(args[0], args[1])
+		return b.raw(kind, x, y)
+	case GMaj:
+		x, y, z := args[0], args[1], args[2]
+		if y < x {
+			x, y = y, x
+		}
+		if z < y {
+			y, z = z, y
+		}
+		if y < x {
+			x, y = y, x
+		}
+		return b.raw(GMaj, x, y, z)
+	}
+	panic(fmt.Sprintf("logic: replay of non-computation gate %v", kind))
+}
+
 // Output registers node id as a named output.
 func (b *Builder) Output(name string, id NodeID) {
 	if id < 0 || int(id) >= len(b.net.Gates) {
@@ -307,10 +495,16 @@ func (b *Builder) Output(name string, id NodeID) {
 	b.net.OutputNames = append(b.net.OutputNames, name)
 }
 
-// Net finalizes and returns the constructed net. The builder must not be
-// used afterwards.
+// GateCount returns the number of gates created so far (the id the next
+// appended gate would get); used to record replayable gate spans.
+func (b *Builder) GateCount() int { return len(b.net.Gates) }
+
+// Net finalizes and returns the constructed net (with its input index
+// precomputed). The builder must not be used for further gate creation
+// afterwards; pooled builders should then be Released.
 func (b *Builder) Net() *Net {
 	n := b.net
 	b.net = Net{}
+	n.buildInputIndex()
 	return &n
 }

@@ -1,0 +1,208 @@
+package perfbench
+
+// The compile-throughput suite: where perfbench.Measure tracks the *run*
+// path (compile once, RunRows per iteration), this file tracks the *cold
+// compile* path — the full DSL -> bitslice -> OBS -> codegen pipeline per
+// iteration, no kernel cache. CHOPPER's pitch is programmability (many
+// distinct kernels compiled on demand), so cold-compile throughput is a
+// serving-path cost the kernel cache only amortizes, not removes.
+//
+// Methodology, fixed so numbers stay comparable across commits: the same
+// four Table II workloads as the run suite, every PUD architecture, every
+// cumulative optimization level of the paper's breakdown ladder
+// (bitslice ⊂ schedule ⊂ reuse ⊂ rename), default geometry, no cache, no
+// budget. Results land in the `compile` section of BENCH_chopper.json; the
+// recorded pre-change baseline (compilebaseline.go) is carried forward
+// verbatim on refresh.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"chopper"
+	"chopper/internal/isa"
+	"chopper/internal/obs"
+	"chopper/internal/workloads"
+)
+
+// CompileOpts is the optimization ladder the compile suite measures, in
+// cumulative order.
+var CompileOpts = []obs.Variant{obs.Bitslice, obs.Schedule, obs.Reuse, obs.Rename}
+
+// CompileResult is one (workload, arch, opt) cold-compile measurement.
+type CompileResult struct {
+	Workload string `json:"workload"`
+	Arch     string `json:"arch"`
+	Opt      string `json:"opt"`
+	// Gates is the legalized logic-net size the pipeline produced; the
+	// denominator of GatesPerSec.
+	Gates int `json:"gates"`
+	// MicroOps is the emitted program length.
+	MicroOps int `json:"micro_ops"`
+	// NsPerOp is wall-clock nanoseconds per cold Compile call.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are heap allocations per Compile call.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// GatesPerSec is legalized gates compiled per wall-clock second.
+	GatesPerSec float64 `json:"gates_per_sec"`
+}
+
+// CompileSection is the compile-throughput record inside a Report.
+type CompileSection struct {
+	BaselineNote string          `json:"baseline_note,omitempty"`
+	Baseline     []CompileResult `json:"baseline,omitempty"`
+	CurrentNote  string          `json:"current_note,omitempty"`
+	Current      []CompileResult `json:"current"`
+}
+
+// MeasureCompile benchmarks one (workload, arch, opt) cold-compile
+// configuration. quick runs a single timed iteration (CI smoke).
+func MeasureCompile(workload string, arch isa.Arch, opt obs.Variant, quick bool) (CompileResult, error) {
+	spec, ok := workloads.Get(workload)
+	if !ok {
+		return CompileResult{}, fmt.Errorf("perfbench: unknown workload %q", workload)
+	}
+	copts := chopper.Options{Target: arch}.WithOpt(opt)
+
+	// Warm compile: checks the configuration works and yields the gate and
+	// micro-op counts (deterministic, so any iteration would agree).
+	k, err := chopper.Compile(spec.Src, copts)
+	if err != nil {
+		return CompileResult{}, fmt.Errorf("perfbench: compile %s/%s/%s: %w", workload, arch, opt, err)
+	}
+	gates := 0
+	if k.Net != nil {
+		gates = len(k.Net.Gates)
+	}
+
+	mopts := sampling(quick)
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	iters := 0
+	for {
+		if _, err := chopper.Compile(spec.Src, copts); err != nil {
+			return CompileResult{}, err
+		}
+		iters++
+		if iters >= mopts.minIters && time.Since(start) >= mopts.minTime {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+	r := CompileResult{
+		Workload:    workload,
+		Arch:        arch.String(),
+		Opt:         opt.String(),
+		Gates:       gates,
+		MicroOps:    len(k.Prog().Ops),
+		NsPerOp:     nsPerOp,
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(iters),
+		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(iters),
+	}
+	if nsPerOp > 0 {
+		r.GatesPerSec = float64(gates) * 1e9 / nsPerOp
+	}
+	return r, nil
+}
+
+// RunCompileSuite measures every (workload, arch, opt) triple of the
+// compile-throughput suite.
+func RunCompileSuite(quick bool) ([]CompileResult, error) {
+	var out []CompileResult
+	for _, wl := range Workloads {
+		for _, arch := range arches {
+			for _, opt := range CompileOpts {
+				r, err := MeasureCompile(wl, arch, opt, quick)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SetCompile attaches a compile-throughput section (current measurements
+// plus the recorded pre-change baseline) to the report.
+func (r *Report) SetCompile(current []CompileResult, note string) {
+	r.Compile = &CompileSection{
+		BaselineNote: compileBaselineNote,
+		Baseline:     CompileBaselineResults(),
+		CurrentNote:  note,
+		Current:      current,
+	}
+}
+
+// CompileSpeedup returns baseline-ns / current-ns for one (workload, arch,
+// opt) triple of the compile section, or 0 when either side is missing.
+func (r *Report) CompileSpeedup(workload, arch, opt string) float64 {
+	if r.Compile == nil {
+		return 0
+	}
+	find := func(rs []CompileResult) float64 {
+		for _, e := range rs {
+			if e.Workload == workload && e.Arch == arch && e.Opt == opt {
+				return e.NsPerOp
+			}
+		}
+		return 0
+	}
+	base, cur := find(r.Compile.Baseline), find(r.Compile.Current)
+	if base <= 0 || cur <= 0 {
+		return 0
+	}
+	return base / cur
+}
+
+// CompileWorkloadBest returns, per workload, the best compile speedup
+// across every (arch, opt) entry present in both the baseline and current
+// subsections. This is the quantity the CI gate counts: a workload
+// "meets" a threshold when at least one of its measured configurations
+// does, which keeps the gate robust to per-config noise while still
+// requiring a real end-to-end win on that workload.
+func (r *Report) CompileWorkloadBest() map[string]float64 {
+	best := make(map[string]float64)
+	if r.Compile == nil {
+		return best
+	}
+	for _, e := range r.Compile.Current {
+		if s := r.CompileSpeedup(e.Workload, e.Arch, e.Opt); s > best[e.Workload] {
+			best[e.Workload] = s
+		}
+	}
+	return best
+}
+
+// validateCompile checks a compile section's structure.
+func validateCompile(c *CompileSection) error {
+	if len(c.Current) == 0 {
+		return fmt.Errorf("perfbench: compile section has empty current subsection")
+	}
+	check := func(section string, rs []CompileResult) error {
+		for i, e := range rs {
+			switch {
+			case e.Workload == "" || e.Arch == "" || e.Opt == "":
+				return fmt.Errorf("perfbench: compile %s[%d]: missing workload/arch/opt", section, i)
+			case e.Gates <= 0 || e.MicroOps <= 0:
+				return fmt.Errorf("perfbench: compile %s[%d] %s/%s/%s: missing gate/micro-op counts", section, i, e.Workload, e.Arch, e.Opt)
+			case e.NsPerOp <= 0 || e.GatesPerSec <= 0:
+				return fmt.Errorf("perfbench: compile %s[%d] %s/%s/%s: missing timing metrics", section, i, e.Workload, e.Arch, e.Opt)
+			case e.AllocsPerOp < 0 || e.BytesPerOp < 0:
+				return fmt.Errorf("perfbench: compile %s[%d] %s/%s/%s: negative allocation metric", section, i, e.Workload, e.Arch, e.Opt)
+			}
+		}
+		return nil
+	}
+	if err := check("baseline", c.Baseline); err != nil {
+		return err
+	}
+	return check("current", c.Current)
+}

@@ -1,0 +1,68 @@
+package perfbench
+
+import (
+	"testing"
+
+	"chopper/internal/isa"
+	"chopper/internal/obs"
+)
+
+// TestMeasureCompileQuick smoke-tests one measurement end to end.
+func TestMeasureCompileQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a workload repeatedly")
+	}
+	r, err := MeasureCompile("DiffGen-64", isa.Ambit, obs.Rename, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Gates <= 0 || r.MicroOps <= 0 || r.NsPerOp <= 0 || r.GatesPerSec <= 0 {
+		t.Fatalf("degenerate measurement: %+v", r)
+	}
+	if err := validateCompile(&CompileSection{Current: []CompileResult{r}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompileBaselineShape pins the recorded baseline: the full workload x
+// arch x opt grid, structurally valid.
+func TestCompileBaselineShape(t *testing.T) {
+	base := CompileBaselineResults()
+	want := len(Workloads) * len(arches) * len(CompileOpts)
+	if len(base) != want {
+		t.Fatalf("baseline has %d entries, want %d", len(base), want)
+	}
+	if err := validateCompile(&CompileSection{Baseline: base, Current: base}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommittedCompileReport validates the compile section of the
+// BENCH_chopper.json checked in at the repository root and holds the PR's
+// acceptance criterion: at least a 2x cold-compile ns/op improvement over
+// the recorded baseline on at least two workloads (best configuration per
+// workload, the same rule `benchcheck -min-compile-speedup 2` enforces).
+func TestCommittedCompileReport(t *testing.T) {
+	rep, err := Load("../../BENCH_chopper.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Compile == nil {
+		t.Fatal("committed report has no compile section")
+	}
+	best := rep.CompileWorkloadBest()
+	twoX := 0
+	for _, wl := range Workloads {
+		s := best[wl]
+		if s == 0 {
+			t.Fatalf("workload %s missing from compile baseline or current section", wl)
+		}
+		t.Logf("%s: best %.2fx vs baseline", wl, s)
+		if s >= 2 {
+			twoX++
+		}
+	}
+	if twoX < 2 {
+		t.Fatalf("only %d workloads show >=2x compile speedup over the recorded baseline, want >=2", twoX)
+	}
+}

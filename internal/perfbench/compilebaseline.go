@@ -1,0 +1,69 @@
+package perfbench
+
+// The pre-change compile-throughput reference numbers, measured at commit
+// c7b7295 (the last commit before the dense-index middle-end rewrite) with
+// the exact MeasureCompile loop methodology. They are data, not
+// measurements to re-run: refreshing the compile section preserves this
+// table verbatim, so every future report keeps the original before/after
+// comparison.
+
+const compileBaselineNote = "map-heavy middle-end at commit c7b7295; " +
+	"MeasureCompile loop, linux/amd64"
+
+// CompileBaselineResults returns a fresh copy of the recorded
+// compile-throughput baseline table.
+func CompileBaselineResults() []CompileResult {
+	src := []CompileResult{
+		{Workload: "DenseNet-16", Arch: "Ambit", Opt: "bitslice", Gates: 11264, MicroOps: 49757, NsPerOp: 11545075, AllocsPerOp: 26532, BytesPerOp: 20545268, GatesPerSec: 975654},
+		{Workload: "DenseNet-16", Arch: "Ambit", Opt: "schedule", Gates: 11264, MicroOps: 49757, NsPerOp: 14525162, AllocsPerOp: 101002, BytesPerOp: 22408373, GatesPerSec: 775482},
+		{Workload: "DenseNet-16", Arch: "Ambit", Opt: "reuse", Gates: 4933, MicroOps: 21251, NsPerOp: 7588639, AllocsPerOp: 49793, BytesPerOp: 10843342, GatesPerSec: 650051},
+		{Workload: "DenseNet-16", Arch: "Ambit", Opt: "rename", Gates: 4933, MicroOps: 18771, NsPerOp: 7882615, AllocsPerOp: 49796, BytesPerOp: 9131472, GatesPerSec: 625808},
+		{Workload: "DenseNet-16", Arch: "ELP2IM", Opt: "bitslice", Gates: 11264, MicroOps: 49757, NsPerOp: 12051464, AllocsPerOp: 26533, BytesPerOp: 20545587, GatesPerSec: 934658},
+		{Workload: "DenseNet-16", Arch: "ELP2IM", Opt: "schedule", Gates: 11264, MicroOps: 49757, NsPerOp: 14587555, AllocsPerOp: 101000, BytesPerOp: 22393813, GatesPerSec: 772165},
+		{Workload: "DenseNet-16", Arch: "ELP2IM", Opt: "reuse", Gates: 4933, MicroOps: 21251, NsPerOp: 7489817, AllocsPerOp: 49793, BytesPerOp: 10843348, GatesPerSec: 658628},
+		{Workload: "DenseNet-16", Arch: "ELP2IM", Opt: "rename", Gates: 4933, MicroOps: 18771, NsPerOp: 7287717, AllocsPerOp: 49796, BytesPerOp: 9131459, GatesPerSec: 676892},
+		{Workload: "DenseNet-16", Arch: "SIMDRAM", Opt: "bitslice", Gates: 9718, MicroOps: 42027, NsPerOp: 10128862, AllocsPerOp: 24311, BytesPerOp: 16966375, GatesPerSec: 959436},
+		{Workload: "DenseNet-16", Arch: "SIMDRAM", Opt: "schedule", Gates: 9718, MicroOps: 42027, NsPerOp: 12964984, AllocsPerOp: 89934, BytesPerOp: 18617449, GatesPerSec: 749557},
+		{Workload: "DenseNet-16", Arch: "SIMDRAM", Opt: "reuse", Gates: 4625, MicroOps: 19711, NsPerOp: 7506258, AllocsPerOp: 47609, BytesPerOp: 9082911, GatesPerSec: 616153},
+		{Workload: "DenseNet-16", Arch: "SIMDRAM", Opt: "rename", Gates: 4625, MicroOps: 17739, NsPerOp: 6999211, AllocsPerOp: 47609, BytesPerOp: 9082887, GatesPerSec: 660789},
+		{Workload: "WTC-64", Arch: "Ambit", Opt: "bitslice", Gates: 29710, MicroOps: 132508, NsPerOp: 38463241, AllocsPerOp: 74316, BytesPerOp: 67663376, GatesPerSec: 772426},
+		{Workload: "WTC-64", Arch: "Ambit", Opt: "schedule", Gates: 29710, MicroOps: 132508, NsPerOp: 51563687, AllocsPerOp: 270110, BytesPerOp: 72600320, GatesPerSec: 576181},
+		{Workload: "WTC-64", Arch: "Ambit", Opt: "reuse", Gates: 11552, MicroOps: 51200, NsPerOp: 22190986, AllocsPerOp: 122251, BytesPerOp: 25465830, GatesPerSec: 520572},
+		{Workload: "WTC-64", Arch: "Ambit", Opt: "rename", Gates: 11552, MicroOps: 40352, NsPerOp: 21051308, AllocsPerOp: 122243, BytesPerOp: 22038262, GatesPerSec: 548755},
+		{Workload: "WTC-64", Arch: "ELP2IM", Opt: "bitslice", Gates: 29710, MicroOps: 132508, NsPerOp: 42816079, AllocsPerOp: 74321, BytesPerOp: 67723306, GatesPerSec: 693898},
+		{Workload: "WTC-64", Arch: "ELP2IM", Opt: "schedule", Gates: 29710, MicroOps: 132508, NsPerOp: 52276331, AllocsPerOp: 270109, BytesPerOp: 72607511, GatesPerSec: 568326},
+		{Workload: "WTC-64", Arch: "ELP2IM", Opt: "reuse", Gates: 11552, MicroOps: 51200, NsPerOp: 24527175, AllocsPerOp: 122252, BytesPerOp: 25467505, GatesPerSec: 470988},
+		{Workload: "WTC-64", Arch: "ELP2IM", Opt: "rename", Gates: 11552, MicroOps: 40352, NsPerOp: 21844912, AllocsPerOp: 122240, BytesPerOp: 22036010, GatesPerSec: 528819},
+		{Workload: "WTC-64", Arch: "SIMDRAM", Opt: "bitslice", Gates: 22821, MicroOps: 98063, NsPerOp: 29733614, AllocsPerOp: 63126, BytesPerOp: 44770104, GatesPerSec: 767515},
+		{Workload: "WTC-64", Arch: "SIMDRAM", Opt: "schedule", Gates: 22821, MicroOps: 98063, NsPerOp: 38156620, AllocsPerOp: 217430, BytesPerOp: 48647080, GatesPerSec: 598088},
+		{Workload: "WTC-64", Arch: "SIMDRAM", Opt: "reuse", Gates: 8288, MicroOps: 34880, NsPerOp: 18203742, AllocsPerOp: 97088, BytesPerOp: 20379178, GatesPerSec: 455291},
+		{Workload: "WTC-64", Arch: "SIMDRAM", Opt: "rename", Gates: 8288, MicroOps: 27520, NsPerOp: 17638883, AllocsPerOp: 97081, BytesPerOp: 17657560, GatesPerSec: 469871},
+		{Workload: "DiffGen-64", Arch: "Ambit", Opt: "bitslice", Gates: 1924, MicroOps: 8710, NsPerOp: 2872808, AllocsPerOp: 8622, BytesPerOp: 3873333, GatesPerSec: 669728},
+		{Workload: "DiffGen-64", Arch: "Ambit", Opt: "schedule", Gates: 1924, MicroOps: 8710, NsPerOp: 3451944, AllocsPerOp: 20317, BytesPerOp: 4188698, GatesPerSec: 557367},
+		{Workload: "DiffGen-64", Arch: "Ambit", Opt: "reuse", Gates: 576, MicroOps: 1984, NsPerOp: 1528714, AllocsPerOp: 9003, BytesPerOp: 1219501, GatesPerSec: 376787},
+		{Workload: "DiffGen-64", Arch: "Ambit", Opt: "rename", Gates: 576, MicroOps: 1408, NsPerOp: 1486055, AllocsPerOp: 8980, BytesPerOp: 1074424, GatesPerSec: 387603},
+		{Workload: "DiffGen-64", Arch: "ELP2IM", Opt: "bitslice", Gates: 1924, MicroOps: 8710, NsPerOp: 2959205, AllocsPerOp: 8622, BytesPerOp: 3873330, GatesPerSec: 650175},
+		{Workload: "DiffGen-64", Arch: "ELP2IM", Opt: "schedule", Gates: 1924, MicroOps: 8710, NsPerOp: 3597111, AllocsPerOp: 20317, BytesPerOp: 4188227, GatesPerSec: 534874},
+		{Workload: "DiffGen-64", Arch: "ELP2IM", Opt: "reuse", Gates: 576, MicroOps: 1984, NsPerOp: 1602029, AllocsPerOp: 9003, BytesPerOp: 1219499, GatesPerSec: 359544},
+		{Workload: "DiffGen-64", Arch: "ELP2IM", Opt: "rename", Gates: 576, MicroOps: 1408, NsPerOp: 1533680, AllocsPerOp: 8980, BytesPerOp: 1074424, GatesPerSec: 375567},
+		{Workload: "DiffGen-64", Arch: "SIMDRAM", Opt: "bitslice", Gates: 772, MicroOps: 2950, NsPerOp: 1674806, AllocsPerOp: 6996, BytesPerOp: 1628053, GatesPerSec: 460949},
+		{Workload: "DiffGen-64", Arch: "SIMDRAM", Opt: "schedule", Gates: 772, MicroOps: 2950, NsPerOp: 1967585, AllocsPerOp: 11647, BytesPerOp: 1764407, GatesPerSec: 392359},
+		{Workload: "DiffGen-64", Arch: "SIMDRAM", Opt: "reuse", Gates: 576, MicroOps: 1984, NsPerOp: 1524743, AllocsPerOp: 9003, BytesPerOp: 1219502, GatesPerSec: 377769},
+		{Workload: "DiffGen-64", Arch: "SIMDRAM", Opt: "rename", Gates: 576, MicroOps: 1408, NsPerOp: 1409195, AllocsPerOp: 8980, BytesPerOp: 1074427, GatesPerSec: 408744},
+		{Workload: "SW-64", Arch: "Ambit", Opt: "bitslice", Gates: 2521, MicroOps: 11046, NsPerOp: 2564953, AllocsPerOp: 4986, BytesPerOp: 4479456, GatesPerSec: 982864},
+		{Workload: "SW-64", Arch: "Ambit", Opt: "schedule", Gates: 2521, MicroOps: 11046, NsPerOp: 3501619, AllocsPerOp: 21195, BytesPerOp: 4899433, GatesPerSec: 719953},
+		{Workload: "SW-64", Arch: "Ambit", Opt: "reuse", Gates: 1422, MicroOps: 5969, NsPerOp: 1962271, AllocsPerOp: 12122, BytesPerOp: 2380619, GatesPerSec: 724670},
+		{Workload: "SW-64", Arch: "Ambit", Opt: "rename", Gates: 1422, MicroOps: 5297, NsPerOp: 1942533, AllocsPerOp: 12122, BytesPerOp: 2380615, GatesPerSec: 732034},
+		{Workload: "SW-64", Arch: "ELP2IM", Opt: "bitslice", Gates: 2521, MicroOps: 11046, NsPerOp: 2667461, AllocsPerOp: 4986, BytesPerOp: 4479471, GatesPerSec: 945094},
+		{Workload: "SW-64", Arch: "ELP2IM", Opt: "schedule", Gates: 2521, MicroOps: 11046, NsPerOp: 3773712, AllocsPerOp: 21194, BytesPerOp: 4899381, GatesPerSec: 668043},
+		{Workload: "SW-64", Arch: "ELP2IM", Opt: "reuse", Gates: 1422, MicroOps: 5969, NsPerOp: 2119568, AllocsPerOp: 12121, BytesPerOp: 2380614, GatesPerSec: 670891},
+		{Workload: "SW-64", Arch: "ELP2IM", Opt: "rename", Gates: 1422, MicroOps: 5297, NsPerOp: 1966715, AllocsPerOp: 12122, BytesPerOp: 2380619, GatesPerSec: 723033},
+		{Workload: "SW-64", Arch: "SIMDRAM", Opt: "bitslice", Gates: 2277, MicroOps: 9826, NsPerOp: 2308530, AllocsPerOp: 4410, BytesPerOp: 3610572, GatesPerSec: 986342},
+		{Workload: "SW-64", Arch: "SIMDRAM", Opt: "schedule", Gates: 2277, MicroOps: 9826, NsPerOp: 3103730, AllocsPerOp: 19324, BytesPerOp: 3994272, GatesPerSec: 733633},
+		{Workload: "SW-64", Arch: "SIMDRAM", Opt: "reuse", Gates: 1422, MicroOps: 5969, NsPerOp: 2007714, AllocsPerOp: 12122, BytesPerOp: 2380618, GatesPerSec: 708268},
+		{Workload: "SW-64", Arch: "SIMDRAM", Opt: "rename", Gates: 1422, MicroOps: 5297, NsPerOp: 1871852, AllocsPerOp: 12122, BytesPerOp: 2380620, GatesPerSec: 759675},
+	}
+	out := make([]CompileResult, len(src))
+	copy(out, src)
+	return out
+}

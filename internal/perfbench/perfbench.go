@@ -73,6 +73,9 @@ type Report struct {
 	CurrentNote string `json:"current_note,omitempty"`
 	// Current holds the latest measurements.
 	Current []Result `json:"current"`
+	// Compile is the compile-throughput record (see compile.go); nil in
+	// reports written before the compiler fast-path work.
+	Compile *CompileSection `json:"compile,omitempty"`
 }
 
 // arches is the measured architecture set, in paper order.
@@ -231,7 +234,13 @@ func Validate(r *Report) error {
 	if err := check("baseline", r.Baseline, false); err != nil {
 		return err
 	}
-	return check("current", r.Current, true)
+	if err := check("current", r.Current, true); err != nil {
+		return err
+	}
+	if r.Compile != nil {
+		return validateCompile(r.Compile)
+	}
+	return nil
 }
 
 // Speedup returns baseline-ns / current-ns for one (workload, arch) pair,

@@ -17,13 +17,12 @@ import (
 	"chopper/internal/isa"
 )
 
-// RowPool allocates D-group row indices [base, base+n).
+// RowPool allocates D-group row indices [0, n).
 type RowPool struct {
 	n       int
-	base    int
 	free    []isa.Row // stack of free rows
-	inUse   []bool    // inUse[r-base]: occupancy, dense by row offset
-	maxUsed int       // high-water mark of simultaneously allocated rows
+	inUse   map[isa.Row]bool
+	maxUsed int // high-water mark of simultaneously allocated rows
 }
 
 // NewRowPool creates a pool of n rows starting at row 0.
@@ -32,41 +31,15 @@ func NewRowPool(n int) *RowPool { return NewRowPoolAt(0, n) }
 // NewRowPoolAt creates a pool of n rows starting at row base (used when a
 // region of the subarray is reserved for externally managed operands).
 func NewRowPoolAt(base, n int) *RowPool {
-	p := new(RowPool)
-	p.Reset(base, n)
-	return p
-}
-
-// Reset re-initializes the pool in place to n rows starting at base,
-// reusing the free-list and occupancy storage from a previous compile.
-// A zero RowPool is valid input.
-func (p *RowPool) Reset(base, n int) {
 	if n <= 0 || base < 0 {
 		panic(fmt.Sprintf("alloc: pool of %d rows at %d", n, base))
 	}
-	p.n, p.base, p.maxUsed = n, base, 0
-	if cap(p.free) < n {
-		p.free = make([]isa.Row, 0, n)
-		p.inUse = make([]bool, n)
-	} else {
-		p.free = p.free[:0]
-		p.inUse = p.inUse[:n]
-		clear(p.inUse)
-	}
+	p := &RowPool{n: n, inUse: make(map[isa.Row]bool)}
 	// Hand out low rows first (stable, debuggable programs).
 	for i := base + n - 1; i >= base; i-- {
 		p.free = append(p.free, isa.Row(i))
 	}
-}
-
-// offset translates a row to its dense occupancy index, or -1 when the
-// row is outside the pool.
-func (p *RowPool) offset(r isa.Row) int {
-	i := int(r) - p.base
-	if i < 0 || i >= p.n {
-		return -1
-	}
-	return i
+	return p
 }
 
 // Alloc returns a free row, or ok=false when the pool is exhausted (the
@@ -77,7 +50,7 @@ func (p *RowPool) Alloc() (isa.Row, bool) {
 	}
 	r := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]
-	p.inUse[p.offset(r)] = true
+	p.inUse[r] = true
 	if used := p.n - len(p.free); used > p.maxUsed {
 		p.maxUsed = used
 	}
@@ -87,19 +60,15 @@ func (p *RowPool) Alloc() (isa.Row, bool) {
 // Free returns a row to the pool. Freeing a row that is not allocated is a
 // compiler bug and panics.
 func (p *RowPool) Free(r isa.Row) {
-	i := p.offset(r)
-	if i < 0 || !p.inUse[i] {
+	if !p.inUse[r] {
 		panic(fmt.Sprintf("alloc: double free of row %s", r))
 	}
-	p.inUse[i] = false
+	delete(p.inUse, r)
 	p.free = append(p.free, r)
 }
 
 // InUse reports whether r is currently allocated.
-func (p *RowPool) InUse(r isa.Row) bool {
-	i := p.offset(r)
-	return i >= 0 && p.inUse[i]
-}
+func (p *RowPool) InUse(r isa.Row) bool { return p.inUse[r] }
 
 // Live returns the number of currently allocated rows.
 func (p *RowPool) Live() int { return p.n - len(p.free) }

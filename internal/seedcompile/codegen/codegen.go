@@ -24,11 +24,11 @@ import (
 	"context"
 	"fmt"
 
-	"chopper/internal/alloc"
 	"chopper/internal/guard"
 	"chopper/internal/isa"
-	"chopper/internal/logic"
-	"chopper/internal/obs"
+	"chopper/internal/seedcompile/alloc"
+	"chopper/internal/seedcompile/logic"
+	"chopper/internal/seedcompile/obs"
 )
 
 // Options configure code generation. The net must already be legalized for
@@ -61,81 +61,6 @@ type Options struct {
 	// Ctx, when non-nil, is observed periodically during emission for
 	// cooperative cancellation.
 	Ctx context.Context
-
-	// Scratch, when non-nil, supplies reusable working storage so repeated
-	// Generate calls stop allocating per-node tables. The scratch is reset
-	// at the start of every Generate (never at the end), so one abandoned
-	// by a panicking pass is safe to reuse. Not safe for concurrent use.
-	Scratch *Scratch
-}
-
-// Scratch is codegen's per-compile working storage: every per-node table
-// the emitter walks, in dense reusable slices. A zero Scratch is valid;
-// capacity grows to the largest net it has compiled.
-type Scratch struct {
-	loc      []location
-	useOff   []int // CSR offsets into useBuf, len = gates+1
-	useBuf   []int // consumption positions, grouped by node, ascending
-	useIdx   []int // per-node absolute cursor into useBuf
-	cur      []int // CSR fill cursor (shared by both CSR builds)
-	isConst  []bool
-	isInput  []bool
-	external []bool
-	nodeTag  []int
-	constTag []int // host WRITE tag per constant node, -1 = unassigned
-	slotOf   []int // SSD slot per node, -1 = none
-	outOff   []int // CSR offsets into outBuf, len = gates+1
-	outBuf   []int // output indices fed by each node
-	outDone  []bool
-	resList  []logic.NodeID // nodes resident in D rows, dense iteration
-	resPos   []int          // index into resList, -1 = not resident
-	pool     alloc.RowPool
-}
-
-// prepare sizes and clears the scratch for a net with gates nodes and
-// outs outputs.
-func (s *Scratch) prepare(gates, outs int) {
-	if cap(s.loc) < gates {
-		s.loc = make([]location, gates)
-		s.useOff = make([]int, gates+1)
-		s.useIdx = make([]int, gates)
-		s.cur = make([]int, gates+1)
-		s.isConst = make([]bool, gates)
-		s.isInput = make([]bool, gates)
-		s.external = make([]bool, gates)
-		s.nodeTag = make([]int, gates)
-		s.constTag = make([]int, gates)
-		s.slotOf = make([]int, gates)
-		s.outOff = make([]int, gates+1)
-		s.resPos = make([]int, gates)
-	}
-	s.loc = s.loc[:gates]
-	clear(s.loc)
-	s.useOff = s.useOff[:gates+1]
-	s.useIdx = s.useIdx[:gates]
-	s.cur = s.cur[:gates+1]
-	s.isConst = s.isConst[:gates]
-	clear(s.isConst)
-	s.isInput = s.isInput[:gates]
-	clear(s.isInput)
-	s.external = s.external[:gates]
-	clear(s.external)
-	s.nodeTag = s.nodeTag[:gates]
-	s.constTag = s.constTag[:gates]
-	s.slotOf = s.slotOf[:gates]
-	for i := range s.constTag {
-		s.nodeTag[i] = -1
-		s.constTag[i] = -1
-		s.slotOf[i] = -1
-	}
-	s.outOff = s.outOff[:gates+1]
-	s.resPos = s.resPos[:gates]
-	if cap(s.outDone) < outs {
-		s.outDone = make([]bool, outs)
-	}
-	s.outDone = s.outDone[:outs]
-	clear(s.outDone)
-	s.resList = s.resList[:0]
 }
 
 // ExtLoc locates an externally managed value: a resident row, or an SSD
@@ -205,47 +130,50 @@ type emitter struct {
 	prog isa.Program
 	pool *alloc.RowPool
 
-	// s holds every per-node table (locations, CSR use positions, tags,
-	// the resident set) in dense reusable storage; see Scratch.
-	s *Scratch
+	loc    []location
+	usePos [][]int // consumption positions per node, ascending
+	useIdx []int   // cursor into usePos
 
 	lr logic.NodeID // node whose value currently fills T0..T2 (None if stale)
 
 	dccHold [2]logic.NodeID // node held by each DCC pair (None if free)
 
+	isConst  []bool
+	isInput  []bool
+	external []bool // value managed by the caller (never host-written)
+
+	constTag  map[logic.NodeID]int
 	inputTag  map[string]int
+	nodeTag   []int // WRITE tag per input node
 	nextTag   int
 	nextSlot  int
+	slotOf    map[logic.NodeID]int
 	constPats map[int]uint64
 
 	outPos int // schedule position at which outputs are consumed
 
+	// outIdx lists the output indices each node feeds, so results can be
+	// read back eagerly (as soon as final) instead of buffering every
+	// output row until the end of the program.
+	outIdx  map[logic.NodeID][]int
+	outDone []bool
+
+	// resident tracks nodes currently occupying a D-group row, so spill
+	// victim selection scans at most DRows candidates.
+	resident map[logic.NodeID]struct{}
+
 	stats Stats
 }
 
-// outs returns the output indices node n feeds (CSR slice of outBuf).
-func (e *emitter) outs(n logic.NodeID) []int {
-	return e.s.outBuf[e.s.outOff[n]:e.s.outOff[n+1]]
-}
-
-// setLoc updates a node's location, maintaining the resident index (a
-// dense list with swap-remove, so spill victim selection both scans at
-// most DRows candidates and iterates deterministically).
+// setLoc updates a node's location, maintaining the resident index.
 func (e *emitter) setLoc(n logic.NodeID, l location) {
-	was, is := e.s.loc[n].kind == locDRow, l.kind == locDRow
-	if was && !is {
-		s := e.s
-		i := s.resPos[n]
-		last := s.resList[len(s.resList)-1]
-		s.resList[i] = last
-		s.resPos[last] = i
-		s.resList = s.resList[:len(s.resList)-1]
-	} else if !was && is {
-		s := e.s
-		s.resPos[n] = len(s.resList)
-		s.resList = append(s.resList, n)
+	if e.loc[n].kind == locDRow {
+		delete(e.resident, n)
 	}
-	e.s.loc[n] = l
+	if l.kind == locDRow {
+		e.resident[n] = struct{}{}
+	}
+	e.loc[n] = l
 }
 
 // Generate compiles the net into a single-subarray program.
@@ -258,111 +186,59 @@ func Generate(net *logic.Net, opts Options) (*Result, error) {
 	}
 	order := obs.ScheduleGates(net, opts.Variant.HasSchedule())
 
-	s := opts.Scratch
-	if s == nil {
-		s = new(Scratch)
-	}
-	s.prepare(len(net.Gates), len(net.Outputs))
-	s.pool.Reset(opts.PoolBase, opts.DRows)
-
 	e := &emitter{
 		net:       net,
 		opts:      opts,
-		pool:      &s.pool,
-		s:         s,
+		pool:      alloc.NewRowPoolAt(opts.PoolBase, opts.DRows),
+		loc:       make([]location, len(net.Gates)),
+		usePos:    make([][]int, len(net.Gates)),
+		useIdx:    make([]int, len(net.Gates)),
 		lr:        logic.None,
 		dccHold:   [2]logic.NodeID{logic.None, logic.None},
+		isConst:   make([]bool, len(net.Gates)),
+		isInput:   make([]bool, len(net.Gates)),
+		external:  make([]bool, len(net.Gates)),
+		constTag:  make(map[logic.NodeID]int),
 		inputTag:  make(map[string]int),
+		nodeTag:   make([]int, len(net.Gates)),
+		slotOf:    make(map[logic.NodeID]int),
 		constPats: make(map[int]uint64),
+		resident:  make(map[logic.NodeID]struct{}),
 		outPos:    len(order),
+		outIdx:    make(map[logic.NodeID][]int),
+		outDone:   make([]bool, len(net.Outputs)),
 	}
-	// Pre-size the op stream: a computation gate expands to at most ~5
-	// micro-ops (three slot fills, the activation, a result store), plus
-	// one read/store per output. The buffer escapes into the returned
-	// Program, so it is sized here rather than pooled.
-	e.prog.Ops = make([]isa.Op, 0, 5*len(order)+2*len(net.Outputs)+8)
-	// CSR index of the output positions each node feeds, so results can
-	// be read back eagerly (as soon as final) instead of buffering every
-	// output row until the end of the program.
-	clear(s.outOff)
-	for _, o := range net.Outputs {
-		s.outOff[o+1]++
-	}
-	for i := 0; i < len(net.Gates); i++ {
-		s.outOff[i+1] += s.outOff[i]
-	}
-	if cap(s.outBuf) < len(net.Outputs) {
-		s.outBuf = make([]int, len(net.Outputs))
-	}
-	s.outBuf = s.outBuf[:len(net.Outputs)]
-	copy(s.cur, s.outOff)
 	for i, o := range net.Outputs {
-		s.outBuf[s.cur[o]] = i
-		s.cur[o]++
+		e.outIdx[o] = append(e.outIdx[o], i)
 	}
 	for i := range net.Gates {
 		switch net.Gates[i].Kind {
 		case logic.GConst0, logic.GConst1:
-			s.isConst[i] = true
+			e.isConst[i] = true
 		case logic.GInput:
-			s.isInput[i] = true
+			e.isInput[i] = true
 		}
+		e.nodeTag[i] = -1
 	}
 	for i, in := range net.Inputs {
 		if ext, ok := opts.ExtIn[net.InputNames[i]]; ok {
-			s.external[in] = true
+			e.external[in] = true
 			if ext.Spilled {
-				s.loc[in] = location{kind: locSpilled, slot: ext.Slot}
-				s.slotOf[in] = ext.Slot
+				e.loc[in] = location{kind: locSpilled, slot: ext.Slot}
+				e.slotOf[in] = ext.Slot
 			} else {
-				s.loc[in] = location{kind: locExternal, row: ext.Row}
+				e.loc[in] = location{kind: locExternal, row: ext.Row}
 			}
 			continue
 		}
-		s.nodeTag[in] = i
+		e.nodeTag[in] = i
 		e.inputTag[net.InputNames[i]] = i
 	}
 	e.nextTag = len(net.Inputs)
 	e.nextSlot = opts.SlotBase
 
 	// Consumption positions: one entry per (gate, distinct arg); outputs
-	// consume at outPos. Two passes build a CSR layout (counts, prefix
-	// sum, fill) where per-node append slices would allocate.
-	clear(s.useOff)
-	countUse := func(count func(arg logic.NodeID)) {
-		for _, gid := range order {
-			g := &net.Gates[gid]
-			var seen [3]logic.NodeID
-			ns := 0
-			for a := 0; a < g.Kind.Arity(); a++ {
-				arg := g.Args[a]
-				dup := false
-				for k := 0; k < ns; k++ {
-					if seen[k] == arg {
-						dup = true
-					}
-				}
-				if !dup {
-					seen[ns] = arg
-					ns++
-					count(arg)
-				}
-			}
-		}
-	}
-	countUse(func(arg logic.NodeID) { s.useOff[arg+1]++ })
-	for _, o := range net.Outputs {
-		s.useOff[o+1]++
-	}
-	for i := 0; i < len(net.Gates); i++ {
-		s.useOff[i+1] += s.useOff[i]
-	}
-	totalUses := s.useOff[len(net.Gates)]
-	if cap(s.useBuf) < totalUses {
-		s.useBuf = make([]int, totalUses)
-	}
-	s.useBuf = s.useBuf[:totalUses]
-	copy(s.cur, s.useOff)
+	// consume at outPos.
 	for pos, gid := range order {
 		g := &net.Gates[gid]
 		var seen [3]logic.NodeID
@@ -370,24 +246,21 @@ func Generate(net *logic.Net, opts Options) (*Result, error) {
 		for a := 0; a < g.Kind.Arity(); a++ {
 			arg := g.Args[a]
 			dup := false
-			for k := 0; k < ns; k++ {
-				if seen[k] == arg {
+			for s := 0; s < ns; s++ {
+				if seen[s] == arg {
 					dup = true
 				}
 			}
 			if !dup {
 				seen[ns] = arg
 				ns++
-				s.useBuf[s.cur[arg]] = pos
-				s.cur[arg]++
+				e.usePos[arg] = append(e.usePos[arg], pos)
 			}
 		}
 	}
 	for _, o := range net.Outputs {
-		s.useBuf[s.cur[o]] = e.outPos
-		s.cur[o]++
+		e.usePos[o] = append(e.usePos[o], e.outPos)
 	}
-	copy(s.useIdx, s.useOff[:len(net.Gates)])
 
 	res := &Result{
 		InputTag:     e.inputTag,
@@ -416,7 +289,7 @@ func Generate(net *logic.Net, opts Options) (*Result, error) {
 		}
 	}
 	for i, o := range net.Outputs {
-		if e.s.outDone[i] {
+		if e.outDone[i] {
 			continue
 		}
 		row, err := e.sourceRowForRead(o)
@@ -431,13 +304,13 @@ func Generate(net *logic.Net, opts Options) (*Result, error) {
 				e.prog.Append(isa.NewAAP(row, ext.Row))
 				e.stats.AAPs++
 			}
-			e.s.outDone[i] = true
+			e.outDone[i] = true
 			e.finishOutput(o)
 			continue
 		}
 		e.prog.Append(isa.NewRead(row, i))
 		e.stats.Reads++
-		e.s.outDone[i] = true
+		e.outDone[i] = true
 		e.finishOutput(o)
 	}
 
@@ -477,7 +350,7 @@ func Generate(net *logic.Net, opts Options) (*Result, error) {
 // buffering every output until program end, which is essential for kernels
 // with many outputs.
 func (e *emitter) eagerRead(pos int, gid logic.NodeID) error {
-	outs := e.outs(gid)
+	outs := e.outIdx[gid]
 	if len(outs) == 0 {
 		return nil
 	}
@@ -495,8 +368,8 @@ func (e *emitter) retireOutputs(n logic.NodeID, pos int) error {
 	if err != nil {
 		return err
 	}
-	for _, oi := range e.outs(n) {
-		if e.s.outDone[oi] {
+	for _, oi := range e.outIdx[n] {
+		if e.outDone[oi] {
 			continue
 		}
 		if ext, ok := e.opts.ExtOut[e.net.OutputNames[oi]]; ok {
@@ -511,10 +384,10 @@ func (e *emitter) retireOutputs(n logic.NodeID, pos int) error {
 			e.prog.Append(isa.NewRead(row, oi))
 			e.stats.Reads++
 		}
-		e.s.outDone[oi] = true
+		e.outDone[oi] = true
 	}
 	// The output pseudo-use is satisfied; free the storage.
-	e.s.useIdx[n] = e.s.useOff[n+1]
+	e.useIdx[n] = len(e.usePos[n])
 	e.release(n)
 	return nil
 }
@@ -522,28 +395,28 @@ func (e *emitter) retireOutputs(n logic.NodeID, pos int) error {
 // finishOutput releases node n's storage once every output it feeds has
 // been retired, so refills of later (spilled) outputs have rows to land in.
 func (e *emitter) finishOutput(n logic.NodeID) {
-	for _, oi := range e.outs(n) {
-		if !e.s.outDone[oi] {
+	for _, oi := range e.outIdx[n] {
+		if !e.outDone[oi] {
 			return
 		}
 	}
-	if e.s.loc[n].kind != locDead {
-		e.s.useIdx[n] = e.s.useOff[n+1]
+	if e.loc[n].kind != locDead {
+		e.useIdx[n] = len(e.usePos[n])
 		e.release(n)
 	}
 }
 
 // remaining returns the number of unconsumed uses of node n.
 func (e *emitter) remaining(n logic.NodeID) int {
-	return e.s.useOff[n+1] - e.s.useIdx[n]
+	return len(e.usePos[n]) - e.useIdx[n]
 }
 
 // nextUse returns the next consumption position of n (outPos+1 if none).
 func (e *emitter) nextUse(n logic.NodeID) int {
-	if e.s.useIdx[n] >= e.s.useOff[n+1] {
+	if e.useIdx[n] >= len(e.usePos[n]) {
 		return e.outPos + 1
 	}
-	return e.s.useBuf[e.s.useIdx[n]]
+	return e.usePos[n][e.useIdx[n]]
 }
 
 // consume advances n's use cursor past position pos. If the only use left
@@ -551,16 +424,16 @@ func (e *emitter) nextUse(n logic.NodeID) int {
 // values that are both outputs and operands finalize here, not at their
 // defining gate.
 func (e *emitter) consume(n logic.NodeID, pos int) {
-	for e.s.useIdx[n] < e.s.useOff[n+1] && e.s.useBuf[e.s.useIdx[n]] <= pos {
-		e.s.useIdx[n]++
+	for e.useIdx[n] < len(e.usePos[n]) && e.usePos[n][e.useIdx[n]] <= pos {
+		e.useIdx[n]++
 	}
-	if e.remaining(n) == 0 && e.s.loc[n].kind != locDead {
+	if e.remaining(n) == 0 && e.loc[n].kind != locDead {
 		e.release(n)
 		return
 	}
-	if e.opts.Variant.HasRename() && len(e.outs(n)) > 0 &&
-		e.remaining(n) == len(e.outs(n)) && e.nextUse(n) == e.outPos &&
-		e.s.loc[n].kind != locDead && e.s.loc[n].kind != locB {
+	if e.opts.Variant.HasRename() && len(e.outIdx[n]) > 0 &&
+		e.remaining(n) == len(e.outIdx[n]) && e.nextUse(n) == e.outPos &&
+		e.loc[n].kind != locDead && e.loc[n].kind != locB {
 		// Ignore retire errors here; the end-of-program path will retry
 		// and report them with output context.
 		_ = e.retireOutputs(n, pos)
@@ -569,9 +442,9 @@ func (e *emitter) consume(n logic.NodeID, pos int) {
 
 // release frees whatever storage a dead node occupies.
 func (e *emitter) release(n logic.NodeID) {
-	switch e.s.loc[n].kind {
+	switch e.loc[n].kind {
 	case locDRow:
-		e.pool.Free(e.s.loc[n].row)
+		e.pool.Free(e.loc[n].row)
 	case locDCC:
 		for i := range e.dccHold {
 			if e.dccHold[i] == n {
@@ -596,14 +469,14 @@ func (e *emitter) allocD(pos int) (isa.Row, error) {
 	victim := logic.None
 	victimDrop := false
 	victimNext := -1
-	for _, id := range e.s.resList {
+	for id := range e.resident {
 		n := int(id)
 		nu := e.nextUse(id)
 		if nu <= pos {
 			// Needed by the operation being assembled right now: pinned.
 			continue
 		}
-		drop := (e.s.isInput[n] || e.s.isConst[n]) && !e.s.external[n]
+		drop := (e.isInput[n] || e.isConst[n]) && !e.external[n]
 		// Prefer droppable rows; among equals, furthest next use.
 		better := false
 		switch {
@@ -621,17 +494,17 @@ func (e *emitter) allocD(pos int) (isa.Row, error) {
 	if victim == logic.None {
 		return isa.RowNone, fmt.Errorf("codegen: subarray too small: all %d D rows are needed at step %d", e.opts.DRows, pos)
 	}
-	row := e.s.loc[victim].row
+	row := e.loc[victim].row
 	if victimDrop {
 		// The host still has this data; just forget the row.
 		e.setLoc(victim, location{kind: locNowhere})
 		e.stats.Drops++
 	} else {
-		slot := e.s.slotOf[victim]
-		if slot < 0 {
+		slot, ok := e.slotOf[victim]
+		if !ok {
 			slot = e.nextSlot
 			e.nextSlot++
-			e.s.slotOf[victim] = slot
+			e.slotOf[victim] = slot
 		}
 		e.prog.Append(isa.NewSpillOut(row, uint64(slot)))
 		e.stats.SpillOuts++
@@ -649,11 +522,11 @@ func (e *emitter) allocD(pos int) (isa.Row, error) {
 // returns that row. It never places into B-group (callers copy from the
 // returned row into compute rows). pos is the current schedule position.
 func (e *emitter) materialize(n logic.NodeID, pos int) (isa.Row, error) {
-	switch e.s.loc[n].kind {
+	switch e.loc[n].kind {
 	case locDRow, locExternal:
-		return e.s.loc[n].row, nil
+		return e.loc[n].row, nil
 	case locDCC:
-		return e.s.loc[n].row, nil
+		return e.loc[n].row, nil
 	case locB:
 		return isa.T0, nil
 	case locSpilled:
@@ -661,14 +534,14 @@ func (e *emitter) materialize(n logic.NodeID, pos int) (isa.Row, error) {
 		if err != nil {
 			return isa.RowNone, err
 		}
-		slot := e.s.loc[n].slot
+		slot := e.loc[n].slot
 		e.prog.Append(isa.NewSpillIn(row, uint64(slot)))
 		e.stats.SpillIns++
 		e.setLoc(n, location{kind: locDRow, row: row})
 		return row, nil
 	case locNowhere:
 		switch {
-		case e.s.isConst[n]:
+		case e.isConst[n]:
 			if e.opts.Variant.HasReuse() {
 				// O2: the constant is architecturally present.
 				if e.net.Gates[n].Kind == logic.GConst1 {
@@ -677,11 +550,11 @@ func (e *emitter) materialize(n logic.NodeID, pos int) (isa.Row, error) {
 				return isa.C0, nil
 			}
 			// Host writes and buffers a constant row.
-			tag := e.s.constTag[n]
-			if tag < 0 {
+			tag, ok := e.constTag[n]
+			if !ok {
 				tag = e.nextTag
 				e.nextTag++
-				e.s.constTag[n] = tag
+				e.constTag[n] = tag
 				pat := uint64(0)
 				if e.net.Gates[n].Kind == logic.GConst1 {
 					pat = ^uint64(0)
@@ -697,12 +570,12 @@ func (e *emitter) materialize(n logic.NodeID, pos int) (isa.Row, error) {
 			e.stats.ConstWrites++
 			e.setLoc(n, location{kind: locDRow, row: row})
 			return row, nil
-		case e.s.isInput[n]:
+		case e.isInput[n]:
 			row, err := e.allocD(pos)
 			if err != nil {
 				return isa.RowNone, err
 			}
-			e.prog.Append(isa.NewWrite(row, e.s.nodeTag[n]))
+			e.prog.Append(isa.NewWrite(row, e.nodeTag[n]))
 			e.stats.Writes++
 			e.setLoc(n, location{kind: locDRow, row: row})
 			return row, nil
@@ -730,7 +603,7 @@ func (e *emitter) flushLR(pos int, consumedNow bool) error {
 	if consumedNow {
 		rem-- // this gate's consumption doesn't require a buffered copy
 	}
-	if rem > 0 && e.s.loc[n].kind == locB {
+	if rem > 0 && e.loc[n].kind == locB {
 		row, err := e.allocD(pos)
 		if err != nil {
 			return err
@@ -738,11 +611,11 @@ func (e *emitter) flushLR(pos int, consumedNow bool) error {
 		e.prog.Append(isa.NewAAP(isa.T0, row))
 		e.stats.AAPs++
 		e.setLoc(n, location{kind: locDRow, row: row})
-	} else if rem <= 0 && e.s.loc[n].kind == locB && e.opts.Variant.HasRename() {
+	} else if rem <= 0 && e.loc[n].kind == locB && e.opts.Variant.HasRename() {
 		e.stats.StoresElided++
 	}
 	// Either way, the T rows are about to be clobbered.
-	if e.s.loc[n].kind == locB {
+	if e.loc[n].kind == locB {
 		if rem > 0 {
 			return fmt.Errorf("codegen: losing live value %d", n)
 		}
@@ -760,7 +633,7 @@ func (e *emitter) dccFor(pos int) (int, error) {
 		if h == logic.None {
 			return i, nil
 		}
-		if e.s.loc[h].kind != locDCC {
+		if e.loc[h].kind != locDCC {
 			// Holder moved (stored/spilled/dead); pair is reusable.
 			e.dccHold[i] = logic.None
 			return i, nil
@@ -777,7 +650,7 @@ func (e *emitter) dccFor(pos int) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		e.prog.Append(isa.NewAAP(e.s.loc[h].row, row))
+		e.prog.Append(isa.NewAAP(e.loc[h].row, row))
 		e.stats.AAPs++
 		e.setLoc(h, location{kind: locDRow, row: row})
 	} else {
@@ -796,7 +669,7 @@ func (e *emitter) emitGate(pos int, gid logic.NodeID) error {
 	switch g.Kind {
 	case logic.GNot:
 		arg := g.Args[0]
-		chained := rename && e.lr == arg && e.s.loc[arg].kind == locB
+		chained := rename && e.lr == arg && e.loc[arg].kind == locB
 		if err := e.flushLR(pos, e.lr == arg); err != nil {
 			return err
 		}
@@ -842,7 +715,7 @@ func (e *emitter) emitGate(pos int, gid logic.NodeID) error {
 			slots = [3]slotSrc{{node: g.Args[0]}, {node: g.Args[1]}, {node: g.Args[2]}}
 		}
 		consumesLR := false
-		if e.lr != logic.None && e.s.loc[e.lr].kind == locB {
+		if e.lr != logic.None && e.loc[e.lr].kind == locB {
 			for _, s := range slots {
 				if s.node == e.lr {
 					consumesLR = true
@@ -895,8 +768,8 @@ func (e *emitter) emitGate(pos int, gid logic.NodeID) error {
 // (eliminating both its D-group buffer and the copy); otherwise the value
 // is materialized into an addressable row and copied in with an AAP.
 func (e *emitter) fillSlot(n logic.NodeID, target isa.Row, pos int) error {
-	if e.opts.Variant.HasRename() && e.s.isInput[n] && !e.s.external[n] && e.s.loc[n].kind == locNowhere && e.s.useOff[n+1]-e.s.useOff[n] == 1 {
-		e.prog.Append(isa.NewWrite(target, e.s.nodeTag[n]))
+	if e.opts.Variant.HasRename() && e.isInput[n] && !e.external[n] && e.loc[n].kind == locNowhere && len(e.usePos[n]) == 1 {
+		e.prog.Append(isa.NewWrite(target, e.nodeTag[n]))
 		e.stats.Writes++
 		e.stats.DirectWrites++
 		return nil

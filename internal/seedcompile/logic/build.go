@@ -1,0 +1,316 @@
+package logic
+
+import "fmt"
+
+// BuilderOptions control the local simplifications the Builder applies as
+// gates are created. CHOPPER-bitslice (the no-optimization variant in the
+// paper's breakdown) disables constant folding; structural hashing is part
+// of bit-slicing itself (shared sub-expressions in the dataflow graph stay
+// shared) and remains on in every variant.
+type BuilderOptions struct {
+	// Fold enables constant folding and algebraic identities
+	// (x&0=0, x|1=1, ~~x=x, maj with constant arm, ...). This is the
+	// builder-level half of OBS-2 "bit-sliced instruction selection":
+	// exploiting bit-level patterns such as sparsity of constant operands.
+	Fold bool
+	// CSE enables structural hashing (identical gates share one node).
+	CSE bool
+	// Target, when non-nil, restricts fold rewrites to gates the target
+	// architecture can execute; used when (re)building during
+	// legalization so simplification never reintroduces foreign gates.
+	Target *GateSet
+}
+
+// Builder constructs Nets incrementally.
+type Builder struct {
+	opts  BuilderOptions
+	net   Net
+	hash  map[gateKey]NodeID
+	zero  NodeID
+	one   NodeID
+	nots  map[NodeID]NodeID // cached NOT of each node (for ~~x = x)
+	notOf map[NodeID]NodeID // inverse: node -> the node it is the NOT of
+}
+
+type gateKey struct {
+	kind GateKind
+	a    [3]NodeID
+}
+
+// NewBuilder creates a builder with the given options.
+func NewBuilder(opts BuilderOptions) *Builder {
+	return &Builder{
+		opts:  opts,
+		hash:  make(map[gateKey]NodeID),
+		zero:  None,
+		one:   None,
+		nots:  make(map[NodeID]NodeID),
+		notOf: make(map[NodeID]NodeID),
+	}
+}
+
+// NewOptBuilder returns a builder with all local simplifications enabled.
+func NewOptBuilder() *Builder { return NewBuilder(BuilderOptions{Fold: true, CSE: true}) }
+
+func (b *Builder) raw(kind GateKind, args ...NodeID) NodeID {
+	g := Gate{Kind: kind}
+	copy(g.Args[:], args)
+	for i := len(args); i < 3; i++ {
+		g.Args[i] = None
+	}
+	if b.opts.CSE && kind != GInput {
+		key := gateKey{kind, g.Args}
+		if id, ok := b.hash[key]; ok {
+			return id
+		}
+		id := NodeID(len(b.net.Gates))
+		b.net.Gates = append(b.net.Gates, g)
+		b.hash[key] = id
+		return id
+	}
+	id := NodeID(len(b.net.Gates))
+	b.net.Gates = append(b.net.Gates, g)
+	return id
+}
+
+// Input declares a fresh named input bit.
+func (b *Builder) Input(name string) NodeID {
+	id := b.raw(GInput)
+	b.net.Inputs = append(b.net.Inputs, id)
+	b.net.InputNames = append(b.net.InputNames, name)
+	return id
+}
+
+// Const returns the constant node for v (shared).
+func (b *Builder) Const(v bool) NodeID {
+	if v {
+		if b.one == None {
+			b.one = b.raw(GConst1)
+		}
+		return b.one
+	}
+	if b.zero == None {
+		b.zero = b.raw(GConst0)
+	}
+	return b.zero
+}
+
+func (b *Builder) allowAnd() bool { return b.opts.Target == nil || b.opts.Target.And }
+func (b *Builder) allowOr() bool  { return b.opts.Target == nil || b.opts.Target.Or }
+
+// isNotOf reports whether y is the negation of x (in either direction).
+func (b *Builder) isNotOf(x, y NodeID) bool {
+	if n, ok := b.notOf[x]; ok && n == y {
+		return true
+	}
+	if n, ok := b.notOf[y]; ok && n == x {
+		return true
+	}
+	return false
+}
+
+func (b *Builder) isConst(id NodeID) (val, ok bool) {
+	switch b.net.Gates[id].Kind {
+	case GConst0:
+		return false, true
+	case GConst1:
+		return true, true
+	}
+	return false, false
+}
+
+// Not returns ~x.
+func (b *Builder) Not(x NodeID) NodeID {
+	if b.opts.Fold {
+		if v, ok := b.isConst(x); ok {
+			return b.Const(!v)
+		}
+		if orig, ok := b.notOf[x]; ok { // ~~y = y
+			return orig
+		}
+		if n, ok := b.nots[x]; ok {
+			return n
+		}
+	}
+	id := b.raw(GNot, x)
+	if b.opts.Fold {
+		b.nots[x] = id
+		b.notOf[id] = x
+	}
+	return id
+}
+
+// normalize2 orders commutative arguments for better CSE hits.
+func normalize2(x, y NodeID) (NodeID, NodeID) {
+	if y < x {
+		return y, x
+	}
+	return x, y
+}
+
+// And returns x & y.
+func (b *Builder) And(x, y NodeID) NodeID {
+	if b.opts.Fold {
+		if v, ok := b.isConst(x); ok {
+			if !v {
+				return b.Const(false)
+			}
+			return y
+		}
+		if v, ok := b.isConst(y); ok {
+			if !v {
+				return b.Const(false)
+			}
+			return x
+		}
+		if x == y {
+			return x
+		}
+		if b.isNotOf(x, y) {
+			return b.Const(false)
+		}
+	}
+	x, y = normalize2(x, y)
+	return b.raw(GAnd, x, y)
+}
+
+// Or returns x | y.
+func (b *Builder) Or(x, y NodeID) NodeID {
+	if b.opts.Fold {
+		if v, ok := b.isConst(x); ok {
+			if v {
+				return b.Const(true)
+			}
+			return y
+		}
+		if v, ok := b.isConst(y); ok {
+			if v {
+				return b.Const(true)
+			}
+			return x
+		}
+		if x == y {
+			return x
+		}
+		if b.isNotOf(x, y) {
+			return b.Const(true)
+		}
+	}
+	x, y = normalize2(x, y)
+	return b.raw(GOr, x, y)
+}
+
+// Xor returns x ^ y.
+func (b *Builder) Xor(x, y NodeID) NodeID {
+	if b.opts.Fold {
+		if v, ok := b.isConst(x); ok {
+			if v {
+				return b.Not(y)
+			}
+			return y
+		}
+		if v, ok := b.isConst(y); ok {
+			if v {
+				return b.Not(x)
+			}
+			return x
+		}
+		if x == y {
+			return b.Const(false)
+		}
+		if b.isNotOf(x, y) {
+			return b.Const(true)
+		}
+	}
+	x, y = normalize2(x, y)
+	return b.raw(GXor, x, y)
+}
+
+// Maj returns the 3-input majority MAJ(x, y, z).
+func (b *Builder) Maj(x, y, z NodeID) NodeID {
+	if b.opts.Fold {
+		// A constant arm reduces majority to AND/OR (kept as MAJ when
+		// the target architecture has no native AND/OR: a MAJ with a
+		// C-group operand row *is* that architecture's AND/OR).
+		if v, ok := b.isConst(x); ok {
+			x, z = z, x
+			_ = v
+		} else if v, ok := b.isConst(y); ok {
+			y, z = z, y
+			_ = v
+		}
+		if v, ok := b.isConst(z); ok {
+			if v && b.allowOr() {
+				return b.Or(x, y)
+			}
+			if !v && b.allowAnd() {
+				return b.And(x, y)
+			}
+			// Keep the constant in the last arm and fall through to
+			// gate creation (identity folds below still apply).
+		}
+		if x == y {
+			return x
+		}
+		if x == z {
+			return x
+		}
+		if y == z {
+			return y
+		}
+		// maj(x, ~x, z) = z
+		if b.isNotOf(x, y) {
+			return z
+		}
+		if b.isNotOf(x, z) {
+			return y
+		}
+		if b.isNotOf(y, z) {
+			return x
+		}
+	}
+	// Sort all three for CSE (majority is fully symmetric).
+	if y < x {
+		x, y = y, x
+	}
+	if z < y {
+		y, z = z, y
+	}
+	if y < x {
+		x, y = y, x
+	}
+	return b.raw(GMaj, x, y, z)
+}
+
+// Mux returns c ? t : f, built from AND/OR/NOT.
+func (b *Builder) Mux(c, t, f NodeID) NodeID {
+	if b.opts.Fold {
+		if v, ok := b.isConst(c); ok {
+			if v {
+				return t
+			}
+			return f
+		}
+		if t == f {
+			return t
+		}
+	}
+	return b.Or(b.And(c, t), b.And(b.Not(c), f))
+}
+
+// Output registers node id as a named output.
+func (b *Builder) Output(name string, id NodeID) {
+	if id < 0 || int(id) >= len(b.net.Gates) {
+		panic(fmt.Sprintf("logic: output %q references invalid node %d", name, id))
+	}
+	b.net.Outputs = append(b.net.Outputs, id)
+	b.net.OutputNames = append(b.net.OutputNames, name)
+}
+
+// Net finalizes and returns the constructed net. The builder must not be
+// used afterwards.
+func (b *Builder) Net() *Net {
+	n := b.net
+	b.net = Net{}
+	return &n
+}

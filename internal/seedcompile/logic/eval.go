@@ -1,9 +1,6 @@
 package logic
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
 
 // Eval evaluates the net over 64 SIMD lanes at once: each input is a uint64
 // whose bit l is the input's value in lane l; each output likewise. This is
@@ -23,47 +20,15 @@ func (n *Net) EvalFaulty(inputs map[string]uint64, faultNode NodeID, flipMask ui
 	return n.evalWith(inputs, int(faultNode), flipMask)
 }
 
-// evalValsPool recycles the per-evaluation value buffer. Every non-input
-// slot is written before it is read (gates are topologically ordered), so
-// reuse only requires re-zeroing the input slots, which hold whatever the
-// inputs map does not provide.
-var evalValsPool = sync.Pool{New: func() any { return new([]uint64) }}
-
-// inputIndex returns the net's input-name index, building a transient one
-// for hand-assembled nets that never went through buildInputIndex. The
-// lazily built index is intentionally not cached on the net: Eval must
-// stay safe for concurrent callers, and nets from the compile pipeline
-// always carry the precomputed index anyway.
-func (n *Net) inputIndex() (map[string]int, string) {
-	if n.inIdx != nil {
-		return n.inIdx, n.inDup
-	}
-	idx := make(map[string]int, len(n.InputNames))
-	for i, name := range n.InputNames {
-		if _, dup := idx[name]; dup {
-			return nil, name
-		}
-		idx[name] = i
-	}
-	return idx, ""
-}
-
 func (n *Net) evalWith(inputs map[string]uint64, faultNode int, flipMask uint64) (map[string]uint64, error) {
-	inIdx, dup := n.inputIndex()
-	if dup != "" {
-		return nil, fmt.Errorf("logic: duplicate input name %q", dup)
+	vals := make([]uint64, len(n.Gates))
+	inIdx := make(map[string]int, len(n.InputNames))
+	for i, name := range n.InputNames {
+		if _, dup := inIdx[name]; dup {
+			return nil, fmt.Errorf("logic: duplicate input name %q", name)
+		}
+		inIdx[name] = i
 	}
-
-	bufp := evalValsPool.Get().(*[]uint64)
-	defer evalValsPool.Put(bufp)
-	if cap(*bufp) < len(n.Gates) {
-		*bufp = make([]uint64, len(n.Gates))
-	}
-	vals := (*bufp)[:len(n.Gates)]
-	for _, in := range n.Inputs {
-		vals[in] = 0
-	}
-
 	for name, v := range inputs {
 		i, ok := inIdx[name]
 		if !ok {

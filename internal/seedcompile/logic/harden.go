@@ -1,9 +1,6 @@
 package logic
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
 
 // TMR returns a triple-modular-redundancy hardened version of a net that
 // is already legalized for the gate set gs: every computation gate is
@@ -29,9 +26,6 @@ func TMR(n *Net, gs GateSet) (*Net, error) {
 		return nil, fmt.Errorf("logic: TMR input %w", err)
 	}
 	out := &Net{
-		// Worst case: every gate triplicated plus a 4-gate expanded vote
-		// per output; one allocation up front instead of append growth.
-		Gates:       make([]Gate, 0, 3*len(n.Gates)+4*len(n.Outputs)),
 		InputNames:  append([]string(nil), n.InputNames...),
 		OutputNames: append([]string(nil), n.OutputNames...),
 	}
@@ -45,9 +39,10 @@ func TMR(n *Net, gs GateSet) (*Net, error) {
 
 	// rep[r][old] is replica r's node for the original node old. Shared
 	// nodes (inputs, constants) map to the same id in all three replicas.
-	s := tmrPool.Get().(*tmrScratch)
-	defer tmrPool.Put(s)
-	rep := s.replicas(len(n.Gates))
+	var rep [3][]NodeID
+	for r := range rep {
+		rep[r] = make([]NodeID, len(n.Gates))
+	}
 	for i := range n.Gates {
 		g := &n.Gates[i]
 		switch g.Kind {
@@ -57,13 +52,12 @@ func TMR(n *Net, gs GateSet) (*Net, error) {
 				rep[r][i] = id
 			}
 		default:
-			var args [3]NodeID
-			ar := g.Kind.Arity()
 			for r := range rep {
-				for a := 0; a < ar; a++ {
+				args := make([]NodeID, g.Kind.Arity())
+				for a := range args {
 					args[a] = rep[r][g.Args[a]]
 				}
-				rep[r][i] = add(g.Kind, args[:ar]...)
+				rep[r][i] = add(g.Kind, args...)
 			}
 		}
 	}
@@ -95,23 +89,5 @@ func TMR(n *Net, gs GateSet) (*Net, error) {
 	if err := out.Validate(); err != nil {
 		return nil, fmt.Errorf("logic: TMR produced invalid net: %w", err)
 	}
-	out.buildInputIndex()
 	return out, nil
-}
-
-// tmrScratch pools the three replica remap tables TMR builds.
-type tmrScratch struct {
-	rep [3][]NodeID
-}
-
-var tmrPool = sync.Pool{New: func() any { return new(tmrScratch) }}
-
-func (s *tmrScratch) replicas(n int) *[3][]NodeID {
-	for r := range s.rep {
-		if cap(s.rep[r]) < n {
-			s.rep[r] = make([]NodeID, n)
-		}
-		s.rep[r] = s.rep[r][:n]
-	}
-	return &s.rep
 }

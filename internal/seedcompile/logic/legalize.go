@@ -2,7 +2,6 @@ package logic
 
 import (
 	"fmt"
-	"sync"
 
 	"chopper/internal/isa"
 )
@@ -43,34 +42,16 @@ func Legalize(n *Net, arch isa.Arch, opts BuilderOptions) (*Net, error) {
 	return legalizeTwoPhase(n, arch, opts)
 }
 
-// remapPool recycles the old-id -> new-id tables legalization (and other
-// net rewrites) walk; buffers come back sized and filled with None.
-var remapPool = sync.Pool{New: func() any { return new([]NodeID) }}
-
-func acquireRemap(n int) *[]NodeID {
-	p := remapPool.Get().(*[]NodeID)
-	if cap(*p) < n {
-		*p = make([]NodeID, n)
-	}
-	*p = (*p)[:n]
-	remap := *p
-	for i := range remap {
-		remap[i] = None
-	}
-	return p
-}
-
 // legalizeTwoPhase performs the rewrite with inputs declared first so the
 // rebuilt net keeps the original input order and names.
 func legalizeTwoPhase(n *Net, arch isa.Arch, opts BuilderOptions) (*Net, error) {
 	gs := NativeGates(arch)
 	opts.Target = &gs
-	b := AcquireBuilder(opts)
-	defer b.Release()
-	b.Grow(len(n.Gates))
-	remapp := acquireRemap(len(n.Gates))
-	defer remapPool.Put(remapp)
-	remap := *remapp
+	b := NewBuilder(opts)
+	remap := make([]NodeID, len(n.Gates))
+	for i := range remap {
+		remap[i] = None
+	}
 	for i, in := range n.Inputs {
 		remap[in] = b.Input(n.InputNames[i])
 	}

@@ -14,10 +14,7 @@
 //     architecture can execute natively.
 package logic
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
 
 // GateKind enumerates gate types.
 type GateKind uint8
@@ -82,31 +79,6 @@ type Net struct {
 	// Outputs lists the nodes whose values leave the net, with names.
 	Outputs     []NodeID
 	OutputNames []string
-
-	// inIdx maps an input name to its position in Inputs, precomputed at
-	// construction (Builder.Net, DCE, TMR) so Eval/EvalFaulty need not
-	// rebuild it per call; inDup records the first duplicated input name.
-	// Nets assembled by hand via struct literal leave inIdx nil and Eval
-	// falls back to building the index locally.
-	inIdx map[string]int
-	inDup string
-}
-
-// buildInputIndex precomputes the input-name index (and the first
-// duplicate, which Eval reports as an error exactly like the previous
-// per-call construction did).
-func (n *Net) buildInputIndex() {
-	idx := make(map[string]int, len(n.InputNames))
-	for i, name := range n.InputNames {
-		if _, dup := idx[name]; dup {
-			if n.inDup == "" {
-				n.inDup = name
-			}
-			continue
-		}
-		idx[name] = i
-	}
-	n.inIdx = idx
 }
 
 // NumGates returns the total gate count.
@@ -181,50 +153,19 @@ func (n *Net) Validate() error {
 	return nil
 }
 
-// dceScratch pools the liveness mark, remap table, and DFS stack DCE
-// needs, all sized to the gate count of the net being swept.
-type dceScratch struct {
-	live  []bool
-	remap []NodeID
-	stack []NodeID
-}
-
-var dcePool = sync.Pool{New: func() any { return new(dceScratch) }}
-
-func (s *dceScratch) reset(n int) {
-	if cap(s.live) < n {
-		s.live = make([]bool, n)
-		s.remap = make([]NodeID, n)
-	}
-	s.live = s.live[:n]
-	clear(s.live)
-	s.remap = s.remap[:n]
-	s.stack = s.stack[:0]
-}
-
 // DCE returns a copy of the net with gates unreachable from the outputs
 // removed (inputs are always kept, preserving the input interface).
 func (n *Net) DCE() *Net {
-	s := dcePool.Get().(*dceScratch)
-	defer dcePool.Put(s)
-	s.reset(len(n.Gates))
-	live, remap := s.live, s.remap
-	mark := func(id NodeID) {
+	live := make([]bool, len(n.Gates))
+	var mark func(NodeID)
+	mark = func(id NodeID) {
 		if live[id] {
 			return
 		}
 		live[id] = true
-		s.stack = append(s.stack, id)
-		for len(s.stack) > 0 {
-			v := s.stack[len(s.stack)-1]
-			s.stack = s.stack[:len(s.stack)-1]
-			g := &n.Gates[v]
-			for a := 0; a < g.Kind.Arity(); a++ {
-				if arg := g.Args[a]; !live[arg] {
-					live[arg] = true
-					s.stack = append(s.stack, arg)
-				}
-			}
+		g := &n.Gates[id]
+		for a := 0; a < g.Kind.Arity(); a++ {
+			mark(g.Args[a])
 		}
 	}
 	for _, o := range n.Outputs {
@@ -233,14 +174,8 @@ func (n *Net) DCE() *Net {
 	for _, in := range n.Inputs {
 		live[in] = true
 	}
-	kept := 0
-	for i := range live {
-		if live[i] {
-			kept++
-		}
-	}
+	remap := make([]NodeID, len(n.Gates))
 	out := &Net{
-		Gates:       make([]Gate, 0, kept),
 		InputNames:  append([]string(nil), n.InputNames...),
 		OutputNames: append([]string(nil), n.OutputNames...),
 	}
@@ -264,7 +199,6 @@ func (n *Net) DCE() *Net {
 	for i, o := range n.Outputs {
 		out.Outputs[i] = remap[o]
 	}
-	out.buildInputIndex()
 	return out
 }
 

@@ -18,9 +18,9 @@ package obs
 
 import (
 	"fmt"
-	"sync"
+	"sort"
 
-	"chopper/internal/logic"
+	"chopper/internal/seedcompile/logic"
 )
 
 // Variant is a cumulative optimization level, per Table IV of the paper.
@@ -95,7 +95,7 @@ func ScheduleGates(n *logic.Net, pressureAware bool) []logic.NodeID {
 		}
 		return true
 	}
-	natural := make([]logic.NodeID, 0, len(n.Gates))
+	var natural []logic.NodeID
 	for i := range n.Gates {
 		if isComp(n.Gates[i].Kind) {
 			natural = append(natural, logic.NodeID(i))
@@ -105,28 +105,23 @@ func ScheduleGates(n *logic.Net, pressureAware bool) []logic.NodeID {
 		return natural
 	}
 
-	s := schedPool.Get().(*schedScratch)
-	defer schedPool.Put(s)
-	s.grow(len(n.Gates))
-
 	// Register-need labels (Sethi–Ullman, treating the DAG as a tree;
 	// shared sub-cones are approximated, which is standard practice).
-	label := s.label[:len(n.Gates)]
+	label := make([]int, len(n.Gates))
 	for i := range n.Gates {
 		g := &n.Gates[i]
 		if !isComp(g.Kind) {
 			label[i] = 0
 			continue
 		}
-		// Gather child labels, descending (arity <= 3: sort by hand).
-		var ls [3]int
-		ar := g.Kind.Arity()
-		for a := 0; a < ar; a++ {
-			ls[a] = label[g.Args[a]]
+		// Gather child labels, descending.
+		var ls []int
+		for a := 0; a < g.Kind.Arity(); a++ {
+			ls = append(ls, label[g.Args[a]])
 		}
-		sortDesc3(ls[:ar])
+		sort.Sort(sort.Reverse(sort.IntSlice(ls)))
 		need := 1
-		for k, l := range ls[:ar] {
+		for k, l := range ls {
 			if v := l + k; v > need {
 				need = v
 			}
@@ -134,12 +129,11 @@ func ScheduleGates(n *logic.Net, pressureAware bool) []logic.NodeID {
 		label[i] = need
 	}
 
-	visited := s.visited[:len(n.Gates)]
-	clear(visited)
+	visited := make([]bool, len(n.Gates))
 	order := make([]logic.NodeID, 0, len(n.Gates))
 	// Iterative DFS post-order; children visited heavier-label first.
-	stack := s.stack[:0]
-	phase := s.phase[:0]
+	var stack []logic.NodeID
+	var phase []bool // false = expand, true = emit
 	push := func(id logic.NodeID) {
 		if !visited[id] && isComp(n.Gates[id].Kind) {
 			stack = append(stack, id)
@@ -164,73 +158,23 @@ func ScheduleGates(n *logic.Net, pressureAware bool) []logic.NodeID {
 			stack = append(stack, id)
 			phase = append(phase, true)
 			g := &n.Gates[id]
-			// Push lighter children first so heavier pop first
-			// (stable: equal labels keep argument order).
-			var kids [3]logic.NodeID
-			ar := g.Kind.Arity()
-			for a := 0; a < ar; a++ {
-				kids[a] = g.Args[a]
+			// Push lighter children first so heavier pop first.
+			var kids []logic.NodeID
+			for a := 0; a < g.Kind.Arity(); a++ {
+				kids = append(kids, g.Args[a])
 			}
-			sortStableByLabel(kids[:ar], label)
-			for _, k := range kids[:ar] {
+			sort.SliceStable(kids, func(i, j int) bool {
+				return label[kids[i]] < label[kids[j]]
+			})
+			for _, k := range kids {
 				push(k)
 			}
 		}
 	}
-	s.stack, s.phase = stack[:0], phase[:0]
 	if MaxLive(n, order) <= MaxLive(n, natural) {
 		return order
 	}
 	return natural
-}
-
-// sortDesc3 sorts at most three ints descending.
-func sortDesc3(ls []int) {
-	switch len(ls) {
-	case 2:
-		if ls[1] > ls[0] {
-			ls[0], ls[1] = ls[1], ls[0]
-		}
-	case 3:
-		if ls[1] > ls[0] {
-			ls[0], ls[1] = ls[1], ls[0]
-		}
-		if ls[2] > ls[1] {
-			ls[1], ls[2] = ls[2], ls[1]
-			if ls[1] > ls[0] {
-				ls[0], ls[1] = ls[1], ls[0]
-			}
-		}
-	}
-}
-
-// sortStableByLabel stably sorts at most three node ids ascending by
-// label (insertion sort, preserving argument order on ties — the same
-// order sort.SliceStable produced).
-func sortStableByLabel(kids []logic.NodeID, label []int) {
-	for i := 1; i < len(kids); i++ {
-		for j := i; j > 0 && label[kids[j]] < label[kids[j-1]]; j-- {
-			kids[j], kids[j-1] = kids[j-1], kids[j]
-		}
-	}
-}
-
-// schedScratch pools ScheduleGates' per-net working storage. The returned
-// order and the natural order escape to the caller and are excluded.
-type schedScratch struct {
-	label   []int
-	visited []bool
-	stack   []logic.NodeID
-	phase   []bool
-}
-
-var schedPool = sync.Pool{New: func() any { return new(schedScratch) }}
-
-func (s *schedScratch) grow(n int) {
-	if cap(s.label) < n {
-		s.label = make([]int, n)
-		s.visited = make([]bool, n)
-	}
 }
 
 // MaxLive simulates a schedule and returns the maximum number of
@@ -239,22 +183,9 @@ func (s *schedScratch) grow(n int) {
 // induces. Inputs and constants are excluded: their buffering is governed
 // by O2/O3, not by O1.
 func MaxLive(n *logic.Net, order []logic.NodeID) int {
-	s := liveScratchPool.Get().(*liveScratch)
-	defer liveScratchPool.Put(s)
-	s.grow(len(n.Gates))
-	// remaining starts as the fanout count of every node (computed in
-	// place, where Fanout() would allocate).
-	remaining := s.remaining[:len(n.Gates)]
-	clear(remaining)
-	for i := range n.Gates {
-		g := &n.Gates[i]
-		for a := 0; a < g.Kind.Arity(); a++ {
-			remaining[g.Args[a]]++
-		}
-	}
-	for _, o := range n.Outputs {
-		remaining[o]++
-	}
+	fanout := n.Fanout()
+	remaining := make([]int, len(n.Gates))
+	copy(remaining, fanout)
 	isComp := func(id logic.NodeID) bool {
 		switch n.Gates[id].Kind {
 		case logic.GInput, logic.GConst0, logic.GConst1:
@@ -262,8 +193,7 @@ func MaxLive(n *logic.Net, order []logic.NodeID) int {
 		}
 		return true
 	}
-	outputs := s.isOut[:len(n.Gates)]
-	clear(outputs)
+	outputs := make(map[logic.NodeID]bool)
 	for _, o := range n.Outputs {
 		outputs[o] = true
 	}
@@ -287,19 +217,4 @@ func MaxLive(n *logic.Net, order []logic.NodeID) int {
 		}
 	}
 	return maxLive
-}
-
-// liveScratch pools MaxLive's per-net consumer counts and output marks.
-type liveScratch struct {
-	remaining []int
-	isOut     []bool
-}
-
-var liveScratchPool = sync.Pool{New: func() any { return new(liveScratch) }}
-
-func (s *liveScratch) grow(n int) {
-	if cap(s.remaining) < n {
-		s.remaining = make([]int, n)
-		s.isOut = make([]bool, n)
-	}
 }

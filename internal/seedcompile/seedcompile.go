@@ -1,0 +1,90 @@
+// Package seedcompile is a frozen, verbatim snapshot of the compile
+// middle-end as it stood before the dense-index fast-path rewrite (commit
+// c7b7295): the logic builder, bitslice lowering, OBS scheduling, row
+// allocation, and codegen packages are byte-for-byte copies with only
+// their import paths rewritten. It exists solely as the reference side of
+// the golden-equivalence suite — the rewritten compiler must emit
+// byte-identical isa.Programs to this one on every target × optimization
+// level × hardening × budget configuration. Do not fix bugs or accept
+// refactors here; the whole point is that it does not change.
+package seedcompile
+
+import (
+	"chopper/internal/dfg"
+	"chopper/internal/guard"
+	"chopper/internal/isa"
+	"chopper/internal/seedcompile/bitslice"
+	"chopper/internal/seedcompile/codegen"
+	"chopper/internal/seedcompile/logic"
+	"chopper/internal/seedcompile/obs"
+)
+
+// Options mirrors the subset of chopper.Options that reaches the back-end
+// pipeline in compileGraphAt.
+type Options struct {
+	Arch        isa.Arch
+	Opt         obs.Variant
+	DRows       int
+	Harden      bool
+	MaxNetGates int
+	MaxMicroOps int
+}
+
+// Result is what the seed pipeline hands back for comparison: the emitted
+// code and the legalized (possibly hardened) net it came from.
+type Result struct {
+	Code *codegen.Result
+	Net  *logic.Net
+}
+
+// Compile runs the frozen back-end pipeline at one fixed optimization
+// level, mirroring compileGraphAt pass for pass: lower, gate-budget check,
+// validate, legalize+DCE, optional TMR, gate-budget check, validate,
+// codegen, program validate. Errors come back raw (guard errors included)
+// rather than wrapped in chopper's error taxonomy, since golden tests
+// compare the underlying guard.BudgetError, not the wrapping.
+func Compile(graph *dfg.Graph, o Options) (*Result, error) {
+	net, err := bitslice.Lower(graph, bitslice.Options{Fold: o.Opt.HasReuse()})
+	if err != nil {
+		return nil, err
+	}
+	if err := guard.Check(guard.DimNetGates, o.MaxNetGates, len(net.Gates)); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+
+	leg, err := logic.Legalize(net, o.Arch, logic.BuilderOptions{Fold: o.Opt.HasReuse(), CSE: true})
+	if err != nil {
+		return nil, err
+	}
+	leg = leg.DCE()
+	if o.Harden {
+		h, err := logic.TMR(leg, logic.NativeGates(o.Arch))
+		if err != nil {
+			return nil, err
+		}
+		leg = h
+	}
+	if err := guard.Check(guard.DimNetGates, o.MaxNetGates, len(leg.Gates)); err != nil {
+		return nil, err
+	}
+	if err := leg.Validate(); err != nil {
+		return nil, err
+	}
+
+	code, err := codegen.Generate(leg, codegen.Options{
+		Arch:    o.Arch,
+		Variant: o.Opt,
+		DRows:   o.DRows,
+		MaxOps:  o.MaxMicroOps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := code.Prog.Validate(o.DRows); err != nil {
+		return nil, err
+	}
+	return &Result{Code: code, Net: leg}, nil
+}
