@@ -78,6 +78,12 @@ func cacheKey(pipeline, src string, opts Options) string {
 		strconv.Itoa(opts.Budget.MaxDRAMCommands),
 		strconv.Itoa(opts.Budget.MaxNetGates),
 		strconv.Itoa(opts.Budget.MaxSimSteps),
+		// Recovery options live on the kernel (runs consult them), so two
+		// compiles differing only in recovery must not share an entry.
+		strconv.Itoa(int(opts.Recovery.Detector)),
+		strconv.Itoa(opts.Recovery.EpochUops),
+		strconv.Itoa(opts.Recovery.MaxRetries),
+		strconv.FormatInt(opts.Recovery.Backoff.Nanoseconds(), 10),
 	)
 }
 

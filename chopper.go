@@ -87,6 +87,13 @@ type Options struct {
 	// checkpoints; the zero value is unlimited. Exceeding a dimension
 	// surfaces as a *BudgetError matching ErrBudget. See docs/GUARDS.md.
 	Budget Budget
+	// Recovery configures self-healing execution: epoch checkpoints, an
+	// online error detector, retention scrubbing and bounded
+	// retry/backoff replay. The zero value disables it (runs stay
+	// byte-identical to a recovery-free build); RunResult.RecoveryStats
+	// reports what the layer did. Single-subarray runs only (RunTiled
+	// rejects it). See docs/RELIABILITY.md.
+	Recovery Recovery
 	// SetOpt marks Opt as explicitly set (distinguishes OptBitslice, which
 	// is the zero value, from "use the default"). Use WithOpt to build
 	// Options fluently, or set both fields.
@@ -117,6 +124,7 @@ func (o Options) normalize() Options {
 	if o.Geometry == (dram.Geometry{}) {
 		o.Geometry = dram.DefaultGeometry()
 	}
+	o.Recovery = o.Recovery.normalize()
 	return o
 }
 
@@ -128,6 +136,9 @@ func (o Options) validate() error {
 	}
 	if o.Opt < OptBitslice || o.Opt > OptFull {
 		return optionsErrf("unknown optimization level %d", int(o.Opt))
+	}
+	if err := o.Recovery.validate(); err != nil {
+		return err
 	}
 	return o.Geometry.Validate()
 }
@@ -540,6 +551,10 @@ type RunResult struct {
 	// (subarray arenas, spill buffers, engine tables) — the working-set
 	// figure choppersim reports as "peak scratch".
 	ScratchBytes int64
+	// RecoveryStats reports the self-healing layer's activity (epochs,
+	// detections, retries, wasted work); all-zero when Options.Recovery
+	// is disabled.
+	RecoveryStats RecoveryStats
 }
 
 // RunRows executes the kernel on one simulated subarray over operands
@@ -615,12 +630,18 @@ func (k *Kernel) runRows(ctx context.Context, rows map[string][][]uint64, lanes 
 		Lanes: lanes,
 		Fault: hook,
 	})
-	t, err := m.RunDecodedCtx(ctx, k.decodedProg(), 0, 0, io, k.Opts.Budget)
+	var t float64
+	var rs RecoveryStats
+	if k.Opts.Recovery.Enabled() {
+		t, rs, err = m.RunRecoveredCtx(ctx, k.decodedProg(), 0, 0, io, k.Opts.Budget, k.Opts.Recovery.policy())
+	} else {
+		t, err = m.RunDecodedCtx(ctx, k.decodedProg(), 0, 0, io, k.Opts.Budget)
+	}
 	if err != nil {
 		putMachine(m)
 		return nil, err
 	}
-	res := &RunResult{Rows: outRows, TimeNs: t, Stats: m.Stats(), ScratchBytes: m.MemBytes()}
+	res := &RunResult{Rows: outRows, TimeNs: t, Stats: m.Stats(), ScratchBytes: m.MemBytes(), RecoveryStats: rs}
 	putMachine(m)
 	return res, nil
 }

@@ -5,6 +5,7 @@
 //
 //	choppersim [-target ...] [-opt ...] [-baseline] [-lanes N]
 //	           [-harden] [-fault-rate P] [-fault-seed S]
+//	           [-recover none|parity|vote] [-epoch-uops N] [-max-retries N]
 //	           [-timeout D] [-max-uops N]
 //	           [-in name=v1,v2,... ...] file.chop
 //	choppersim -asm file.pud       # execute raw PUD assembly
@@ -26,6 +27,15 @@
 // -harden compiles with TMR (see docs/RELIABILITY.md); -fault-rate runs the
 // program on a faulty subarray, injecting TRA charge-sharing flips at the
 // given per-operation probability, reproducibly from -fault-seed.
+//
+// -recover enables self-healing execution with the named detector: the run
+// is split into epochs, checkpointed, validated online, and replayed with
+// scrub and backoff on a detection (see docs/RELIABILITY.md). -epoch-uops
+// sets the epoch length target and -max-retries bounds replays per epoch;
+// the run summary gains a recovery line (epochs, detections, corrections,
+// wasted work). Recovery replays stay subject to -timeout and the budget
+// caps: a retry loop that hits a limit exits with the same status-3
+// diagnostics as plain runs.
 //
 // -timeout bounds the whole compile+run by wall clock and -max-uops caps
 // how many micro-ops the compiler may emit (see docs/GUARDS.md). A budget
@@ -86,6 +96,9 @@ func main() {
 	harden := flag.Bool("harden", false, "compile with TMR hardening (triplicated logic, majority-voted outputs)")
 	faultRate := flag.Float64("fault-rate", 0, "per-TRA charge-sharing fault probability; 0 disables injection")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (same seed, same faults)")
+	recoverMode := flag.String("recover", "none", "self-healing execution detector: none, parity, vote")
+	epochUops := flag.Int("epoch-uops", 0, "with -recover: target epoch length in micro-ops; 0 means the default (256)")
+	maxRetries := flag.Int("max-retries", 0, "with -recover: replays allowed per epoch; 0 means the default (3), negative means detect-only")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for compile+run (e.g. 5s); 0 disables")
 	maxUops := flag.Int("max-uops", 0, "cap on emitted micro-ops; 0 means unlimited")
 	benchMode := flag.Bool("bench", false, "run the tracked benchmark suite and write a report instead of executing a program")
@@ -152,6 +165,12 @@ func main() {
 
 	opts := chopper.Options{Target: arch, Harden: *harden}.WithOpt(lv)
 	opts.Budget = chopper.Budget{MaxMicroOps: *maxUops}
+	detectors := map[string]chopper.Detector{"none": chopper.DetectorNone, "parity": chopper.DetectorParity, "vote": chopper.DetectorVote}
+	det, ok := detectors[strings.ToLower(*recoverMode)]
+	if !ok {
+		fatal(fmt.Errorf("unknown -recover %q (valid: none, parity, vote)", *recoverMode))
+	}
+	opts.Recovery = chopper.Recovery{Detector: det, EpochUops: *epochUops, MaxRetries: *maxRetries}
 	// Compile through the process-wide kernel cache so the summary reports
 	// the serving-path counters a long-lived embedder would see (a one-shot
 	// invocation records one miss).
@@ -236,6 +255,11 @@ func main() {
 		f := res.Faults
 		fmt.Printf("injected faults (rate %g, seed %d): %d TRA, %d copy, %d decay, %d stuck\n",
 			*faultRate, *faultSeed, f.TRAFlips, f.CopyFlips, f.DecayFlips, f.StuckLanes)
+	}
+	if det != chopper.DetectorNone {
+		rs := res.RecoveryStats
+		fmt.Printf("recovery (%s): %d epochs, %d detections, %d corrected, %d uncorrected, %d wasted uops, %d scrubbed rows\n",
+			det, rs.Epochs, rs.Detections, rs.Corrected, rs.Uncorrected, rs.WastedUops, rs.ScrubbedRows)
 	}
 	fmt.Println()
 

@@ -43,6 +43,10 @@ func FuzzCompile(f *testing.F) {
 			// exercise the deterministic budget-exceeded paths (net-gates
 			// at bit-slicing/legalization, micro-ops during emission).
 			{Target: Ambit, Budget: Budget{MaxNetGates: 256, MaxMicroOps: 1024}},
+			// Recovery combos: normalization/validation and the epoch-mark
+			// plumbing must hold for arbitrary programs.
+			{Target: Ambit, Recovery: Recovery{Detector: DetectorParity, EpochUops: 8}},
+			{Target: SIMDRAM, Harden: true, Recovery: Recovery{Detector: DetectorVote, MaxRetries: -1}},
 		} {
 			k, err := Compile(src, opts)
 			if err == nil && k == nil {
@@ -50,6 +54,71 @@ func FuzzCompile(f *testing.F) {
 			}
 			if err != nil && k != nil {
 				t.Fatalf("Compile returned both kernel and error for %q: %v", src, err)
+			}
+		}
+	})
+}
+
+// FuzzRecoveryEquivalence checks the recovery layer's zero-fault identity
+// on arbitrary programs: with no faults injected, a recovery-enabled run
+// must produce byte-identical outputs to a recovery-disabled run of the
+// same kernel (the detector observes, buffers and charges timing, but the
+// functional result is untouched).
+func FuzzRecoveryEquivalence(f *testing.F) {
+	seeds := []string{
+		"node main(a: u8, b: u8) returns (s: u8) let s = a + b; tel",
+		"node main(a: u8, b: u8, p: u1) returns (c: u8) let c = p ? a : b; tel",
+		"node main(a: u16) returns (z: u16) vars t: u16; let t = a * a; z = t ^ a; tel",
+		"node main(a: u8) returns (z: u8) let z = mux(a < 3:u8, a, ~a); tel",
+	}
+	for _, s := range seeds {
+		f.Add(s, 3)
+	}
+	f.Fuzz(func(t *testing.T, src string, epochUops int) {
+		plain, err := Compile(src, Options{Target: Ambit})
+		if err != nil {
+			t.Skip()
+		}
+		const lanes = 8
+		in := make(map[string][]uint64, len(plain.Inputs))
+		for _, spec := range plain.Inputs {
+			if spec.Width > 64 {
+				t.Skip()
+			}
+			vals := make([]uint64, lanes)
+			mask := ^uint64(0)
+			if spec.Width < 64 {
+				mask = (uint64(1) << uint(spec.Width)) - 1
+			}
+			for l := range vals {
+				vals[l] = (uint64(l)*0x9e3779b9 + 7) & mask
+			}
+			in[spec.Name] = vals
+		}
+		want, err := plain.Run(in, lanes)
+		if err != nil {
+			t.Skip()
+		}
+		epochUops &= 511 // non-negative: covers stride 0 (default) through tiny epochs
+		for _, det := range []Detector{DetectorParity, DetectorVote} {
+			k, err := Compile(src, Options{Target: Ambit,
+				Recovery: Recovery{Detector: det, EpochUops: epochUops}})
+			if err != nil {
+				t.Fatalf("recovery options broke compilation: %v", err)
+			}
+			got, err := k.Run(in, lanes)
+			if err != nil {
+				t.Fatalf("%s: recovered run failed where plain run succeeded: %v", det, err)
+			}
+			for name, w := range want {
+				if len(got[name]) != len(w) {
+					t.Fatalf("%s: output %q length differs", det, name)
+				}
+				for l := range w {
+					if got[name][l] != w[l] {
+						t.Fatalf("%s: output %q lane %d = %#x, want %#x", det, name, l, got[name][l], w[l])
+					}
+				}
 			}
 		}
 	})

@@ -281,6 +281,7 @@ func Generate(net *logic.Net, opts Options) (*Result, error) {
 	// one read/store per output. The buffer escapes into the returned
 	// Program, so it is sized here rather than pooled.
 	e.prog.Ops = make([]isa.Op, 0, 5*len(order)+2*len(net.Outputs)+8)
+	e.prog.EpochMarks = make([]int, 0, len(order)+1)
 	// CSR index of the output positions each node feeds, so results can
 	// be read back eagerly (as soon as final) instead of buffering every
 	// output row until the end of the program.
@@ -414,6 +415,7 @@ func Generate(net *logic.Net, opts Options) (*Result, error) {
 		if err := guard.Check(guard.DimMicroOps, opts.MaxOps, len(e.prog.Ops)); err != nil {
 			return nil, err
 		}
+		e.markEpoch()
 	}
 	for i, o := range net.Outputs {
 		if e.s.outDone[i] {
@@ -444,6 +446,7 @@ func Generate(net *logic.Net, opts Options) (*Result, error) {
 	if err := guard.Check(guard.DimMicroOps, opts.MaxOps, len(e.prog.Ops)); err != nil {
 		return nil, err
 	}
+	e.markEpoch()
 
 	e.stats.MaxLiveRows = e.pool.MaxUsed()
 	e.prog.DRowsUsed = e.pool.MaxUsed()
@@ -468,6 +471,22 @@ func Generate(net *logic.Net, opts Options) (*Result, error) {
 	res.Prog = &e.prog
 	res.Stats = e.stats
 	return res, nil
+}
+
+// markEpoch records the current op count as a legal recovery cut point.
+// It is called after each scheduled gate's expansion (and its eager reads)
+// retires, so an epoch boundary chosen by the recovery runtime never lands
+// inside the micro-op cluster of a single logic gate. Consecutive gates
+// that emitted no ops collapse into one mark.
+func (e *emitter) markEpoch() {
+	n := len(e.prog.Ops)
+	if n == 0 {
+		return
+	}
+	if l := len(e.prog.EpochMarks); l > 0 && e.prog.EpochMarks[l-1] == n {
+		return
+	}
+	e.prog.EpochMarks = append(e.prog.EpochMarks, n)
 }
 
 // eagerRead retires outputs whose value just became final: the gate at pos

@@ -318,6 +318,9 @@ type EngineStats struct {
 	MaxUnitBusy  float64
 	UnitBusySum  float64
 	DistinctUnit int
+	// StallNs is host idle time injected via Engine.Stall (recovery
+	// backoff waits); it stretches the makespan without issuing commands.
+	StallNs float64
 }
 
 // NewEngine builds an engine for the geometry/timing pair. salp enables
@@ -471,6 +474,22 @@ func (e *Engine) IssueOp(bank, sub int, kind isa.OpKind, imm uint64) float64 {
 		e.stats.MaxUnitBusy = end
 	}
 	return end
+}
+
+// Stall advances the host command stream by ns nanoseconds of idle wait:
+// no command can start before the stall elapses. The recovery layer
+// charges its deterministic retry backoff here, so replay delays appear in
+// the makespan (and in Stats().StallNs) without fabricating DRAM commands.
+// Non-positive stalls are no-ops.
+func (e *Engine) Stall(ns float64) {
+	if ns <= 0 {
+		return
+	}
+	e.now += ns
+	if e.now > e.lastStart {
+		e.lastStart = e.now
+	}
+	e.stats.StallNs += ns
 }
 
 // Run issues a whole stream and returns the makespan in nanoseconds,

@@ -98,12 +98,29 @@ func (c *Counts) Add(other Counts) {
 
 // Injector implements the simulator's fault hook (sim.FaultHook) for one
 // subarray. It is not safe for concurrent use; give each subarray its own.
+//
+// It also implements the simulator's EpochHook: the recovery layer
+// checkpoints the injector at epoch boundaries, restores it on rollback,
+// and salts each retry attempt so a replayed epoch faces an independent
+// transient-fault draw (the stateless hash would otherwise re-inject the
+// identical faults on every retry and recovery could never converge).
 type Injector struct {
 	cfg    Config
 	seed   uint64
 	spent  int
 	last   map[isa.Row]int // op index of each row's most recent access
 	counts Counts
+
+	// attemptSalt is folded into every transient roll. Zero for attempt 0
+	// of every epoch, so a recovery run that never retries draws byte for
+	// byte the fault pattern a recovery-free run would.
+	attemptSalt uint64
+
+	// Epoch checkpoint storage (EpochCheckpoint/EpochRestore). The map is
+	// reused across epochs, so steady-state snapshots allocate nothing.
+	ckLast   map[isa.Row]int
+	ckSpent  int
+	ckCounts Counts
 }
 
 // New creates an injector for cfg, reproducible from seed.
@@ -124,6 +141,12 @@ func (in *Injector) Reset(cfg Config, seed int64) {
 	in.spent = 0
 	clear(in.last)
 	in.counts = Counts{}
+	in.attemptSalt = 0
+	if in.ckLast != nil {
+		clear(in.ckLast)
+	}
+	in.ckSpent = 0
+	in.ckCounts = Counts{}
 }
 
 // Counts returns the faults injected so far.
@@ -147,9 +170,10 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-// roll draws the event hash for (op, kind, row-salt).
+// roll draws the event hash for (op, kind, row-salt). The attempt salt is
+// zero outside epoch retries, so the draw is unchanged for ordinary runs.
 func (in *Injector) roll(kind uint64, opIdx int, salt uint64) uint64 {
-	return mix(in.seed ^ mix(uint64(opIdx)+1) ^ mix(kind<<32^salt))
+	return mix(in.seed ^ in.attemptSalt ^ mix(uint64(opIdx)+1) ^ mix(kind<<32^salt))
 }
 
 // fires converts the hash's top 53 bits into a uniform [0,1) draw.
@@ -216,6 +240,58 @@ func (in *Injector) AfterCopy(opIdx int, data []uint64, lanes int) {
 	flipLane(data, mix(h), lanes)
 	in.spent++
 	in.counts.CopyFlips++
+}
+
+// EpochCheckpoint snapshots the injector's trial state — transient-budget
+// spend, per-model tallies and the retention timestamps — at an epoch
+// boundary, and rewinds the attempt salt so the epoch's first execution
+// draws exactly the fault pattern a recovery-free run would. Snapshot
+// storage is reused across epochs; the steady state allocates nothing.
+func (in *Injector) EpochCheckpoint() {
+	if in.ckLast == nil {
+		in.ckLast = make(map[isa.Row]int, len(in.last))
+	} else {
+		clear(in.ckLast)
+	}
+	for r, t := range in.last {
+		in.ckLast[r] = t
+	}
+	in.ckSpent = in.spent
+	in.ckCounts = in.counts
+	in.attemptSalt = 0
+}
+
+// EpochRestore rewinds the injector to the last EpochCheckpoint and arms
+// retry attempt `attempt`: attempt 0 reproduces the original draw byte for
+// byte, while attempt n > 0 salts every transient roll with a value derived
+// from n, so each replay of the epoch faces an independent fault pattern.
+// Permanent defects (stuck-at columns) are configuration, not state, and
+// re-apply identically on every attempt — which is what makes them
+// detectable but uncorrectable by replay.
+func (in *Injector) EpochRestore(attempt int) {
+	clear(in.last)
+	for r, t := range in.ckLast {
+		in.last[r] = t
+	}
+	in.spent = in.ckSpent
+	in.counts = in.ckCounts
+	if attempt == 0 {
+		in.attemptSalt = 0
+	} else {
+		in.attemptSalt = mix(uint64(attempt) * 0x9e3779b97f4a7c15)
+	}
+}
+
+// Scrub models a retention scrub pass issued at opIdx: every tracked row is
+// re-sensed and its charge restored, so decay idle clocks restart from the
+// scrub point — a row cannot decay during the retried epoch unless it sits
+// idle past the refresh threshold again. Returns the number of rows
+// refreshed.
+func (in *Injector) Scrub(opIdx int) int {
+	for r := range in.last {
+		in.last[r] = opIdx
+	}
+	return len(in.last)
 }
 
 // AfterStore applies persistent bitline defects to a freshly stored row

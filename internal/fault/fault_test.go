@@ -154,3 +154,92 @@ func TestRetentionDecay(t *testing.T) {
 		t.Fatal("decay despite recent store")
 	}
 }
+
+// Epoch replay contract: EpochRestore(0) reproduces the original draw
+// bit-for-bit, EpochRestore(n>0) re-salts it, and the retention/budget
+// bookkeeping rewinds with the state.
+func TestEpochRestoreReplaysDeterministically(t *testing.T) {
+	cfg := Config{TRAFlipRate: 0.3, RetentionRate: 0.4, RefreshOps: 4, MaxFaults: 16}
+	run := func(in *Injector) ([]uint64, Counts) {
+		data := row(0x0123456789abcdef)
+		for op := 10; op < 60; op++ {
+			switch op % 3 {
+			case 0:
+				in.AfterCompute(op, data, lanes)
+			case 2:
+				in.BeforeLoad(op, isa.Row(op%5), data, lanes)
+			}
+		}
+		return data, in.Counts()
+	}
+	in := New(cfg, 9)
+	in.EpochCheckpoint()
+	d1, c1 := run(in)
+	in.EpochRestore(0)
+	d2, c2 := run(in)
+	if d1[0] != d2[0] || d1[1] != d2[1] || c1 != c2 {
+		t.Fatalf("attempt 0 replay diverged: %#x/%+v vs %#x/%+v", d1, c1, d2, c2)
+	}
+	in.EpochRestore(1)
+	d3, _ := run(in)
+	if d1[0] == d3[0] && d1[1] == d3[1] {
+		t.Fatal("salted retry reproduced the original draw (retry would be pointless)")
+	}
+	if c := in.Counts(); c.Total() == 0 {
+		t.Fatalf("restore wiped the running counts: %+v", c)
+	}
+}
+
+// Scrub models a refresh pass: after it, rows are no longer stale, so no
+// decay can fire until the idle window fills up again.
+func TestScrubClearsRetentionState(t *testing.T) {
+	in := New(Config{RetentionRate: 1, RefreshOps: 10}, 3)
+	data := row(^uint64(0))
+	in.AfterStore(0, isa.Row(1), data, lanes)
+	in.BeforeLoad(50, isa.Row(1), data, lanes)
+	if in.Counts().DecayFlips == 0 {
+		t.Fatal("setup failed: no decay fired on a 50-op-stale row")
+	}
+	before := in.Counts()
+	if n := in.Scrub(50); n == 0 {
+		t.Fatal("scrub refreshed no rows")
+	}
+	fresh := row(^uint64(0))
+	in.BeforeLoad(55, isa.Row(1), fresh, lanes)
+	if in.Counts().DecayFlips != before.DecayFlips {
+		t.Fatal("decay fired on a freshly scrubbed row")
+	}
+	in.BeforeLoad(120, isa.Row(1), fresh, lanes)
+	if in.Counts().DecayFlips == before.DecayFlips {
+		t.Fatal("decay stopped firing entirely after scrub; rows should age again")
+	}
+}
+
+// Reset must make a pooled injector indistinguishable from a fresh New,
+// including the epoch bookkeeping (checkpoint map, salt, saved budget)
+// that recovery runs leave behind.
+func TestResetClearsEpochState(t *testing.T) {
+	cfg := Config{TRAFlipRate: 0.3, RetentionRate: 0.4, RefreshOps: 4}
+	exercise := func(in *Injector) ([]uint64, Counts) {
+		data := row(0xfeedface)
+		for op := 0; op < 80; op++ {
+			in.AfterCompute(op, data, lanes)
+			in.BeforeLoad(op, isa.Row(op%3), data, lanes)
+		}
+		return data, in.Counts()
+	}
+	fresh := New(cfg, 21)
+	wantData, wantCounts := exercise(fresh)
+
+	used := New(cfg, 99)
+	used.EpochCheckpoint()
+	exercise(used)
+	used.EpochRestore(3) // leaves a non-zero attempt salt armed
+	used.Scrub(80)
+	used.Reset(cfg, 21)
+	gotData, gotCounts := exercise(used)
+	if gotData[0] != wantData[0] || gotData[1] != wantData[1] || gotCounts != wantCounts {
+		t.Fatalf("reset injector diverged from fresh New: %#x/%+v vs %#x/%+v",
+			gotData, gotCounts, wantData, wantCounts)
+	}
+}

@@ -287,6 +287,15 @@ type Program struct {
 
 	// SpillSlots is the number of distinct SSD spill slots referenced.
 	SpillSlots int
+
+	// EpochMarks lists legal recovery cut points as strictly increasing
+	// op-stream indices in (0, len(Ops)]: the code generator records one
+	// after each gate's micro-op cluster retires, so an epoch boundary
+	// never splits the multi-op lowering of a single logic gate. Nil means
+	// the producer recorded none (hand-built or baseline programs) and the
+	// recovery runtime falls back to fixed-stride cuts. Marks carry no
+	// execution semantics and do not appear in the assembly dump.
+	EpochMarks []int
 }
 
 // Append adds ops to the program.
@@ -365,6 +374,13 @@ func (p *Program) Validate(dRows int) error {
 				return fmt.Errorf("isa: op %d (%s): spill slot %d out of range %d", i, op, op.Imm, p.SpillSlots)
 			}
 		}
+	}
+	prev := 0
+	for _, m := range p.EpochMarks {
+		if m <= prev || m > len(p.Ops) {
+			return fmt.Errorf("isa: epoch mark %d not strictly increasing in (0, %d]", m, len(p.Ops))
+		}
+		prev = m
 	}
 	return nil
 }

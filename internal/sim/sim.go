@@ -17,6 +17,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"chopper/internal/dram"
 	"chopper/internal/guard"
@@ -95,6 +96,19 @@ type Subarray struct {
 	scratch []uint64 // AAP copy / AP majority staging buffer
 	readBuf []uint64 // READ payload buffer handed to ReadSink
 
+	// Online parity tracking (recovery's cheap storage-fault detector).
+	// When armed, every dense-row store records the row's parity bit and
+	// every sense re-derives it: a mismatch means the stored charge changed
+	// behind the program's back (a stuck bitline forced a lane, a cell
+	// decayed) and is counted in parBad. Compute faults corrupt the data
+	// BEFORE the store records its parity, so they are invisible here by
+	// construction — that asymmetry is the detector's documented trade-off.
+	// Overflow (extra-map) rows are outside the dense bitline array model
+	// and are not tracked.
+	parTrack bool
+	parity   []uint64 // per-slot parity bitmap, valid where present
+	parBad   int      // mismatches observed since the tracker was armed
+
 	hook  FaultHook
 	opIdx int // ops executed so far; the index passed to the hook
 }
@@ -148,6 +162,11 @@ func (s *Subarray) Configure(dRows, lanes int) {
 	} else {
 		s.present = s.present[:pw]
 	}
+	if cap(s.parity) < pw {
+		s.parity = make([]uint64, pw)
+	} else {
+		s.parity = s.parity[:pw]
+	}
 	s.Reset()
 }
 
@@ -165,6 +184,8 @@ func (s *Subarray) Reset() {
 	s.cDirty = false
 	s.opIdx = 0
 	s.hook = nil
+	s.parTrack = false
+	s.parBad = 0
 	s.initRow(isa.C0, 0)
 	s.initRow(isa.C1, ^uint64(0))
 }
@@ -180,7 +201,7 @@ func (s *Subarray) SetFaultHook(h FaultHook) { s.hook = h }
 // peak scratch.
 func (s *Subarray) MemBytes() int64 {
 	n := int64(cap(s.arena)+cap(s.scratch)+cap(s.readBuf)) * 8
-	n += int64(cap(s.present)) * 8
+	n += int64(cap(s.present)+cap(s.parity)) * 8
 	for _, row := range s.extra {
 		n += int64(cap(row)) * 8
 	}
@@ -205,6 +226,90 @@ func (s *Subarray) slot(r isa.Row) (int, bool) {
 
 func (s *Subarray) isPresent(idx int) bool { return s.present[idx>>6]&(1<<uint(idx&63)) != 0 }
 func (s *Subarray) markPresent(idx int)    { s.present[idx>>6] |= 1 << uint(idx&63) }
+
+// rowParity is the XOR reduction of every bit of a row (masked words only,
+// which setRow/initRow guarantee).
+func rowParity(data []uint64) uint64 {
+	var x uint64
+	for _, w := range data {
+		x ^= w
+	}
+	return uint64(bits.OnesCount64(x) & 1)
+}
+
+// setParity records the parity bit of a freshly stored dense row.
+func (s *Subarray) setParity(idx int, data []uint64) {
+	w, b := idx>>6, uint(idx&63)
+	if rowParity(data) == 1 {
+		s.parity[w] |= 1 << b
+	} else {
+		s.parity[w] &^= 1 << b
+	}
+}
+
+// checkParity compares a sensed row against its recorded parity bit,
+// counting a mismatch once (the bit re-arms to the corrupted contents, so
+// repeated senses of the same corruption are not double-counted).
+func (s *Subarray) checkParity(idx int, data []uint64) {
+	w, b := idx>>6, uint(idx&63)
+	if s.parity[w]>>b&1 != rowParity(data) {
+		s.parBad++
+		s.setParity(idx, data)
+	}
+}
+
+// SetParityTracking arms (true) or disarms (false) online parity tracking.
+// Arming seeds the parity bit of every currently stored dense row and
+// zeroes the mismatch counter; disarming just stops the bookkeeping. The
+// recovery layer arms it for parity-detector runs only, so ordinary runs
+// pay nothing.
+func (s *Subarray) SetParityTracking(on bool) {
+	s.parTrack = on
+	s.parBad = 0
+	if !on {
+		return
+	}
+	n := s.allocRows()
+	for idx := 0; idx < n; idx++ {
+		if s.isPresent(idx) {
+			s.setParity(idx, s.rowData(idx))
+		}
+	}
+}
+
+// ParityMismatches returns the parity mismatches observed since the
+// tracker was armed or last cleared.
+func (s *Subarray) ParityMismatches() int { return s.parBad }
+
+// ClearParityMismatches zeroes the mismatch counter (an epoch commit
+// accepts whatever state it is committing).
+func (s *Subarray) ClearParityMismatches() { s.parBad = 0 }
+
+// ParitySweep re-derives the parity of every stored dense row, counts rows
+// whose recorded bit no longer matches (adding them to ParityMismatches)
+// and re-arms those bits. It is the end-of-epoch detector pass: it catches
+// storage corruption in rows the program has not re-sensed since the
+// corruption landed. Returns the mismatches found by this sweep.
+func (s *Subarray) ParitySweep() int {
+	if !s.parTrack {
+		return 0
+	}
+	found := 0
+	n := s.allocRows()
+	for idx := 0; idx < n; idx++ {
+		if !s.isPresent(idx) {
+			continue
+		}
+		data := s.rowData(idx)
+		w, b := idx>>6, uint(idx&63)
+		if s.parity[w]>>b&1 != rowParity(data) {
+			found++
+			s.setParity(idx, data)
+		}
+	}
+	s.parBad += found
+	return found
+}
 
 // allocRows is the number of rows the arena currently backs.
 func (s *Subarray) allocRows() int { return numSpecialRows + s.physRows }
@@ -267,6 +372,14 @@ func (s *Subarray) load(idx int, r isa.Row) ([]uint64, error) {
 	if s.hook != nil {
 		s.hook.BeforeLoad(idx, r, row, s.lanes)
 	}
+	if s.parTrack {
+		// The hook has materialized any retention decay: a sensed row whose
+		// contents no longer match the parity recorded at store time is a
+		// detected storage fault.
+		if si, ok := s.slot(r); ok {
+			s.checkParity(si, row)
+		}
+	}
 	return row, nil
 }
 
@@ -311,6 +424,12 @@ func (s *Subarray) setRow(r isa.Row, data []uint64) {
 		if r.IsCGroup() {
 			s.cDirty = true
 		}
+		if s.parTrack {
+			// Parity is recorded from the row buffer BEFORE the AfterStore
+			// hook can apply stuck-at defects to the stored charge, which is
+			// exactly why those defects are detectable on the next sense.
+			s.setParity(idx, dst)
+		}
 		if comp := r.Complement(); comp != isa.RowNone {
 			cidx, _ := s.slot(comp) // complements are special rows, always dense
 			cdst := s.rowData(cidx)
@@ -319,6 +438,9 @@ func (s *Subarray) setRow(r isa.Row, data []uint64) {
 				cdst[i] = ^dst[i]
 			}
 			cdst[s.words-1] &= s.mask
+			if s.parTrack {
+				s.setParity(cidx, cdst)
+			}
 		}
 		return
 	}
@@ -347,6 +469,9 @@ func (s *Subarray) initRow(r isa.Row, pattern uint64) {
 			dst[i] = pattern
 		}
 		dst[s.words-1] &= s.mask
+		if s.parTrack {
+			s.setParity(idx, dst)
+		}
 		if comp := r.Complement(); comp != isa.RowNone {
 			cidx, _ := s.slot(comp)
 			cdst := s.rowData(cidx)
@@ -355,6 +480,9 @@ func (s *Subarray) initRow(r isa.Row, pattern uint64) {
 				cdst[i] = ^dst[i]
 			}
 			cdst[s.words-1] &= s.mask
+			if s.parTrack {
+				s.setParity(cidx, cdst)
+			}
 		}
 		return
 	}

@@ -1,0 +1,74 @@
+package chopper
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPoolReuseInterleavedFaultyCleanRuns hammers the shared machine and
+// injector pools with alternating faulty-recovered, faulty-plain and clean
+// runs. Every clean run must be bit-identical to the reference and report
+// zero faults and zero recovery activity; every faulty run must reproduce
+// its own first result. This is the regression net for pooled-Reset state
+// leaks (stuck-at column tables, retention timestamps, epoch checkpoints,
+// parity tracking).
+func TestPoolReuseInterleavedFaultyCleanRuns(t *testing.T) {
+	const lanes = 64
+	plain, err := Compile(recAdderSrc, Options{Target: Ambit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Compile(recAdderSrc, Options{Target: Ambit,
+		Recovery: Recovery{Detector: DetectorParity, EpochUops: 64, MaxRetries: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := plain.RunRows(recRows(t, plain, lanes), lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := FaultConfig{
+		TRAFlipRate:   0.01,
+		RetentionRate: 0.2,
+		RefreshOps:    32,
+		StuckColumns:  []StuckColumn{{Lane: 11, High: true}},
+	}
+	var faultyRef, recRef *RunResult
+	for i := 0; i < 8; i++ {
+		fr, err := plain.RunRowsUnderFault(recRows(t, plain, lanes), lanes, cfg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := rec.RunRowsUnderFault(recRows(t, rec, lanes), lanes, cfg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean, err := plain.RunRows(recRows(t, plain, lanes), lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			faultyRef, recRef = fr, rr
+			if fr.Faults.Total() == 0 {
+				t.Fatal("fault config injected nothing; interleave test is vacuous")
+			}
+			if rr.RecoveryStats.Detections == 0 {
+				t.Fatal("recovered run detected nothing; interleave test is vacuous")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(fr.Rows, faultyRef.Rows) || fr.Faults != faultyRef.Faults {
+			t.Fatalf("round %d: faulty run drifted (pooled injector leaked state)", i)
+		}
+		if !reflect.DeepEqual(rr.Rows, recRef.Rows) || rr.RecoveryStats != recRef.RecoveryStats {
+			t.Fatalf("round %d: recovered run drifted: %+v vs %+v", i, rr.RecoveryStats, recRef.RecoveryStats)
+		}
+		if !reflect.DeepEqual(clean.Rows, ref.Rows) {
+			t.Fatalf("round %d: clean run corrupted by pooled state from faulty runs", i)
+		}
+		if clean.Faults.Total() != 0 || clean.RecoveryStats != (RecoveryStats{}) {
+			t.Fatalf("round %d: clean run reports fault/recovery activity: %+v %+v",
+				i, clean.Faults, clean.RecoveryStats)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package chopper
+
+import (
+	"time"
+
+	"chopper/internal/sim"
+)
+
+// Detector selects the online error detector of the self-healing
+// execution layer (Options.Recovery). See docs/RELIABILITY.md for the
+// coverage trade-offs.
+type Detector int
+
+const (
+	// DetectorNone disables epoch recovery (the default): runs behave
+	// byte-identically to a build without the recovery layer.
+	DetectorNone Detector = iota
+	// DetectorParity arms per-row parity tracking with an end-of-epoch
+	// sweep: near-zero overhead, catches storage faults (stuck-at
+	// columns, retention decay) but is blind to compute faults.
+	DetectorParity
+	// DetectorVote re-executes every epoch until two attempts agree on a
+	// functional-state digest: roughly 2x the micro-ops (epoch-granular
+	// recompute redundancy, cheaper than whole-kernel TMR's ~3x) and
+	// catches transient compute faults, but is blind to permanent
+	// defects, which corrupt every attempt identically.
+	DetectorVote
+)
+
+func (d Detector) String() string {
+	switch d {
+	case DetectorNone:
+		return "none"
+	case DetectorParity:
+		return "parity"
+	case DetectorVote:
+		return "vote"
+	}
+	return "unknown"
+}
+
+// Recovery defaults, applied by Options normalization when a detector is
+// selected and the corresponding field is zero.
+const (
+	// DefaultEpochUops is the default epoch length target in micro-ops.
+	DefaultEpochUops = 256
+	// DefaultMaxRetries is the default bound on fault-triggered replays
+	// of one epoch.
+	DefaultMaxRetries = 3
+	// DefaultRecoveryBackoff is the default base backoff charged before a
+	// fault-triggered replay.
+	DefaultRecoveryBackoff = time.Microsecond
+)
+
+// Recovery configures self-healing execution: the run is split into
+// epochs at scheduler-chosen cut points, each epoch's state is
+// checkpointed, an online detector validates the epoch, and on a
+// detection the run rolls back, scrubs retention state, waits out an
+// exponential backoff and replays — at most MaxRetries times, every
+// replayed micro-op charged against Options.Budget. The zero value
+// disables recovery entirely; runs are then byte-identical to earlier
+// releases. Recovery complements Harden: TMR masks faults in-line at ~3x
+// every run, epoch recovery pays for redundancy only when (vote) or where
+// (parity) it is needed. See docs/RELIABILITY.md.
+type Recovery struct {
+	// Detector selects the online detector; DetectorNone disables
+	// recovery and zeroes the other fields during normalization.
+	Detector Detector
+	// EpochUops is the target epoch length in micro-ops; actual cuts snap
+	// forward to the next codegen gate boundary. 0 means DefaultEpochUops.
+	EpochUops int
+	// MaxRetries bounds fault-triggered replays per epoch (beyond the
+	// vote detector's one mandatory redundant execution). When exhausted
+	// the run accepts the last state and reports the epoch in
+	// RecoveryStats.Uncorrected rather than failing. 0 means
+	// DefaultMaxRetries; use a negative value for "no retries, detect
+	// only".
+	MaxRetries int
+	// Backoff is the base stall charged to the timing model before a
+	// fault-triggered replay, doubling per further detection in the same
+	// epoch. 0 means DefaultRecoveryBackoff.
+	Backoff time.Duration
+}
+
+// Enabled reports whether a detector is selected.
+func (r Recovery) Enabled() bool { return r.Detector != DetectorNone }
+
+// normalize applies defaults; the zero value stays all-zero so that
+// "recovery off" has exactly one canonical encoding (and one cache key).
+func (r Recovery) normalize() Recovery {
+	if r.Detector == DetectorNone {
+		return Recovery{}
+	}
+	if r.EpochUops == 0 {
+		r.EpochUops = DefaultEpochUops
+	}
+	if r.MaxRetries == 0 {
+		r.MaxRetries = DefaultMaxRetries
+	} else if r.MaxRetries < 0 {
+		r.MaxRetries = 0
+	}
+	if r.Backoff == 0 {
+		r.Backoff = DefaultRecoveryBackoff
+	}
+	return r
+}
+
+// validate rejects nonsensical recovery options (r must be normalized).
+func (r Recovery) validate() error {
+	if r.Detector < DetectorNone || r.Detector > DetectorVote {
+		return optionsErrf("unknown recovery detector %d", int(r.Detector))
+	}
+	if !r.Enabled() {
+		return nil
+	}
+	if r.EpochUops < 0 {
+		return optionsErrf("recovery epoch length must be positive, have %d", r.EpochUops)
+	}
+	if r.Backoff < 0 {
+		return optionsErrf("recovery backoff must be non-negative, have %s", r.Backoff)
+	}
+	return nil
+}
+
+// policy lowers the public options to the simulator's recovery policy.
+func (r Recovery) policy() sim.RecoveryPolicy {
+	pol := sim.RecoveryPolicy{
+		EpochUops:  r.EpochUops,
+		MaxRetries: r.MaxRetries,
+		BackoffNs:  float64(r.Backoff.Nanoseconds()),
+	}
+	switch r.Detector {
+	case DetectorParity:
+		pol.Detector = sim.DetectParity
+	case DetectorVote:
+		pol.Detector = sim.DetectVote
+	}
+	return pol
+}
+
+// RecoveryStats reports what the self-healing layer did during one run;
+// see the field docs in internal/sim.
+type RecoveryStats = sim.RecoveryStats

@@ -40,6 +40,9 @@ type ReliabilityPoint struct {
 	LaneErrorRate map[string]float64
 	// Injected totals the fault events injected across all runs.
 	Injected FaultCounts
+	// Recovery aggregates the self-healing layer's activity across all
+	// runs (all-zero when Options.Recovery is disabled).
+	Recovery RecoveryStats
 }
 
 // SDCRate is the fraction of runs that silently corrupted data.
@@ -84,6 +87,7 @@ type relCell struct {
 	laneErrors map[string]int
 	corrupted  bool
 	injected   FaultCounts
+	recovery   RecoveryStats
 }
 
 // ReliabilityParallel is Reliability with an explicit worker count (<= 0
@@ -136,7 +140,7 @@ func (k *Kernel) ReliabilityCtx(ctx context.Context, trials int, seed int64, cfg
 		if err != nil {
 			return err
 		}
-		cell := relCell{laneErrors: make(map[string]int, len(k.Outputs)), injected: res.Faults}
+		cell := relCell{laneErrors: make(map[string]int, len(k.Outputs)), injected: res.Faults, recovery: res.RecoveryStats}
 		got := make(map[string][][]uint64, len(k.Outputs))
 		for _, o := range k.Outputs {
 			got[o.Name] = transpose.FromVerticalWide(res.Rows[o.Name], o.Width, lanes)
@@ -173,6 +177,7 @@ func (k *Kernel) ReliabilityCtx(ctx context.Context, trials int, seed int64, cfg
 		for trial := 0; trial < trials; trial++ {
 			cell := cells[ci*trials+trial]
 			pt.Injected.Add(cell.injected)
+			pt.Recovery.Add(cell.recovery)
 			for name, n := range cell.laneErrors {
 				pt.LaneErrors[name] += n
 			}

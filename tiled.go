@@ -72,6 +72,11 @@ func (k *Kernel) RunTiledCtx(ctx context.Context, inputs map[string][][]uint64, 
 	if lanes <= 0 {
 		return nil, optionsErrf("lanes must be positive, have %d", lanes)
 	}
+	if k.Opts.Recovery.Enabled() {
+		// Epoch recovery checkpoints one subarray's state; the tiled
+		// multi-subarray path has no per-tile rollback story yet.
+		return nil, optionsErrf("recovery (detector %s) is single-subarray only; RunTiled does not support it", k.Opts.Recovery.Detector)
+	}
 	geom := k.Opts.Geometry
 	tileLanes := geom.Bitlines()
 	tiles := (lanes + tileLanes - 1) / tileLanes
