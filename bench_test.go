@@ -217,7 +217,10 @@ func BenchmarkVircoeEmit(b *testing.B) {
 		b.Fatal(err)
 	}
 	g := k.Opts.Geometry
-	pls := vircoe.Placements(g, 16)
+	pls, err := vircoe.Placements(g, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
 	timing := dram.TimingFor(chopper.Ambit, g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -72,6 +72,7 @@ func cacheKey(pipeline, src string, opts Options) string {
 		strconv.Itoa(g.RowsPerSub),
 		strconv.Itoa(g.RowBytes),
 		strconv.Itoa(g.ReservedRows),
+		strconv.Itoa(g.Channels),
 		// Budgets change what compiles (a capped emission fails where an
 		// uncapped one succeeds), so they are part of the content address.
 		strconv.Itoa(opts.Budget.MaxMicroOps),
@@ -84,6 +85,12 @@ func cacheKey(pipeline, src string, opts Options) string {
 		strconv.Itoa(opts.Recovery.EpochUops),
 		strconv.Itoa(opts.Recovery.MaxRetries),
 		strconv.FormatInt(opts.Recovery.Backoff.Nanoseconds(), 10),
+		// Timing-replay options also live on the kernel: RunTiled consults
+		// SALP, the emitter mode and the host-transfer model.
+		strconv.FormatBool(opts.SALP),
+		strconv.Itoa(int(opts.Emitter)),
+		strconv.FormatFloat(opts.Transfer.ChannelBWGBs, 'g', -1, 64),
+		strconv.FormatFloat(opts.Transfer.DMASetupNs, 'g', -1, 64),
 	)
 }
 

@@ -32,6 +32,7 @@ import (
 	"chopper/internal/dsl"
 	"chopper/internal/fault"
 	"chopper/internal/guard"
+	"chopper/internal/hostmodel"
 	"chopper/internal/isa"
 	"chopper/internal/logic"
 	"chopper/internal/obs"
@@ -39,6 +40,7 @@ import (
 	"chopper/internal/sim"
 	"chopper/internal/transpose"
 	"chopper/internal/typecheck"
+	"chopper/internal/vircoe"
 )
 
 // Target identifies a Bit-serial SIMD PUD architecture.
@@ -63,6 +65,57 @@ const (
 	OptFull     = obs.Rename
 )
 
+// EmitterMode selects the VIRCOE emitter's assumption about the device
+// when RunTiled interleaves the issue stream (see internal/vircoe): the
+// emitter believes either that banks are the parallel units or that every
+// subarray is one. An assumption that disagrees with the timing model's
+// SALP setting reproduces the paper's Figure 12 degradation; the default
+// keeps them consistent.
+type EmitterMode int
+
+const (
+	// EmitterAuto matches the emitter to the timing model: subarray-aware
+	// when Options.SALP is set, bank-aware otherwise.
+	EmitterAuto EmitterMode = iota
+	// EmitterBankAware assumes banks are parallel and same-bank subarrays
+	// serialize (true on any device).
+	EmitterBankAware
+	// EmitterSubarrayAware assumes every subarray is an independent unit
+	// (true only with Subarray-Level Parallelism enabled).
+	EmitterSubarrayAware
+)
+
+func (m EmitterMode) String() string {
+	switch m {
+	case EmitterBankAware:
+		return "bank-aware"
+	case EmitterSubarrayAware:
+		return "subarray-aware"
+	default:
+		return "auto"
+	}
+}
+
+// HostTransfer configures the host<->DRAM DMA model RunTiled charges for
+// scattering inputs into the subarrays and gathering outputs back. The
+// zero value selects the evaluation default (one DDR4-2400 channel's
+// 19.2 GB/s per channel, 600 ns DMA setup); a non-zero value must carry a
+// positive bandwidth.
+type HostTransfer struct {
+	// ChannelBWGBs is the sustained host<->DRAM bandwidth of one memory
+	// channel in GB/s; an n-channel geometry streams at n times this.
+	ChannelBWGBs float64
+	// DMASetupNs is the fixed per-DMA-direction overhead in nanoseconds
+	// (descriptor programming, doorbell, completion).
+	DMASetupNs float64
+}
+
+// model converts to the internal transfer model. t must already be
+// normalized (zero value replaced by the default).
+func (t HostTransfer) model() hostmodel.Transfer {
+	return hostmodel.Transfer{ChannelBWGBs: t.ChannelBWGBs, DMASetupNs: t.DMASetupNs}
+}
+
 // Options configure compilation.
 type Options struct {
 	// Target selects the PUD architecture. Default Ambit.
@@ -70,8 +123,19 @@ type Options struct {
 	// Opt selects the optimization level. Default OptFull.
 	Opt OptLevel
 	// Geometry describes the DRAM device. Zero value = evaluation default
-	// (16 banks, 64 subarrays/bank, 1024 rows, 8 KB rows).
+	// (16 banks, 64 subarrays/bank, 1024 rows, 8 KB rows, 1 channel).
 	Geometry dram.Geometry
+	// SALP enables Subarray-Level Parallelism in the timing model: tiled
+	// runs schedule each subarray as an independent unit instead of
+	// serializing same-bank subarrays. Off by default (the base device of
+	// the evaluation has no SALP).
+	SALP bool
+	// Emitter selects the VIRCOE emitter mode for tiled runs. The
+	// default, EmitterAuto, follows SALP.
+	Emitter EmitterMode
+	// Transfer is the host<->DRAM DMA cost model for tiled runs; the
+	// zero value selects the evaluation default.
+	Transfer HostTransfer
 	// Entry selects the entry node; "" uses "main" or the last node.
 	Entry string
 	// Harden enables triple-modular-redundancy codegen: the legalized
@@ -124,6 +188,10 @@ func (o Options) normalize() Options {
 	if o.Geometry == (dram.Geometry{}) {
 		o.Geometry = dram.DefaultGeometry()
 	}
+	if o.Transfer == (HostTransfer{}) {
+		def := hostmodel.DefaultTransfer()
+		o.Transfer = HostTransfer{ChannelBWGBs: def.ChannelBWGBs, DMASetupNs: def.DMASetupNs}
+	}
 	o.Recovery = o.Recovery.normalize()
 	return o
 }
@@ -137,10 +205,32 @@ func (o Options) validate() error {
 	if o.Opt < OptBitslice || o.Opt > OptFull {
 		return optionsErrf("unknown optimization level %d", int(o.Opt))
 	}
+	if o.Emitter < EmitterAuto || o.Emitter > EmitterSubarrayAware {
+		return optionsErrf("unknown emitter mode %d", int(o.Emitter))
+	}
+	if err := o.Transfer.model().Validate(); err != nil {
+		return optionsErrf("%v", err)
+	}
 	if err := o.Recovery.validate(); err != nil {
 		return err
 	}
 	return o.Geometry.Validate()
+}
+
+// emitterMode resolves Options.Emitter onto the internal emitter mode,
+// following SALP when the mode is EmitterAuto.
+func (o Options) emitterMode() vircoe.Mode {
+	switch o.Emitter {
+	case EmitterBankAware:
+		return vircoe.BankAware
+	case EmitterSubarrayAware:
+		return vircoe.SubarrayAware
+	default:
+		if o.SALP {
+			return vircoe.SubarrayAware
+		}
+		return vircoe.BankAware
+	}
 }
 
 // IOSpec describes one operand of a compiled kernel.

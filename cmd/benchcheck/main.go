@@ -8,6 +8,12 @@
 // must reach an Sx cold-compile speedup over the recorded baseline in at
 // least one measured (arch, opt) configuration.
 //
+// With -min-tiled-speedup S (S > 0) it gates on the tiled section: at
+// least -min-tiled-workloads workloads must reach an Sx end-to-end
+// speedup at Channels>=2 over their own Channels=1 serial replay. Those
+// figures come from the deterministic timing model, so the gate is exact
+// even on noisy CI machines.
+//
 // Usage:
 //
 //	benchcheck [flags] [report.json]     # default BENCH_chopper.json
@@ -27,6 +33,10 @@ func main() {
 		"fail unless this compile speedup is met on enough workloads (0 disables)")
 	minWorkloads := flag.Int("min-compile-workloads", 2,
 		"how many workloads must meet -min-compile-speedup")
+	minTiled := flag.Float64("min-tiled-speedup", 0,
+		"fail unless this end-to-end channel-sharding speedup is met on enough workloads (0 disables)")
+	minTiledWorkloads := flag.Int("min-tiled-workloads", 2,
+		"how many workloads must meet -min-tiled-speedup")
 	flag.Parse()
 	path := "BENCH_chopper.json"
 	if flag.NArg() > 1 {
@@ -67,6 +77,20 @@ func main() {
 		fmt.Println()
 	}
 
+	if rep.Tiled != nil {
+		perWorkload := rep.TiledSpeedups()
+		names := make([]string, 0, len(perWorkload))
+		for wl := range perWorkload {
+			names = append(names, wl)
+		}
+		sort.Strings(names)
+		fmt.Printf("tiled: %d entries", len(rep.Tiled.Entries))
+		for _, wl := range names {
+			fmt.Printf(", %s %.2fx", wl, perWorkload[wl])
+		}
+		fmt.Println()
+	}
+
 	if *minCompile > 0 {
 		if rep.Compile == nil {
 			fmt.Fprintf(os.Stderr, "benchcheck: -min-compile-speedup %.2g set but %s has no compile section\n", *minCompile, path)
@@ -84,5 +108,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("compile gate: %d workloads at >=%.2gx (need %d) — ok\n", met, *minCompile, *minWorkloads)
+	}
+
+	if *minTiled > 0 {
+		if rep.Tiled == nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: -min-tiled-speedup %.2g set but %s has no tiled section\n", *minTiled, path)
+			os.Exit(1)
+		}
+		met := 0
+		for _, s := range rep.TiledSpeedups() {
+			if s >= *minTiled {
+				met++
+			}
+		}
+		if met < *minTiledWorkloads {
+			fmt.Fprintf(os.Stderr, "benchcheck: only %d workloads reach a %.2gx tiled end-to-end speedup, need %d\n",
+				met, *minTiled, *minTiledWorkloads)
+			os.Exit(1)
+		}
+		fmt.Printf("tiled gate: %d workloads at >=%.2gx (need %d) — ok\n", met, *minTiled, *minTiledWorkloads)
 	}
 }

@@ -11,6 +11,7 @@
 //	choppersim -asm file.pud       # execute raw PUD assembly
 //	choppersim -bench              # run the tracked benchmark suite
 //	choppersim -compile-bench      # run the compile-throughput suite
+//	choppersim -tiled-bench        # run the channel-sharded tiled suite
 //
 // -bench runs the internal/perfbench suite (paper workloads x all
 // architectures) and writes BENCH_chopper.json (override with -bench-out),
@@ -23,6 +24,13 @@
 // combined with -bench both suites run in one invocation. Alone, it
 // rewrites only the compile section of an existing report, leaving the
 // simulator sections untouched.
+//
+// -tiled-bench refreshes the report's `tiled` section: every suite
+// workload runs RunTiled on the bank-oversubscribed tiled geometry at
+// Channels=1 and Channels=4, recording the simulated device makespan,
+// host-transfer time and end-to-end time per configuration (the
+// channel-sharding speedup CI gates on). Like -compile-bench it composes
+// with -bench or refreshes just its own section of an existing report.
 //
 // -harden compiles with TMR (see docs/RELIABILITY.md); -fault-rate runs the
 // program on a faulty subarray, injecting TRA charge-sharing flips at the
@@ -105,16 +113,17 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_chopper.json", "report path for -bench")
 	benchQuick := flag.Bool("bench-quick", false, "with -bench: one timed iteration per pair (CI smoke)")
 	compileBench := flag.Bool("compile-bench", false, "run the compile-throughput suite and record it in the report's compile section")
+	tiledBench := flag.Bool("tiled-bench", false, "run the channel-sharded tiled suite and record it in the report's tiled section")
 	ins := inputFlags{}
 	flag.Var(ins, "in", "input operand values: name=v1,v2,... (repeatable)")
 	flag.Parse()
 
-	if *benchMode || *compileBench {
+	if *benchMode || *compileBench || *tiledBench {
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: choppersim [-bench] [-compile-bench] [-bench-out file] [-bench-quick]")
+			fmt.Fprintln(os.Stderr, "usage: choppersim [-bench] [-compile-bench] [-tiled-bench] [-bench-out file] [-bench-quick]")
 			os.Exit(2)
 		}
-		runBench(*benchOut, *benchQuick, *benchMode, *compileBench)
+		runBench(*benchOut, *benchQuick, *benchMode, *compileBench, *tiledBench)
 		return
 	}
 	if flag.NArg() != 1 {
@@ -292,12 +301,19 @@ func main() {
 // outPath already holds a report, its baseline sections are carried over
 // verbatim so refreshing the current numbers never loses the recorded
 // pre-optimization references. sim selects the simulator-throughput suite
-// (-bench), compile the cold-compile suite (-compile-bench); with only the
-// latter, the existing simulator sections are preserved untouched.
-func runBench(outPath string, quick, sim, compile bool) {
-	note := "choppersim -bench"
-	if !sim {
-		note = "choppersim -compile-bench"
+// (-bench), compile the cold-compile suite (-compile-bench), tiled the
+// channel-sharded tiled suite (-tiled-bench); without -bench, the existing
+// report supplies every section the invocation does not refresh.
+func runBench(outPath string, quick, sim, compile, tiled bool) {
+	note := "choppersim"
+	if sim {
+		note += " -bench"
+	}
+	if compile {
+		note += " -compile-bench"
+	}
+	if tiled {
+		note += " -tiled-bench"
 	}
 	if quick {
 		note += " -bench-quick (single iteration; not comparable across machines)"
@@ -317,12 +333,13 @@ func runBench(outPath string, quick, sim, compile bool) {
 		}
 		if prevErr == nil {
 			rep.Compile = prev.Compile
+			rep.Tiled = prev.Tiled
 		}
 	} else {
-		// Compile-only refresh: the simulator sections must come from an
+		// Section-only refresh: the simulator sections must come from an
 		// existing valid report, since a report without them is invalid.
 		if prevErr != nil {
-			fatal(fmt.Errorf("-compile-bench without -bench needs an existing report: %w", prevErr))
+			fatal(fmt.Errorf("section refresh without -bench needs an existing report: %w", prevErr))
 		}
 		rep = prev
 	}
@@ -332,6 +349,13 @@ func runBench(outPath string, quick, sim, compile bool) {
 			fatal(err)
 		}
 		rep.SetCompile(cc, note)
+	}
+	if tiled {
+		te, err := perfbench.RunTiledSuite(quick)
+		if err != nil {
+			fatal(err)
+		}
+		rep.SetTiled(te, note)
 	}
 	if err := perfbench.Validate(rep); err != nil {
 		fatal(err)
@@ -362,9 +386,26 @@ func runBench(outPath string, quick, sim, compile bool) {
 				r.Workload, r.Arch, r.Opt, r.NsPerOp, r.AllocsPerOp, r.GatesPerSec, sp)
 		}
 	}
+	if tiled && rep.Tiled != nil {
+		fmt.Printf("\n%-14s %8s %6s %14s %14s %14s %10s\n",
+			"workload", "channels", "tiles", "device-ns", "transfer-ns", "end-to-end-ns", "speedup")
+		for _, e := range rep.Tiled.Entries {
+			sp := "-"
+			if e.Channels > 1 {
+				if s := rep.TiledSpeedup(e.Workload); s > 0 {
+					sp = fmt.Sprintf("%.2fx", s)
+				}
+			}
+			fmt.Printf("%-14s %8d %6d %14.0f %14.0f %14.0f %10s\n",
+				e.Workload, e.Channels, e.Tiles, e.DeviceNs, e.TransferNs, e.EndToEndNs, sp)
+		}
+	}
 	fmt.Printf("wrote %s (%d current entries, %d baseline entries", outPath, len(rep.Current), len(rep.Baseline))
 	if rep.Compile != nil {
 		fmt.Printf(", %d compile entries", len(rep.Compile.Current))
+	}
+	if rep.Tiled != nil {
+		fmt.Printf(", %d tiled entries", len(rep.Tiled.Entries))
 	}
 	fmt.Println(")")
 }

@@ -188,7 +188,10 @@ func (h *Harness) PUDTimeNs(spec workloads.Spec, arch isa.Arch, comp Compiler, v
 	if inFlight > tiles {
 		inFlight = tiles
 	}
-	pls := vircoe.Placements(cfg.Geom, int(inFlight))
+	pls, err := vircoe.Placements(cfg.Geom, int(inFlight))
+	if err != nil {
+		return 0, fmt.Errorf("bench: %s: %w", spec.Name, err)
+	}
 	timing := dram.TimingFor(arch, cfg.Geom)
 
 	// Workload data resides in the PUD DRAM (it is main memory): input and
@@ -263,12 +266,25 @@ func residentProgram(p *isa.Program, constTags map[int]bool) *isa.Program {
 
 // CPUTimeNs and GPUTimeNs evaluate the host models.
 func CPUTimeNs(spec workloads.Spec) float64 {
-	return hostmodel.Skylake().TimeNsFor(spec.HostCost)
+	return hostTimeNs(hostmodel.Skylake(), spec.HostCost)
 }
 
 // GPUTimeNs models the TITAN V.
 func GPUTimeNs(spec workloads.Spec) float64 {
-	return hostmodel.TitanV().TimeNsFor(spec.HostCost)
+	return hostTimeNs(hostmodel.TitanV(), spec.HostCost)
+}
+
+// hostTimeNs is the harness's single entry point into a host machine
+// model; it validates the machine first so a degenerate model (zero
+// value, negative overhead) can never silently feed NaN/Inf into a
+// normalized figure. The package machines always validate, so the panic
+// is unreachable short of a corrupted model table.
+func hostTimeNs(m hostmodel.Machine, c hostmodel.Cost) float64 {
+	ns, err := m.TimeNsChecked(c.Bytes, c.Ops)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return ns
 }
 
 // Row is one measurement: a (workload, series) cell.

@@ -37,7 +37,10 @@ func (h *Harness) EmissionStudy(sel Selection) (*Table, error) {
 			return nil, err
 		}
 		prog := residentProgram(c.prog, c.constTags)
-		pls := vircoe.Placements(cfg.Geom, cfg.placements())
+		pls, err := vircoe.Placements(cfg.Geom, cfg.placements())
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", spec.Name, err)
+		}
 		timing := dram.TimingFor(isa.Ambit, cfg.Geom)
 
 		measure := func(feed func(vircoe.Sink)) float64 {
@@ -149,7 +152,10 @@ func (h *Harness) pudTimeWithSSD(spec workloads.Spec, comp Compiler, cfg Config,
 	if inFlight > tiles {
 		inFlight = tiles
 	}
-	pls := vircoe.Placements(cfg.Geom, int(inFlight))
+	pls, err := vircoe.Placements(cfg.Geom, int(inFlight))
+	if err != nil {
+		return 0, fmt.Errorf("bench: %s: %w", spec.Name, err)
+	}
 	timing := dram.TimingFor(isa.Ambit, cfg.Geom)
 	prog := residentProgram(c.prog, c.constTags)
 

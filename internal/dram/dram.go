@@ -27,6 +27,24 @@ type Geometry struct {
 	RowsPerSub   int // rows per subarray (512 / 1024 / 2048 in Fig. 11)
 	RowBytes     int // bytes per row (8 KB in the evaluation)
 	ReservedRows int // rows reserved for C-group + B-group bookkeeping
+
+	// Channels is the number of independent memory channels, each with
+	// its own command/data bus and its own set of Banks banks. A
+	// multi-channel device holds Channels x Banks x SubarraysPB
+	// subarrays, and streams bound to different channels share no
+	// timing resources at all (the tiled path replays each channel on
+	// its own Engine). The zero value means 1, so every geometry built
+	// before channels existed keeps its exact capacity and timing.
+	Channels int
+}
+
+// ChannelCount returns the effective channel count (the zero value of
+// Channels means one channel).
+func (g Geometry) ChannelCount() int {
+	if g.Channels < 1 {
+		return 1
+	}
+	return g.Channels
 }
 
 // DefaultGeometry returns the evaluation default: 16 banks, 64 subarrays per
@@ -94,6 +112,9 @@ func (g Geometry) Bitlines() int { return g.RowBytes * 8 }
 func (g Geometry) Validate() error {
 	if g.Banks <= 0 || g.SubarraysPB <= 0 || g.RowBytes <= 0 {
 		return fmt.Errorf("dram: non-positive geometry %+v", g)
+	}
+	if g.Channels < 0 {
+		return fmt.Errorf("dram: negative channel count %d", g.Channels)
 	}
 	if g.DRows() <= 0 {
 		return fmt.Errorf("dram: no data rows left (rows=%d reserved=%d)", g.RowsPerSub, g.ReservedRows)

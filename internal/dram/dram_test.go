@@ -287,3 +287,21 @@ func TestEngineStats(t *testing.T) {
 		t.Error("zero makespan")
 	}
 }
+
+func TestChannelCount(t *testing.T) {
+	g := DefaultGeometry()
+	if g.Channels != 0 || g.ChannelCount() != 1 {
+		t.Errorf("zero-value Channels should count as 1, got %d (field %d)", g.ChannelCount(), g.Channels)
+	}
+	g.Channels = 4
+	if g.ChannelCount() != 4 {
+		t.Errorf("ChannelCount() = %d, want 4", g.ChannelCount())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("4-channel geometry rejected: %v", err)
+	}
+	g.Channels = -1
+	if err := g.Validate(); err == nil {
+		t.Error("negative channel count accepted")
+	}
+}

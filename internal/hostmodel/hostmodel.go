@@ -1,6 +1,8 @@
 // Package hostmodel provides analytic (roofline-style) execution-time
-// models for the two real machines the paper compares against: the Intel
-// Skylake multi-core CPU and the NVIDIA TITAN V GPU of Table I.
+// models for the host side of the system: the two real machines the paper
+// compares against (the Intel Skylake multi-core CPU and the NVIDIA
+// TITAN V GPU of Table I) and the host<->DRAM transfer path that moves a
+// PUD workload's inputs and outputs over the memory channels (Transfer).
 //
 // The paper measures these baselines on real hardware running tuned
 // software (PyTorch, LevelWT, hand-tuned kernels). That hardware is not
@@ -56,16 +58,24 @@ func TitanV() Machine {
 	}
 }
 
-// Validate rejects degenerate models.
+// Validate rejects degenerate models: non-positive peaks, an efficiency
+// outside (0, 1], or a negative launch overhead (which would let a model
+// report negative times for small workloads).
 func (m Machine) Validate() error {
 	if m.MemBWGBs <= 0 || m.GopsPerSec <= 0 || m.Efficiency <= 0 || m.Efficiency > 1 {
 		return fmt.Errorf("hostmodel: bad machine %+v", m)
+	}
+	if m.LaunchOverheadNs < 0 {
+		return fmt.Errorf("hostmodel: negative launch overhead %g ns in machine %q", m.LaunchOverheadNs, m.Name)
 	}
 	return nil
 }
 
 // TimeNs estimates the execution time of a workload touching `bytes` of
-// memory and performing `ops` element operations.
+// memory and performing `ops` element operations. The machine must be
+// valid (Validate); a zero-value Machine divides by zero here, which is
+// why every entry point that accepts a Machine from outside the package
+// goes through TimeNsChecked instead.
 func (m Machine) TimeNs(bytes, ops float64) float64 {
 	memNs := bytes / (m.MemBWGBs * m.Efficiency) // GB/s == B/ns
 	cmpNs := ops / (m.GopsPerSec * m.Efficiency)
@@ -76,6 +86,16 @@ func (m Machine) TimeNs(bytes, ops float64) float64 {
 	return t + m.LaunchOverheadNs
 }
 
+// TimeNsChecked is TimeNs behind Validate: a degenerate machine (e.g. the
+// zero value, whose peaks divide to NaN/Inf) surfaces as an error instead
+// of a nonsense figure.
+func (m Machine) TimeNsChecked(bytes, ops float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	return m.TimeNs(bytes, ops), nil
+}
+
 // Cost describes a workload's host-side resource demands.
 type Cost struct {
 	Bytes float64 // memory traffic (reads + writes)
@@ -84,3 +104,49 @@ type Cost struct {
 
 // TimeNsFor is TimeNs over a Cost.
 func (m Machine) TimeNsFor(c Cost) float64 { return m.TimeNs(c.Bytes, c.Ops) }
+
+// Transfer models the host<->DRAM DMA path that scatters a tiled
+// workload's inputs into the subarrays and gathers its outputs back: a
+// per-channel sustained bandwidth plus a fixed per-DMA setup cost
+// (descriptor build, doorbell, completion interrupt). Channels move data
+// independently, so an n-channel device streams at n times the
+// per-channel bandwidth while paying the setup once per DMA direction.
+type Transfer struct {
+	// ChannelBWGBs is the sustained host<->DRAM bandwidth of one channel
+	// in GB/s.
+	ChannelBWGBs float64
+	// DMASetupNs is the fixed per-DMA overhead in nanoseconds.
+	DMASetupNs float64
+}
+
+// DefaultTransfer returns the evaluation default: one DDR4-2400 channel's
+// 19.2 GB/s, with a 600 ns DMA setup (descriptor programming plus
+// completion signalling, the order of a host round trip).
+func DefaultTransfer() Transfer {
+	return Transfer{ChannelBWGBs: 19.2, DMASetupNs: 600}
+}
+
+// Validate rejects degenerate transfer models.
+func (t Transfer) Validate() error {
+	if t.ChannelBWGBs <= 0 {
+		return fmt.Errorf("hostmodel: non-positive channel bandwidth %g GB/s", t.ChannelBWGBs)
+	}
+	if t.DMASetupNs < 0 {
+		return fmt.Errorf("hostmodel: negative DMA setup %g ns", t.DMASetupNs)
+	}
+	return nil
+}
+
+// TimeNs returns the time to move `bytes` over `channels` parallel
+// channels: one DMA setup plus the streaming time at the aggregate
+// bandwidth. Zero bytes cost zero (no DMA is issued); channel counts
+// below one are treated as one.
+func (t Transfer) TimeNs(bytes float64, channels int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if channels < 1 {
+		channels = 1
+	}
+	return t.DMASetupNs + bytes/(t.ChannelBWGBs*float64(channels)) // GB/s == B/ns
+}

@@ -60,3 +60,56 @@ func TestTimeMonotonic(t *testing.T) {
 		t.Error("time not monotonic in ops")
 	}
 }
+
+func TestValidateRejectsNegativeOverhead(t *testing.T) {
+	m := Skylake()
+	m.LaunchOverheadNs = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative launch overhead accepted")
+	}
+}
+
+func TestTimeNsCheckedZeroValue(t *testing.T) {
+	var m Machine
+	if _, err := m.TimeNsChecked(1e6, 1e6); err == nil {
+		t.Error("zero-value machine produced a time instead of an error")
+	}
+	got, err := Skylake().TimeNsChecked(1e6, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Skylake().TimeNs(1e6, 1e6); got != want {
+		t.Errorf("checked time %g != unchecked %g", got, want)
+	}
+}
+
+func TestTransferValidate(t *testing.T) {
+	if err := DefaultTransfer().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Transfer{ChannelBWGBs: 0, DMASetupNs: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if err := (Transfer{ChannelBWGBs: 19.2, DMASetupNs: -1}).Validate(); err == nil {
+		t.Error("negative DMA setup accepted")
+	}
+}
+
+func TestTransferTimeNs(t *testing.T) {
+	tr := Transfer{ChannelBWGBs: 10, DMASetupNs: 100}
+	if got := tr.TimeNs(0, 4); got != 0 {
+		t.Errorf("zero bytes cost %g ns, want 0", got)
+	}
+	// 1000 bytes over one 10 GB/s (= 10 B/ns) channel: 100 ns wire + setup.
+	if got, want := tr.TimeNs(1000, 1), 200.0; got != want {
+		t.Errorf("one channel: %g ns, want %g", got, want)
+	}
+	// Four channels stream four times as fast; setup is paid once.
+	if got, want := tr.TimeNs(1000, 4), 125.0; got != want {
+		t.Errorf("four channels: %g ns, want %g", got, want)
+	}
+	// Channel counts below one behave as one.
+	if tr.TimeNs(1000, 0) != tr.TimeNs(1000, 1) {
+		t.Error("channels=0 not clamped to 1")
+	}
+}

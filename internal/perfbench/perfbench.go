@@ -76,6 +76,9 @@ type Report struct {
 	// Compile is the compile-throughput record (see compile.go); nil in
 	// reports written before the compiler fast-path work.
 	Compile *CompileSection `json:"compile,omitempty"`
+	// Tiled is the tiled-execution record (see tiled.go); nil in reports
+	// written before the channel-sharded RunTiled work.
+	Tiled *TiledSection `json:"tiled,omitempty"`
 }
 
 // arches is the measured architecture set, in paper order.
@@ -238,7 +241,12 @@ func Validate(r *Report) error {
 		return err
 	}
 	if r.Compile != nil {
-		return validateCompile(r.Compile)
+		if err := validateCompile(r.Compile); err != nil {
+			return err
+		}
+	}
+	if r.Tiled != nil {
+		return validateTiled(r.Tiled)
 	}
 	return nil
 }

@@ -1,0 +1,77 @@
+package perfbench
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMeasureTiledQuick smoke-tests one tiled measurement per channel
+// count and checks the simulated figures are deterministic: the timing
+// model, not the wall clock, produces DeviceNs/TransferNs/EndToEndNs, so
+// two quick runs must agree exactly.
+func TestMeasureTiledQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a tiled workload repeatedly")
+	}
+	for _, ch := range TiledChannels {
+		a, err := MeasureTiled("DiffGen-64", ch, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Tiles <= 0 || a.DeviceNs <= 0 || a.EndToEndNs <= 0 || a.WallNsPerOp <= 0 {
+			t.Fatalf("ch%d: degenerate measurement: %+v", ch, a)
+		}
+		if a.Channels != ch {
+			t.Fatalf("ch%d: result reports %d channels", ch, a.Channels)
+		}
+		b, err := MeasureTiled("DiffGen-64", ch, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.DeviceNs != b.DeviceNs || a.TransferNs != b.TransferNs || a.EndToEndNs != b.EndToEndNs {
+			t.Fatalf("ch%d: simulated figures not deterministic: %+v vs %+v", ch, a, b)
+		}
+		if err := validateTiled(&TiledSection{Entries: []TiledEntry{a}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCommittedTiledReport validates the tiled section of the
+// BENCH_chopper.json checked in at the repository root and holds the PR's
+// acceptance criterion: at least a 2x end-to-end speedup at Channels>=2
+// over the Channels=1 serial replay on at least two workloads (the same
+// rule `benchcheck -min-tiled-speedup 2` enforces), with transfer time
+// recorded separately from the device makespan.
+func TestCommittedTiledReport(t *testing.T) {
+	rep, err := Load("../../BENCH_chopper.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tiled == nil {
+		t.Fatal("committed report has no tiled section")
+	}
+	for _, e := range rep.Tiled.Entries {
+		if e.TransferNs <= 0 {
+			t.Fatalf("%s/ch%d: transfer time not recorded", e.Workload, e.Channels)
+		}
+		if want := e.DeviceNs + e.TransferNs - e.OverlapNs; math.Abs(e.EndToEndNs-want) > 1e-6*want {
+			t.Fatalf("%s/ch%d: end-to-end %g inconsistent with device+transfer-overlap %g", e.Workload, e.Channels, e.EndToEndNs, want)
+		}
+	}
+	speedups := rep.TiledSpeedups()
+	twoX := 0
+	for _, wl := range Workloads {
+		s := speedups[wl]
+		if s == 0 {
+			t.Fatalf("workload %s missing a channels=1 or channels>=2 tiled entry", wl)
+		}
+		t.Logf("%s: %.2fx end-to-end at %d channels", wl, s, TiledMaxChannels)
+		if s >= 2 {
+			twoX++
+		}
+	}
+	if twoX < 2 {
+		t.Fatalf("only %d workloads show >=2x tiled end-to-end speedup, want >=2", twoX)
+	}
+}

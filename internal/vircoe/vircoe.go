@@ -52,20 +52,26 @@ type Placement struct {
 	Subarray int
 }
 
-// Placements enumerates n subarrays spread across the geometry in
-// bank-major order (subarray s of every bank before subarray s+1), the
-// order that maximizes bank-level parallelism for small n.
-func Placements(g dram.Geometry, n int) []Placement {
+// Placements enumerates n subarrays spread across one channel of the
+// geometry in bank-major order (subarray s of every bank before subarray
+// s+1), the order that maximizes bank-level parallelism for small n. It
+// errors when the geometry cannot hold n subarrays or n is negative
+// (historically this panicked; callers that pre-check capacity, like the
+// tiled runner, never see the error).
+func Placements(g dram.Geometry, n int) ([]Placement, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("vircoe: negative placement count %d", n)
+	}
+	if cap := g.Banks * g.SubarraysPB; n > cap {
+		return nil, fmt.Errorf("vircoe: %d placements requested, geometry holds %d", n, cap)
+	}
 	out := make([]Placement, 0, n)
 	for s := 0; s < g.SubarraysPB && len(out) < n; s++ {
 		for b := 0; b < g.Banks && len(out) < n; b++ {
 			out = append(out, Placement{Bank: b, Subarray: s})
 		}
 	}
-	if len(out) < n {
-		panic(fmt.Sprintf("vircoe: %d placements requested, geometry holds %d", n, g.Banks*g.SubarraysPB))
-	}
-	return out
+	return out, nil
 }
 
 // Stats reports what the emitter did.

@@ -33,7 +33,7 @@ func makespan(t *testing.T, stream []dram.Placed, salp bool) float64 {
 
 func TestPlacements(t *testing.T) {
 	g := dram.DefaultGeometry()
-	ps := Placements(g, 20)
+	ps := mustPlacements(t, g, 20)
 	if len(ps) != 20 {
 		t.Fatalf("got %d placements", len(ps))
 	}
@@ -48,18 +48,28 @@ func TestPlacements(t *testing.T) {
 	if ps[16].Subarray != 1 {
 		t.Errorf("17th placement subarray = %d, want 1", ps[16].Subarray)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("oversubscription did not panic")
-		}
-	}()
-	Placements(g, g.Banks*g.SubarraysPB+1)
+	if _, err := Placements(g, g.Banks*g.SubarraysPB+1); err == nil {
+		t.Error("oversubscription did not error")
+	}
+	if _, err := Placements(g, -1); err == nil {
+		t.Error("negative placement count did not error")
+	}
+}
+
+// mustPlacements is Placements for tests whose geometry is known to fit.
+func mustPlacements(t *testing.T, g dram.Geometry, n int) []Placement {
+	t.Helper()
+	ps, err := Placements(g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
 }
 
 func TestEmitPreservesPerSubarrayOrder(t *testing.T) {
 	prog := testProgram(6, 3)
 	g := dram.DefaultGeometry()
-	ps := Placements(g, 8)
+	ps := mustPlacements(t, g, 8)
 	stream, st := Emit(prog, ps, BankAware, dram.TimingFor(isa.Ambit, g))
 	if st.Ops != len(prog.Ops)*8 || len(stream) != st.Ops {
 		t.Fatalf("ops = %d, want %d", st.Ops, len(prog.Ops)*8)
@@ -84,7 +94,7 @@ func TestEmitPreservesPerSubarrayOrder(t *testing.T) {
 func TestVircoeBeatsSerialBroadcast(t *testing.T) {
 	prog := testProgram(8, 4)
 	g := dram.DefaultGeometry()
-	ps := Placements(g, 16)
+	ps := mustPlacements(t, g, 16)
 	tm := dram.TimingFor(isa.Ambit, g)
 
 	serial := makespan(t, Serial(prog, ps), false)
@@ -111,7 +121,7 @@ func TestModeVsSALP(t *testing.T) {
 	prog := testProgram(4, 25)
 	g := dram.DefaultGeometry()
 	g.RowBytes = 512
-	ps := Placements(g, 64)
+	ps := mustPlacements(t, g, 64)
 	tm := dram.TimingFor(isa.Ambit, g)
 
 	bankStream, _ := Emit(prog, ps, BankAware, tm)
@@ -153,7 +163,7 @@ func TestEmitFunctionallyCorrectPerSubarray(t *testing.T) {
 	)
 	prog.DRowsUsed = 2
 	g := dram.DefaultGeometry()
-	ps := Placements(g, 6)
+	ps := mustPlacements(t, g, 6)
 	stream, _ := Emit(prog, ps, BankAware, dram.TimingFor(isa.Ambit, g))
 
 	m := sim.NewMachine(sim.MachineConfig{Geom: g, Arch: isa.Ambit, Lanes: 64})
@@ -267,7 +277,7 @@ func TestEmitHeapMatchesReference(t *testing.T) {
 		prog := testProgram(3+trial, 2+trial%3)
 		for _, mode := range []Mode{BankAware, SubarrayAware} {
 			for _, nPl := range []int{4, 16, 33} {
-				ps := Placements(g, nPl)
+				ps := mustPlacements(t, g, nPl)
 				heapStream, _ := Emit(prog, ps, mode, tm)
 				refStream := referenceEmit(prog, ps, mode, tm)
 				for _, salp := range []bool{false, true} {

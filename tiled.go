@@ -36,38 +36,81 @@ func getTileScratch(dRows, lanes int) *tileScratch {
 
 func putTileScratch(ts *tileScratch) { tileScratchPool.Put(ts) }
 
+// tileEnginePool recycles timing engines across shards and across RunTiled
+// calls; Reconfigure reuses the scheduling slices when the unit count is
+// unchanged, so steady-state replay allocates nothing per shard.
+var tileEnginePool sync.Pool
+
+func getTileEngine(g dram.Geometry, t dram.Timing, salp bool) *dram.Engine {
+	if v := tileEnginePool.Get(); v != nil {
+		e := v.(*dram.Engine)
+		e.Reconfigure(g, t, salp)
+		return e
+	}
+	return dram.NewEngine(g, t, salp)
+}
+
+func putTileEngine(e *dram.Engine) { tileEnginePool.Put(e) }
+
 // TiledResult carries a tiled run's outputs and timing.
 type TiledResult struct {
 	// Outputs, per operand, one limb-slice per lane (lane order matches
 	// the inputs).
 	Outputs map[string][][]uint64
-	// TimeNs is the device makespan for the whole dataset.
+	// TimeNs is the device makespan for the whole dataset: the slowest
+	// channel shard's command-level replay time. It excludes host<->DRAM
+	// transfers, which TransferNs/EndToEndNs account for separately.
 	TimeNs float64
+	// TransferNs is the host<->DRAM DMA time: scattering every input tile
+	// into the subarrays plus gathering every output tile back, at the
+	// aggregate bandwidth of the geometry's channels (Options.Transfer).
+	TransferNs float64
+	// OverlapNs is the portion of TransferNs hidden behind device compute:
+	// with more than one tile, the DMA of one tile pipelines against the
+	// computation of the others, so only the first scatter and last gather
+	// sit fully exposed on the critical path.
+	OverlapNs float64
+	// EndToEndNs is TimeNs + TransferNs - OverlapNs: the host-visible
+	// completion time of the whole tiled run.
+	EndToEndNs float64
 	// Tiles is how many subarray tiles the data was split into.
 	Tiles int
-	// Stats are the timing-engine counters.
+	// Channels is how many per-channel engine shards replayed the issue
+	// stream (min of the geometry's channel count and Tiles).
+	Channels int
+	// Stats are the timing-engine counters, merged across channel shards
+	// in shard order (makespans take the max, counters sum).
 	Stats dram.EngineStats
+	// Emit are the VIRCOE emitter statistics, merged across channel
+	// shards the same way (SpanNs takes the max, counters sum).
+	Emit vircoe.Stats
 }
 
 // RunTiled executes the kernel over a dataset of any number of lanes: the
 // lanes are split into subarray-sized tiles, the tiles are placed across
-// banks (one per bank, wrapping onto further subarrays), the issue stream
-// is produced by VIRCOE, and every tile executes functionally on the
-// simulated device. Inputs and outputs use the wide (limb-slice per lane)
-// representation of RunWide.
+// channels and banks (one per bank, wrapping onto further subarrays), the
+// issue stream of each channel is produced by VIRCOE and replayed through
+// that channel's own timing engine, and every tile executes functionally
+// on the simulated device. Inputs and outputs use the wide (limb-slice per
+// lane) representation of RunWide.
 //
 // This is the whole-dataset counterpart of RunWide and exercises the same
-// multi-subarray path the benchmark harness measures.
+// multi-subarray path the benchmark harness measures. The timing replay
+// honors Options.SALP and Options.Emitter (the serial path used to pin
+// salp=false and the bank-aware emitter regardless of Options), and the
+// result separates device makespan from host-transfer time.
 func (k *Kernel) RunTiled(inputs map[string][][]uint64, lanes int) (*TiledResult, error) {
 	return k.RunTiledCtx(nil, inputs, lanes)
 }
 
 // RunTiledCtx is RunTiled under the guard layer: workers observe ctx
 // between tiles and inside each tile's execution loop, the kernel's
-// Options.Budget caps total functional steps (sim-steps, pre-checked
-// deterministically from tiles x program length) and timing-engine
+// Options.Budget caps total functional steps (sim-steps) and timing-engine
 // commands (dram-commands), and budget/deadline stops surface with their
-// sentinel identity at any worker count.
+// sentinel identity at any worker count. Both budgets are pre-checked
+// deterministically — the total work (tiles x program length) is known
+// before anything runs — so the stop is identical at every worker count
+// and every channel count instead of depending on which shard trips it.
 func (k *Kernel) RunTiledCtx(ctx context.Context, inputs map[string][][]uint64, lanes int) (*TiledResult, error) {
 	if lanes <= 0 {
 		return nil, optionsErrf("lanes must be positive, have %d", lanes)
@@ -80,7 +123,8 @@ func (k *Kernel) RunTiledCtx(ctx context.Context, inputs map[string][][]uint64, 
 	geom := k.Opts.Geometry
 	tileLanes := geom.Bitlines()
 	tiles := (lanes + tileLanes - 1) / tileLanes
-	maxTiles := geom.Banks * geom.SubarraysPB
+	channels := geom.ChannelCount()
+	maxTiles := channels * geom.Banks * geom.SubarraysPB
 	if tiles > maxTiles {
 		return nil, fmt.Errorf("chopper: %d lanes need %d tiles; device holds %d", lanes, tiles, maxTiles)
 	}
@@ -95,8 +139,17 @@ func (k *Kernel) RunTiledCtx(ctx context.Context, inputs map[string][][]uint64, 
 	if err := guard.Check(guard.DimSimSteps, k.Opts.Budget.MaxSimSteps, tiles*len(k.prog.Ops)); err != nil {
 		return nil, err
 	}
+	// Same for the dram-commands budget: VIRCOE emits each program op once
+	// per tile, so the total command count is tiles x program length no
+	// matter how the stream is sharded. The serial engine checked this per
+	// command and stopped at count = limit+1; reproduce that exact stop
+	// here so the error is byte-identical at any channel count.
+	if maxC := k.Opts.Budget.MaxDRAMCommands; maxC > 0 && tiles*len(k.prog.Ops) > maxC {
+		return nil, guard.Check(guard.DimDRAMCommands, maxC, maxC+1)
+	}
 
-	// Transpose each tile of each input independently.
+	// Transpose each tile of each input independently, tallying the bytes
+	// the host must scatter into the device (the vertical row data).
 	type tileKey struct {
 		name string
 		tile int
@@ -109,16 +162,16 @@ func (k *Kernel) RunTiledCtx(ctx context.Context, inputs map[string][][]uint64, 
 		}
 		return n
 	}
+	var inBytes float64
 	for _, in := range k.Inputs {
 		vals := inputs[in.Name]
 		for tl := 0; tl < tiles; tl++ {
 			n := laneCount(tl)
 			seg := vals[tl*tileLanes : tl*tileLanes+n]
 			tileRows[tileKey{in.Name, tl}] = transpose.ToVerticalWide(seg, in.Width, n)
+			inBytes += float64(in.Width * transpose.Words(n) * 8)
 		}
 	}
-
-	placements := vircoe.Placements(geom, tiles)
 
 	// Tag lookup tables (mirrors hostIO, but per tile).
 	type bitRef struct {
@@ -142,6 +195,7 @@ func (k *Kernel) RunTiledCtx(ctx context.Context, inputs map[string][][]uint64, 
 		}
 		outByTag[tag] = bitRef{base, bit}
 	}
+	var outBytes float64
 	for _, o := range k.Outputs {
 		for tl := 0; tl < tiles; tl++ {
 			rows := make([][]uint64, o.Width)
@@ -149,10 +203,9 @@ func (k *Kernel) RunTiledCtx(ctx context.Context, inputs map[string][][]uint64, 
 				rows[b] = make([]uint64, transpose.Words(laneCount(tl)))
 			}
 			outRows[tileKey{o.Name, tl}] = rows
+			outBytes += float64(o.Width * transpose.Words(laneCount(tl)) * 8)
 		}
 	}
-
-	stream, _ := vircoe.Emit(k.prog, placements, vircoe.BankAware, dram.TimingFor(k.Opts.Target, geom))
 
 	// Tiles are independent subarray programs: each runs the same micro-op
 	// sequence over its own rows, so their functional execution fans out
@@ -209,21 +262,117 @@ func (k *Kernel) RunTiledCtx(ctx context.Context, inputs map[string][][]uint64, 
 		return nil, err
 	}
 
-	// The timing model stays serialized over the VIRCOE-ordered stream:
-	// makespan depends on issue order and shared-bus contention, which the
-	// engine accounts for command by command.
-	eng := dram.NewEngine(geom, dram.TimingFor(k.Opts.Target, geom), false)
-	timeNs, err := eng.RunCtx(ctx, stream, k.Opts.Budget.MaxDRAMCommands)
-	if err != nil {
+	// The timing model is sharded by memory channel: tiles are dealt
+	// round-robin across the shards, each shard VIRCOE-orders its own
+	// tiles' issue stream and replays it through its own engine (channels
+	// have independent command/data buses, so makespan depends only on
+	// intra-channel issue order and bus contention). Shard results land in
+	// a slice indexed by shard and merge in fixed shard order, so the
+	// result is byte-identical at any worker count — and at Channels=1 the
+	// single shard is exactly the old serial replay.
+	mode := k.Opts.emitterMode()
+	timing := dram.TimingFor(k.Opts.Target, geom)
+	shards := channels
+	if shards > tiles {
+		shards = tiles
+	}
+	type shardTiming struct {
+		makespan float64
+		eng      dram.EngineStats
+		emit     vircoe.Stats
+	}
+	shardRes := make([]shardTiming, shards)
+	if err := pool.RunCtx(ctx, 0, shards, func(s int) error {
+		count := tiles / shards
+		if s < tiles%shards {
+			count++
+		}
+		pls, err := vircoe.Placements(geom, count)
+		if err != nil {
+			return err // unreachable: the capacity check above bounds count
+		}
+		stream, emitStats := vircoe.Emit(k.prog, pls, mode, timing)
+		eng := getTileEngine(geom, timing, k.Opts.SALP)
+		defer putTileEngine(eng)
+		ns, err := eng.RunCtx(ctx, stream, 0)
+		if err != nil {
+			return err
+		}
+		shardRes[s] = shardTiming{makespan: ns, eng: eng.Stats(), emit: emitStats}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 
+	var deviceNs float64
+	var engStats dram.EngineStats
+	var emitStats vircoe.Stats
+	for s := range shardRes {
+		r := &shardRes[s]
+		if r.makespan > deviceNs {
+			deviceNs = r.makespan
+		}
+		engStats.Ops += r.eng.Ops
+		engStats.Transfers += r.eng.Transfers
+		engStats.ComputeNs += r.eng.ComputeNs
+		engStats.TransferNs += r.eng.TransferNs
+		engStats.SSDNs += r.eng.SSDNs
+		engStats.BusBusyNs += r.eng.BusBusyNs
+		engStats.SpillIns += r.eng.SpillIns
+		engStats.SpillOuts += r.eng.SpillOuts
+		engStats.EnergyPJ += r.eng.EnergyPJ
+		engStats.UnitBusySum += r.eng.UnitBusySum
+		engStats.DistinctUnit += r.eng.DistinctUnit
+		engStats.StallNs += r.eng.StallNs
+		if r.eng.MakespanNs > engStats.MakespanNs {
+			engStats.MakespanNs = r.eng.MakespanNs
+		}
+		if r.eng.MaxUnitBusy > engStats.MaxUnitBusy {
+			engStats.MaxUnitBusy = r.eng.MaxUnitBusy
+		}
+		emitStats.Ops += r.emit.Ops
+		emitStats.Transfers += r.emit.Transfers
+		emitStats.Subarrays += r.emit.Subarrays
+		emitStats.Interleave += r.emit.Interleave
+		emitStats.BusBusyNs += r.emit.BusBusyNs
+		if r.emit.SpanNs > emitStats.SpanNs {
+			emitStats.SpanNs = r.emit.SpanNs
+		}
+	}
+
+	// Host-transfer accounting: one scatter DMA moves every input tile in,
+	// one gather DMA moves every output tile out, each at the aggregate
+	// bandwidth of all channels. With more than one tile the wire time
+	// (streaming, minus the fixed DMA setup) pipelines against device
+	// compute — tile t+1 scatters while tile t computes — so all but a
+	// 1/tiles fraction of it can hide behind the makespan.
+	tr := k.Opts.Transfer.model()
+	scatterNs := tr.TimeNs(inBytes, channels)
+	gatherNs := tr.TimeNs(outBytes, channels)
+	var wireNs float64
+	if inBytes > 0 {
+		wireNs += scatterNs - tr.DMASetupNs
+	}
+	if outBytes > 0 {
+		wireNs += gatherNs - tr.DMASetupNs
+	}
+	overlapNs := wireNs * float64(tiles-1) / float64(tiles)
+	if overlapNs > deviceNs {
+		overlapNs = deviceNs
+	}
+	transferNs := scatterNs + gatherNs
+
 	// Gather tiles back into lane order.
 	res := &TiledResult{
-		Outputs: make(map[string][][]uint64, len(k.Outputs)),
-		TimeNs:  timeNs,
-		Tiles:   tiles,
-		Stats:   eng.Stats(),
+		Outputs:    make(map[string][][]uint64, len(k.Outputs)),
+		TimeNs:     deviceNs,
+		TransferNs: transferNs,
+		OverlapNs:  overlapNs,
+		EndToEndNs: deviceNs + transferNs - overlapNs,
+		Tiles:      tiles,
+		Channels:   shards,
+		Stats:      engStats,
+		Emit:       emitStats,
 	}
 	for _, o := range k.Outputs {
 		all := make([][]uint64, 0, lanes)

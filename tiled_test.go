@@ -1,9 +1,14 @@
 package chopper
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 
 	"chopper/internal/dram"
+	"chopper/internal/vircoe"
+	"chopper/internal/workloads"
 )
 
 // tinyGeom shrinks the subarray SIMD width so tiled tests stay fast: 64
@@ -86,5 +91,220 @@ func TestRunTiledRejectsOversizedData(t *testing.T) {
 	}
 	if _, err := k.RunTiled(map[string][][]uint64{"a": {{1}}}, 5); err == nil {
 		t.Error("short input accepted")
+	}
+}
+
+// shardGeom is tinyGeom over several channels: 64-lane tiles whose timing
+// replay shards across 4 per-channel engines.
+func shardGeom(channels int) dram.Geometry {
+	g := tinyGeom()
+	g.Channels = channels
+	return g
+}
+
+// TestRunTiledGoldenSerialEquivalence pins the Channels=1 sharded path to
+// the pre-sharding serial replay on the four paper workloads: one shard is
+// the whole stream, so the makespan and every engine counter must be
+// float-identical to a hand-built serial engine run over the same
+// placements — not merely close.
+func TestRunTiledGoldenSerialEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four workload kernels tiled")
+	}
+	geom := dram.Geometry{Banks: 4, SubarraysPB: 8, RowsPerSub: 1024, RowBytes: 64, ReservedRows: 18}
+	timing := dram.TimingFor(Ambit, geom)
+	for _, name := range []string{"DenseNet-16", "WTC-64", "DiffGen-64", "SW-64"} {
+		spec, ok := workloads.Get(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		k, err := Compile(spec.Src, Options{Target: Ambit, Geometry: geom})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lanes := 5*geom.Bitlines() - 37 // 5 tiles, last one partial
+		in := make(map[string][][]uint64, len(k.Inputs))
+		for _, op := range k.Inputs {
+			vals := make([][]uint64, lanes)
+			limbs := (op.Width + 63) / 64
+			for l := range vals {
+				v := make([]uint64, limbs)
+				for i := range v {
+					v[i] = uint64(l*7+i*13) * 0x9e3779b97f4a7c15
+				}
+				if r := op.Width % 64; r != 0 {
+					v[limbs-1] &= (uint64(1) << uint(r)) - 1
+				}
+				vals[l] = v
+			}
+			in[op.Name] = vals
+		}
+		res, err := k.RunTiled(in, lanes)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Channels != 1 {
+			t.Fatalf("%s: %d shards on a 1-channel geometry", name, res.Channels)
+		}
+
+		// The reference replay: exactly what RunTiled did before sharding.
+		pls, err := vircoe.Placements(geom, res.Tiles)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		stream, emitStats := vircoe.Emit(k.prog, pls, vircoe.BankAware, timing)
+		eng := dram.NewEngine(geom, timing, false)
+		wantNs, err := eng.RunCtx(nil, stream, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.TimeNs != wantNs {
+			t.Errorf("%s: sharded makespan %v != serial %v", name, res.TimeNs, wantNs)
+		}
+		if res.Stats != eng.Stats() {
+			t.Errorf("%s: sharded stats diverged:\n got %+v\nwant %+v", name, res.Stats, eng.Stats())
+		}
+		if res.Emit != emitStats {
+			t.Errorf("%s: emitter stats diverged:\n got %+v\nwant %+v", name, res.Emit, emitStats)
+		}
+	}
+}
+
+// TestDeterminismRunTiledSharded repeats a Channels=4 tiled run and
+// requires the full result — outputs, device/transfer/end-to-end times,
+// merged engine and emitter stats — to be byte-identical, at any worker
+// count (the CI race job reruns this under -cpu 1,4).
+func TestDeterminismRunTiledSharded(t *testing.T) {
+	src := "node main(a: u8, b: u8) returns (z: u8, c: u1) let z = a + b; c = a < b; tel"
+	k, err := Compile(src, Options{Target: Ambit, Geometry: shardGeom(4), SALP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := 10*tinyGeom().Bitlines() - 7 // 10 tiles across 4 shards, uneven
+	in := map[string][][]uint64{"a": make([][]uint64, lanes), "b": make([][]uint64, lanes)}
+	for l := 0; l < lanes; l++ {
+		in["a"][l] = []uint64{uint64(l*7) & 0xFF}
+		in["b"][l] = []uint64{uint64(l*13+5) & 0xFF}
+	}
+	r1, err := k.RunTiled(in, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Channels != 4 {
+		t.Fatalf("sharded over %d channels, want 4", r1.Channels)
+	}
+	r2, err := k.RunTiled(in, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Outputs, r2.Outputs) {
+		t.Fatal("repeat sharded RunTiled outputs diverged")
+	}
+	if r1.TimeNs != r2.TimeNs || r1.TransferNs != r2.TransferNs ||
+		r1.OverlapNs != r2.OverlapNs || r1.EndToEndNs != r2.EndToEndNs {
+		t.Fatalf("repeat sharded RunTiled timing diverged: %+v vs %+v", r1, r2)
+	}
+	if r1.Stats != r2.Stats || r1.Emit != r2.Emit {
+		t.Fatal("repeat sharded RunTiled stats diverged")
+	}
+	if r1.EndToEndNs != r1.TimeNs+r1.TransferNs-r1.OverlapNs {
+		t.Fatalf("end-to-end identity broken: %+v", r1)
+	}
+}
+
+// TestRunTiledShardedFasterThanSerial is the point of the sharding: with
+// the banks oversubscribed (16 tiles on 4 banks at one channel), spreading
+// the same tiles across 4 channels must cut the device makespan well below
+// the serial replay's — and the end-to-end time, transfers included, with it.
+func TestRunTiledShardedFasterThanSerial(t *testing.T) {
+	src := "node main(a: u8, b: u8) returns (z: u8) let z = a * b; tel"
+	mk := func(channels int) *TiledResult {
+		k, err := Compile(src, Options{Target: Ambit, Geometry: shardGeom(channels)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lanes := 16 * tinyGeom().Bitlines()
+		in := map[string][][]uint64{"a": make([][]uint64, lanes), "b": make([][]uint64, lanes)}
+		for l := 0; l < lanes; l++ {
+			in["a"][l] = []uint64{uint64(l) & 0xFF}
+			in["b"][l] = []uint64{uint64(l+3) & 0xFF}
+		}
+		res, err := k.RunTiled(in, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := mk(1)
+	sharded := mk(4)
+	if !reflect.DeepEqual(serial.Outputs, sharded.Outputs) {
+		t.Error("functional outputs depend on the channel count")
+	}
+	if sharded.TimeNs >= 0.5*serial.TimeNs {
+		t.Errorf("4-channel makespan %.0f ns not well under serial %.0f ns", sharded.TimeNs, serial.TimeNs)
+	}
+	if sharded.EndToEndNs >= serial.EndToEndNs {
+		t.Errorf("4-channel end-to-end %.0f ns not under serial %.0f ns", sharded.EndToEndNs, serial.EndToEndNs)
+	}
+}
+
+// TestRunTiledBudgetShardIdentity: the dram-commands budget stop must be
+// the same error — dimension, limit, count — at every channel count, even
+// though the 4-channel replay never materializes the serial stream.
+func TestRunTiledBudgetShardIdentity(t *testing.T) {
+	src := "node main(a: u8, b: u8) returns (z: u8) let z = a + b; tel"
+	lanes := 4 * tinyGeom().Bitlines()
+	in := map[string][][]uint64{"a": make([][]uint64, lanes), "b": make([][]uint64, lanes)}
+	for l := 0; l < lanes; l++ {
+		in["a"][l] = []uint64{uint64(l) & 0xFF}
+		in["b"][l] = []uint64{uint64(l+1) & 0xFF}
+	}
+	var stops []error
+	for _, channels := range []int{1, 4} {
+		k, err := Compile(src, Options{
+			Target:   Ambit,
+			Geometry: shardGeom(channels),
+			Budget:   Budget{MaxDRAMCommands: 10},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := k.RunTiledCtx(nil, in, lanes)
+		if res != nil {
+			t.Fatalf("channels=%d: budget stop returned a result", channels)
+		}
+		var be *BudgetError
+		if !errors.As(err, &be) || be.Dimension != DimDRAMCommands || be.Limit != 10 || be.Count != 11 {
+			t.Fatalf("channels=%d: want dram-commands BudgetError{10,11}, got %v", channels, err)
+		}
+		stops = append(stops, err)
+	}
+	if !reflect.DeepEqual(stops[0], stops[1]) {
+		t.Fatalf("budget stop differs across channel counts: %v vs %v", stops[0], stops[1])
+	}
+}
+
+// TestRunTiledCancelSharded: a canceled context stops the sharded replay
+// with the sentinel identity and no result.
+func TestRunTiledCancelSharded(t *testing.T) {
+	src := "node main(a: u8, b: u8) returns (z: u8) let z = a + b; tel"
+	k, err := Compile(src, Options{Target: Ambit, Geometry: shardGeom(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := 8 * tinyGeom().Bitlines()
+	in := map[string][][]uint64{"a": make([][]uint64, lanes), "b": make([][]uint64, lanes)}
+	for l := 0; l < lanes; l++ {
+		in["a"][l] = []uint64{uint64(l) & 0xFF}
+		in["b"][l] = []uint64{uint64(l+2) & 0xFF}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := k.RunTiledCtx(ctx, in, lanes)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("error %v does not match ErrCanceled", err)
+	}
+	if res != nil {
+		t.Fatalf("canceled tiled run returned a result: %+v", res)
 	}
 }
