@@ -1,9 +1,11 @@
 package chopper
 
 import (
+	"context"
 	"strconv"
 	"strings"
 
+	"chopper/internal/guard"
 	"chopper/internal/kcache"
 )
 
@@ -94,20 +96,102 @@ func cacheKey(pipeline, src string, opts Options) string {
 	)
 }
 
+// CacheOutcome reports how a compile interacted with Options.Cache:
+// served from the cache, deduplicated onto another goroutine's in-flight
+// compile of the same content address, or compiled fresh.
+type CacheOutcome int
+
+const (
+	// CacheNone means no cache was attached (Options.Cache == nil).
+	CacheNone CacheOutcome = iota
+	// CacheMiss means this call ran the compile pipeline itself (and, on
+	// success, populated the cache).
+	CacheMiss
+	// CacheHit means the kernel was already resident.
+	CacheHit
+	// CacheShared means this call joined a concurrent identical compile
+	// already in flight and shared its result without compiling.
+	CacheShared
+)
+
+func (o CacheOutcome) String() string {
+	switch o {
+	case CacheMiss:
+		return "miss"
+	case CacheHit:
+		return "hit"
+	case CacheShared:
+		return "shared"
+	default:
+		return "none"
+	}
+}
+
+// CompileCtxCached is CompileCtx reporting how the kernel cache served
+// the call — the entry point for servers that surface cache behavior per
+// request (chopperd's responses carry the outcome, and its hit-rate
+// metrics are built from it). With no cache attached the outcome is
+// CacheNone and the call is a plain CompileCtx.
+func CompileCtxCached(ctx context.Context, src string, opts Options) (k *Kernel, outcome CacheOutcome, err error) {
+	defer recoverToError(&err)
+	opts = opts.normalize()
+	if err := opts.validate(); err != nil {
+		return nil, CacheNone, err
+	}
+	if err := guard.Ctx(ctx); err != nil {
+		return nil, CacheNone, err
+	}
+	return cachedCompileOutcome("chopper", src, opts, func() (*Kernel, error) {
+		return compileSource(ctx, src, opts)
+	})
+}
+
+// CompileBaselineCached is CompileBaseline reporting the cache outcome
+// (see CompileCtxCached).
+func CompileBaselineCached(src string, opts Options) (k *Kernel, outcome CacheOutcome, err error) {
+	defer recoverToError(&err)
+	opts = opts.normalize()
+	if err := opts.validate(); err != nil {
+		return nil, CacheNone, err
+	}
+	return cachedCompileOutcome("baseline", src, opts, func() (*Kernel, error) {
+		return compileBaselineSource(src, opts)
+	})
+}
+
 // cachedCompile wraps a compile function with the content-addressed
 // lookup when opts carries a cache; otherwise it just compiles.
 func cachedCompile(pipeline, src string, opts Options, compile func() (*Kernel, error)) (*Kernel, error) {
+	k, _, err := cachedCompileOutcome(pipeline, src, opts, compile)
+	return k, err
+}
+
+// cachedCompileOutcome is the single-flight core: concurrent compiles of
+// the same content address perform one pipeline run and share the
+// resulting kernel (kernels are immutable after compilation, so sharing
+// is safe — it is what the cache does on a hit anyway). Compile errors
+// are shared with concurrent waiters but never cached, so a transient
+// failure does not poison the key.
+func cachedCompileOutcome(pipeline, src string, opts Options, compile func() (*Kernel, error)) (*Kernel, CacheOutcome, error) {
 	if opts.Cache == nil {
-		return compile()
+		k, err := compile()
+		return k, CacheNone, err
 	}
 	key := cacheKey(pipeline, src, opts)
-	if k, ok := opts.Cache.c.Get(key); ok {
-		return k, nil
-	}
-	k, err := compile()
+	k, out, err := opts.Cache.c.Do(key, compile)
 	if err != nil {
-		return nil, err
+		return nil, mapOutcome(out), err
 	}
-	opts.Cache.c.Put(key, k)
-	return k, nil
+	return k, mapOutcome(out), nil
+}
+
+func mapOutcome(o kcache.Outcome) CacheOutcome {
+	switch o {
+	case kcache.Hit:
+		return CacheHit
+	case kcache.Shared:
+		return CacheShared
+	default:
+		return CacheMiss
+	}
 }

@@ -125,6 +125,71 @@ func TestCacheConcurrentCompile(t *testing.T) {
 	}
 }
 
+// TestCacheSingleflightCompile pins the thundering-herd contract at the
+// chopper level: N goroutines compiling the identical (source, Options)
+// pair through one shared cache perform exactly one pipeline run — the
+// duplicated work VerifyParallel-style fan-outs used to do — and all
+// share the same *Kernel. The accounting identity (1 miss, N-1
+// hits+dedups) holds for every interleaving, so the test is exact, not
+// probabilistic.
+func TestCacheSingleflightCompile(t *testing.T) {
+	const n = 12
+	c := NewKernelCache(8)
+	// A 16-bit multiply compiles slowly enough that concurrent callers
+	// genuinely overlap; correctness does not depend on it.
+	src := "node main(a: u16, b: u16) returns (z: u16) let z = a * b; tel"
+	opts := Options{Target: Ambit, Cache: c}
+	kernels := make([]*Kernel, n)
+	var start, wg sync.WaitGroup
+	start.Add(n)
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			start.Done()
+			start.Wait() // fire together
+			k, err := Compile(src, opts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			kernels[g] = k
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < n; g++ {
+		if kernels[g] != kernels[0] {
+			t.Fatalf("goroutine %d got a different *Kernel", g)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("%d pipeline runs for %d identical concurrent compiles, want exactly 1 (stats %+v)", s.Misses, n, s)
+	}
+	if s.Hits+s.Dedups != n-1 {
+		t.Fatalf("accounting drift: %+v, want hits+dedups = %d", s, n-1)
+	}
+}
+
+// TestCacheOutcomeReporting pins the CacheOutcome values the server
+// surfaces per request.
+func TestCacheOutcomeReporting(t *testing.T) {
+	c := NewKernelCache(8)
+	opts := Options{Target: Ambit, Cache: c}
+	if _, out, err := CompileCtxCached(nil, cacheSrc, opts); err != nil || out != CacheMiss {
+		t.Fatalf("first compile outcome %v (err %v), want miss", out, err)
+	}
+	if _, out, err := CompileCtxCached(nil, cacheSrc, opts); err != nil || out != CacheHit {
+		t.Fatalf("repeat compile outcome %v (err %v), want hit", out, err)
+	}
+	if _, out, err := CompileCtxCached(nil, cacheSrc, Options{Target: Ambit}); err != nil || out != CacheNone {
+		t.Fatalf("cache-less compile outcome %v (err %v), want none", out, err)
+	}
+	if _, out, err := CompileBaselineCached(cacheSrc, opts); err != nil || out != CacheMiss {
+		t.Fatalf("baseline compile outcome %v (err %v), want miss (own pipeline key)", out, err)
+	}
+}
+
 func TestSharedCacheIsWired(t *testing.T) {
 	before := SharedCache().Stats()
 	opts := Options{Target: Ambit, Cache: SharedCache()}

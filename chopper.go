@@ -331,17 +331,8 @@ func Compile(src string, opts Options) (k *Kernel, err error) {
 // ErrCanceled/ErrDeadline; Options.Budget is enforced at the same
 // checkpoints. A nil ctx disables the cancellation checks.
 func CompileCtx(ctx context.Context, src string, opts Options) (k *Kernel, err error) {
-	defer recoverToError(&err)
-	opts = opts.normalize()
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	if err := guard.Ctx(ctx); err != nil {
-		return nil, err
-	}
-	return cachedCompile("chopper", src, opts, func() (*Kernel, error) {
-		return compileSource(ctx, src, opts)
-	})
+	k, _, err = CompileCtxCached(ctx, src, opts)
+	return k, err
 }
 
 func compileSource(ctx context.Context, src string, opts Options) (*Kernel, error) {
@@ -812,14 +803,8 @@ func (k *Kernel) Stats() codegen.Stats {
 // methodology instead of the CHOPPER back-end — the comparison target of
 // every experiment in the paper.
 func CompileBaseline(src string, opts Options) (k *Kernel, err error) {
-	defer recoverToError(&err)
-	opts = opts.normalize()
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	return cachedCompile("baseline", src, opts, func() (*Kernel, error) {
-		return compileBaselineSource(src, opts)
-	})
+	k, _, err = CompileBaselineCached(src, opts)
+	return k, err
 }
 
 func compileBaselineSource(src string, opts Options) (*Kernel, error) {

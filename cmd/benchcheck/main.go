@@ -14,6 +14,12 @@
 // figures come from the deterministic timing model, so the gate is exact
 // even on noisy CI machines.
 //
+// With -min-serve-qps Q (Q > 0) it gates on the chopperd serve section
+// (written by cmd/chopperload -bench): the steady phase must complete at
+// least Q requests per second successfully, and no phase — including the
+// forced-overload phase — may record any 5xx server error: overload must
+// shed with 429, never fail with 500.
+//
 // Usage:
 //
 //	benchcheck [flags] [report.json]     # default BENCH_chopper.json
@@ -37,6 +43,8 @@ func main() {
 		"fail unless this end-to-end channel-sharding speedup is met on enough workloads (0 disables)")
 	minTiledWorkloads := flag.Int("min-tiled-workloads", 2,
 		"how many workloads must meet -min-tiled-speedup")
+	minServeQPS := flag.Float64("min-serve-qps", 0,
+		"fail unless the serve section's steady phase completes this many requests/s OK, with zero 5xx in any phase (0 disables)")
 	flag.Parse()
 	path := "BENCH_chopper.json"
 	if flag.NArg() > 1 {
@@ -91,6 +99,14 @@ func main() {
 		fmt.Println()
 	}
 
+	if rep.Serve != nil {
+		fmt.Printf("serve: %d phases", len(rep.Serve.Entries))
+		for _, e := range rep.Serve.Entries {
+			fmt.Printf(", %s %.1f ok-qps (shed %.1f%%, 5xx %d)", e.Phase, e.OKQPS, 100*e.ShedRate, e.ServerErrors)
+		}
+		fmt.Println()
+	}
+
 	if *minCompile > 0 {
 		if rep.Compile == nil {
 			fmt.Fprintf(os.Stderr, "benchcheck: -min-compile-speedup %.2g set but %s has no compile section\n", *minCompile, path)
@@ -127,5 +143,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("tiled gate: %d workloads at >=%.2gx (need %d) — ok\n", met, *minTiled, *minTiledWorkloads)
+	}
+
+	if *minServeQPS > 0 {
+		if rep.Serve == nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: -min-serve-qps %.2g set but %s has no serve section\n", *minServeQPS, path)
+			os.Exit(1)
+		}
+		if got := rep.ServeOKQPS("steady"); got < *minServeQPS {
+			fmt.Fprintf(os.Stderr, "benchcheck: steady-phase ok throughput %.1f qps below the %.2g qps floor\n", got, *minServeQPS)
+			os.Exit(1)
+		}
+		if n := rep.ServeServerErrors(); n != 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: serve section records %d server errors, want 0\n", n)
+			os.Exit(1)
+		}
+		fmt.Printf("serve gate: steady %.1f ok-qps (need %.2g), zero 5xx — ok\n", rep.ServeOKQPS("steady"), *minServeQPS)
 	}
 }

@@ -1,0 +1,120 @@
+// chopperd serves the CHOPPER compiler and simulator as a
+// production-hardened multi-tenant HTTP service.
+//
+//	chopperd [-addr :8479] [flags]
+//
+// Endpoints (see docs/SERVICE.md for the full reference):
+//
+//	POST /v1/compile   compile a program, report kernel + cache facts
+//	POST /v1/run       compile (cached) and execute on simulated PUD
+//	POST /v1/verify    compile (cached) and verify against reference
+//	GET  /healthz      liveness (200 while the process runs)
+//	GET  /readyz       readiness (503 once draining)
+//	GET  /metrics      Prometheus-style text metrics
+//
+// Requests carry a QoS class (interactive / batch / best-effort); each
+// class has its own admission queue, deadline and resource budget, and
+// overload sheds deterministically with 429 + Retry-After. Tenants are
+// isolated: per-tenant kernel-cache shards and per-tenant circuit
+// breakers that degrade a failing tenant down the optimization ladder
+// instead of failing it outright.
+//
+// On SIGTERM/SIGINT the server drains gracefully: /readyz flips first
+// (so load balancers route away during -pre-drain), then admission
+// stops (503), in-flight requests finish, and anything still running at
+// -drain-timeout is hard-canceled through the guard layer.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chopper/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8479", "listen address")
+	preDrain := flag.Duration("pre-drain", 0,
+		"delay between flipping /readyz and refusing new work (lets load balancers route away)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"how long a drain waits for in-flight requests before hard-canceling them")
+	cacheEntries := flag.Int("cache-entries", 0, "per-tenant kernel-cache entries (0 = default)")
+	maxTenants := flag.Int("max-tenants", 0, "tenant-shard bound; extra tenants share an overflow shard (0 = default)")
+	tripAfter := flag.Int("breaker-trip-after", 0, "consecutive bad outcomes before a tenant degrades one level (0 = default)")
+	recoverAfter := flag.Int("breaker-recover-after", 0, "consecutive good outcomes before a degraded tenant recovers one level (0 = default)")
+	maxInflight := flag.Int("max-inflight", 0, "override every class's in-flight bound (0 = per-class defaults; CI uses this to force overload)")
+	maxQueue := flag.Int("max-queue", -1, "override every class's queue bound (-1 = per-class defaults)")
+	flag.Parse()
+
+	cfg := serve.Config{
+		CacheEntries:        *cacheEntries,
+		MaxTenants:          *maxTenants,
+		BreakerTripAfter:    *tripAfter,
+		BreakerRecoverAfter: *recoverAfter,
+	}
+	if *maxInflight > 0 || *maxQueue >= 0 {
+		for c := serve.Interactive; c <= serve.BestEffort; c++ {
+			cc := serve.DefaultClassConfig(c)
+			if *maxInflight > 0 {
+				cc.MaxInflight = *maxInflight
+			}
+			if *maxQueue >= 0 {
+				cc.MaxQueue = *maxQueue
+			}
+			cfg.Classes[c] = cc
+		}
+	}
+	srv := serve.New(cfg)
+	for c := serve.Interactive; c <= serve.BestEffort; c++ {
+		eff := srv.ClassConfig(c)
+		log.Printf("chopperd: class %s: inflight %d queue %d deadline %s", c, eff.MaxInflight, eff.MaxQueue, eff.Deadline)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("chopperd: %v", err)
+	}
+	log.Printf("chopperd: listening on %s", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("chopperd: serve: %v", err)
+	case sig := <-sigCh:
+		log.Printf("chopperd: %v: draining (pre-drain %s, timeout %s)", sig, *preDrain, *drainTimeout)
+	}
+
+	// Drain sequence: readyz first, then stop admitting, then wait.
+	srv.SetNotReady()
+	if *preDrain > 0 {
+		time.Sleep(*preDrain)
+	}
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+	if err := httpSrv.Shutdown(context.Background()); err != nil {
+		log.Printf("chopperd: listener shutdown: %v", err)
+	}
+	if drainErr != nil {
+		log.Printf("chopperd: hard drain: %v", drainErr)
+		os.Exit(1)
+	}
+	log.Printf("chopperd: drained cleanly")
+}

@@ -452,17 +452,23 @@ func fatal(err error) {
 // fatalGuard is fatal with a one-line diagnostic for guard-layer stops:
 // budget exhaustion prints the dimension and limit, deadline/cancel stops
 // say so plainly; both exit with status 3 so scripts can tell a resource
-// stop from an ordinary failure (status 1).
+// stop from an ordinary failure (status 1). Dispatch goes through
+// chopper.ErrorClass — the same classifier chopperd's HTTP status mapper
+// uses — so the CLI and the server never disagree about an error's kind.
 func fatalGuard(err error) {
-	var be *chopper.BudgetError
-	switch {
-	case errors.As(err, &be):
-		fmt.Fprintf(os.Stderr, "choppersim: budget exceeded: %s limit %d (used %d)\n", be.Dimension, be.Limit, be.Count)
+	switch chopper.ErrorClass(err) {
+	case "budget":
+		var be *chopper.BudgetError
+		if errors.As(err, &be) {
+			fmt.Fprintf(os.Stderr, "choppersim: budget exceeded: %s limit %d (used %d)\n", be.Dimension, be.Limit, be.Count)
+		} else {
+			fmt.Fprintln(os.Stderr, "choppersim: budget exceeded")
+		}
 		os.Exit(3)
-	case errors.Is(err, chopper.ErrDeadline):
+	case "deadline":
 		fmt.Fprintln(os.Stderr, "choppersim: deadline exceeded (-timeout)")
 		os.Exit(3)
-	case errors.Is(err, chopper.ErrCanceled):
+	case "canceled":
 		fmt.Fprintln(os.Stderr, "choppersim: canceled")
 		os.Exit(3)
 	}

@@ -70,6 +70,56 @@ const (
 	DimSimSteps     = guard.DimSimSteps
 )
 
+// ErrorClass maps any error the chopper API returns onto a stable,
+// machine-readable class name, so every layer that turns errors into
+// protocol artifacts — the chopperd HTTP status mapper, the choppersim
+// exit-status logic, log pipelines — classifies identically instead of
+// each re-implementing an errors.Is chain.
+//
+// The classes, checked in this order (guard sentinels first, since a
+// budget trip inside codegen must classify as "budget", not "codegen"):
+//
+//	""          nil error
+//	"budget"    ErrBudget (resource budget dimension exhausted)
+//	"deadline"  ErrDeadline (context deadline expired)
+//	"canceled"  ErrCanceled (context canceled)
+//	"options"   ErrOptions (nonsensical caller-supplied options/arguments)
+//	"parse"     ErrParse
+//	"typecheck" ErrTypecheck
+//	"normalize" ErrNormalize
+//	"codegen"   ErrCodegen
+//	"verify"    ErrVerify
+//	"internal"  ErrInternal (recovered pipeline panic; input was legal)
+//	"unknown"   anything else (foreign errors, wrapped I/O, ...)
+func ErrorClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrBudget):
+		return "budget"
+	case errors.Is(err, ErrDeadline):
+		return "deadline"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrOptions):
+		return "options"
+	case errors.Is(err, ErrParse):
+		return "parse"
+	case errors.Is(err, ErrTypecheck):
+		return "typecheck"
+	case errors.Is(err, ErrNormalize):
+		return "normalize"
+	case errors.Is(err, ErrCodegen):
+		return "codegen"
+	case errors.Is(err, ErrVerify):
+		return "verify"
+	case errors.Is(err, ErrInternal):
+		return "internal"
+	default:
+		return "unknown"
+	}
+}
+
 // stageError attaches a sentinel class to an underlying error while
 // keeping the message format the API has always used ("chopper: <stage>:
 // <cause>"). errors.Is matches both the class and the wrapped chain.

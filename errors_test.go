@@ -1,9 +1,11 @@
 package chopper
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 const errAdderSrc = `
@@ -99,6 +101,98 @@ func TestRunRejectsBadLanes(t *testing.T) {
 	}
 	if !errors.Is(err, ErrOptions) {
 		t.Fatalf("error %v does not match ErrOptions", err)
+	}
+}
+
+// TestErrorClassMatrix pins ErrorClass over the full sentinel matrix —
+// synthetic stage-classed errors for every sentinel, plus real errors
+// produced by the API — so the server's status mapper and the CLI's exit
+// logic stay in lockstep with the error taxonomy.
+func TestErrorClassMatrix(t *testing.T) {
+	synthetic := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{stage(ErrParse, "chopper: parse", errors.New("x")), "parse"},
+		{stage(ErrTypecheck, "chopper: typecheck", errors.New("x")), "typecheck"},
+		{stage(ErrNormalize, "chopper: normalize", errors.New("x")), "normalize"},
+		{stage(ErrCodegen, "chopper: codegen", errors.New("x")), "codegen"},
+		{stage(ErrVerify, "chopper: verify", errors.New("x")), "verify"},
+		{stage(ErrInternal, "chopper: internal", errors.New("x")), "internal"},
+		{optionsErrf("bad"), "options"},
+		{ErrParse, "parse"},
+		{ErrTypecheck, "typecheck"},
+		{ErrNormalize, "normalize"},
+		{ErrCodegen, "codegen"},
+		{ErrVerify, "verify"},
+		{ErrInternal, "internal"},
+		{ErrOptions, "options"},
+		{ErrBudget, "budget"},
+		{ErrDeadline, "deadline"},
+		{ErrCanceled, "canceled"},
+		{&BudgetError{Dimension: DimMicroOps, Limit: 1, Count: 2}, "budget"},
+		{errors.New("some I/O thing"), "unknown"},
+	}
+	for _, tc := range synthetic {
+		if got := ErrorClass(tc.err); got != tc.want {
+			t.Errorf("ErrorClass(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+
+	// Real errors from the API must land in the same classes.
+	real := []struct {
+		want string
+		err  func() error
+	}{
+		{"parse", func() error {
+			_, err := Compile("node main(", Options{})
+			return err
+		}},
+		{"typecheck", func() error {
+			_, err := Compile("node main(a: u8) returns (z: u16) let z = a; tel", Options{})
+			return err
+		}},
+		{"normalize", func() error {
+			_, err := Compile(errAdderSrc, Options{Entry: "nope"})
+			return err
+		}},
+		{"options", func() error {
+			_, err := Compile(errAdderSrc, Options{Budget: Budget{MaxMicroOps: -1}})
+			return err
+		}},
+		{"budget", func() error {
+			_, err := Compile(errAdderSrc, Options{Budget: Budget{MaxNetGates: 1}})
+			return err
+		}},
+		{"deadline", func() error {
+			ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+			defer cancel()
+			_, err := CompileCtx(ctx, errAdderSrc, Options{})
+			return err
+		}},
+		{"canceled", func() error {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := CompileCtx(ctx, errAdderSrc, Options{})
+			return err
+		}},
+		{"internal", func() error {
+			_, err := CompileGraph(nil, Options{})
+			return err
+		}},
+		{"verify", func() error {
+			k, err := Compile(errAdderSrc, Options{})
+			if err != nil {
+				return err
+			}
+			return k.VerifyUnderFault(1, 5, FaultConfig{TRAFlipRate: 1, MaxFaults: 1})
+		}},
+	}
+	for _, tc := range real {
+		if got := ErrorClass(tc.err()); got != tc.want {
+			t.Errorf("real-world %s error classified as %q", tc.want, got)
+		}
 	}
 }
 

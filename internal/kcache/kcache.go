@@ -1,12 +1,15 @@
-// Package kcache implements a content-addressed, bounded LRU cache.
+// Package kcache implements a content-addressed, bounded LRU cache with
+// single-flight computation.
 //
 // Keys are SHA-256 content addresses built from the canonical parts of
 // whatever produced the value (for compiled kernels: the normalized
 // source text plus every Options field that affects code generation), so
 // two semantically identical compile requests collide on purpose and the
-// second one costs a map lookup instead of the full pipeline. The cache
-// is safe for concurrent use and keeps hit/miss/eviction counters for
-// observability.
+// second one costs a map lookup instead of the full pipeline. Do adds
+// the thundering-herd defense a server needs: N concurrent requests for
+// the same missing key perform one computation and share its result.
+// The cache is safe for concurrent use and keeps hit/miss/eviction/dedup
+// counters for observability.
 package kcache
 
 import (
@@ -14,6 +17,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"sync"
 )
 
@@ -36,9 +40,10 @@ func Key(parts ...string) string {
 
 // Stats is a snapshot of the cache counters.
 type Stats struct {
-	Hits      uint64 // Get calls that found the key
-	Misses    uint64 // Get calls that did not
+	Hits      uint64 // Get/Do calls that found the key resident
+	Misses    uint64 // Get/Do calls that did not (Do counts one per computation)
 	Evictions uint64 // entries dropped by the LRU bound
+	Dedups    uint64 // Do calls that joined another caller's in-flight computation
 	Entries   int    // entries currently resident
 }
 
@@ -49,14 +54,24 @@ type Cache[V any] struct {
 	max       int
 	ll        *list.List // front = most recently used
 	items     map[string]*list.Element
+	flights   map[string]*flight[V]
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	dedups    uint64
 }
 
 type entry[V any] struct {
 	key string
 	val V
+}
+
+// flight is one in-progress Do computation; waiters block on done and
+// read val/err afterwards (the close is the happens-before edge).
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
 }
 
 // New creates a cache bounded to max entries (<= 0 means DefaultEntries).
@@ -65,9 +80,10 @@ func New[V any](max int) *Cache[V] {
 		max = DefaultEntries
 	}
 	return &Cache[V]{
-		max:   max,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, max),
+		max:     max,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element, max),
+		flights: make(map[string]*flight[V]),
 	}
 }
 
@@ -91,6 +107,10 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 func (c *Cache[V]) Put(key string, val V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(key, val)
+}
+
+func (c *Cache[V]) putLocked(key string, val V) {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*entry[V]).val = val
 		c.ll.MoveToFront(el)
@@ -107,6 +127,84 @@ func (c *Cache[V]) Put(key string, val V) {
 	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
 }
 
+// Do returns the value stored under key, computing it with fn on a miss.
+// Concurrent Do calls for the same missing key are deduplicated: exactly
+// one caller runs fn while the rest block and share its result (including
+// its error — identical keys mean identical requests, so an error applies
+// to every waiter). Errors are not cached; a later Do retries. A panic in
+// fn is re-raised in the computing caller and surfaced as an error to the
+// waiters, never a deadlock.
+//
+// The returned Outcome says how the call was served.
+func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		v := el.Value.(*entry[V]).val
+		c.mu.Unlock()
+		return v, Hit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.dedups++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, Shared, f.err
+	}
+	c.misses++
+	f := &flight[V]{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	finish := func(val V, err error) {
+		c.mu.Lock()
+		delete(c.flights, key)
+		if err == nil {
+			c.putLocked(key, val)
+		}
+		c.mu.Unlock()
+		f.val, f.err = val, err
+		close(f.done)
+	}
+	panicking := true
+	defer func() {
+		if panicking {
+			// Release the waiters before the panic unwinds through the
+			// caller's recovery; they get an error, not a hung channel.
+			var zero V
+			finish(zero, fmt.Errorf("kcache: computation for %s panicked", key))
+		}
+	}()
+	val, err := fn()
+	panicking = false
+	finish(val, err)
+	return val, Miss, err
+}
+
+// Outcome reports how a Do call was served.
+type Outcome int
+
+const (
+	// Miss means this caller ran the computation itself.
+	Miss Outcome = iota
+	// Hit means the value was already resident.
+	Hit
+	// Shared means this caller joined another caller's in-flight
+	// computation and shared its result.
+	Shared
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Shared:
+		return "shared"
+	default:
+		return "miss"
+	}
+}
+
 // Len returns the number of resident entries.
 func (c *Cache[V]) Len() int {
 	c.mu.Lock()
@@ -118,5 +216,5 @@ func (c *Cache[V]) Len() int {
 func (c *Cache[V]) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Dedups: c.dedups, Entries: c.ll.Len()}
 }

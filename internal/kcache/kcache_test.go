@@ -1,8 +1,11 @@
 package kcache
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -68,6 +71,117 @@ func TestDefaultBound(t *testing.T) {
 	}
 	if c.Len() != DefaultEntries {
 		t.Fatalf("len %d, want %d", c.Len(), DefaultEntries)
+	}
+}
+
+// TestDoSingleflightBarrier proves the dedup contract with a barrier: N
+// goroutines Do the same missing key while the one computation is held
+// open until every goroutine has reached Do, so all N are concurrent —
+// and exactly one underlying computation runs.
+func TestDoSingleflightBarrier(t *testing.T) {
+	const n = 16
+	c := New[int](8)
+	var computes atomic.Int64
+	var arrived sync.WaitGroup // goroutines that have reached their Do call
+	arrived.Add(n)
+	fn := func() (int, error) {
+		computes.Add(1)
+		arrived.Wait() // hold the flight open until all n are concurrent
+		return 42, nil
+	}
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	outcomes := make([]Outcome, n)
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			arrived.Done()
+			v, o, err := c.Do("k", fn)
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[g], outcomes[g] = v, o
+		}(g)
+	}
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d computations for %d concurrent Do calls, want exactly 1", got, n)
+	}
+	misses := 0
+	for g := 0; g < n; g++ {
+		if results[g] != 42 {
+			t.Fatalf("goroutine %d got %d, want the shared 42", g, results[g])
+		}
+		if outcomes[g] == Miss {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d Miss outcomes, want exactly 1 (rest Hit/Shared)", misses)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits+s.Dedups != n-1 {
+		t.Fatalf("stats %+v: want 1 miss and %d hits+dedups", s, n-1)
+	}
+	// The result is now resident: a late caller hits without computing.
+	if v, o, err := c.Do("k", fn); err != nil || v != 42 || o != Hit {
+		t.Fatalf("late Do = %d,%v,%v, want 42,Hit,nil", v, o, err)
+	}
+	if computes.Load() != 1 {
+		t.Fatal("late Do recomputed a resident key")
+	}
+}
+
+func TestDoErrorSharedNotCached(t *testing.T) {
+	c := New[int](8)
+	boom := errors.New("boom")
+	var computes atomic.Int64
+	_, o, err := c.Do("k", func() (int, error) { computes.Add(1); return 0, boom })
+	if !errors.Is(err, boom) || o != Miss {
+		t.Fatalf("first Do = %v,%v, want boom,Miss", o, err)
+	}
+	// Errors are not cached: the next Do retries and can succeed.
+	v, o, err := c.Do("k", func() (int, error) { computes.Add(1); return 7, nil })
+	if err != nil || v != 7 || o != Miss {
+		t.Fatalf("retry Do = %d,%v,%v, want 7,Miss,nil", v, o, err)
+	}
+	if computes.Load() != 2 {
+		t.Fatalf("%d computes, want 2 (error must not be cached)", computes.Load())
+	}
+}
+
+func TestDoPanicReleasesWaiters(t *testing.T) {
+	c := New[int](8)
+	var inFlight sync.WaitGroup
+	inFlight.Add(1)
+	release := make(chan struct{})
+	waiterDone := make(chan error, 1)
+	go func() {
+		defer func() { recover() }()
+		c.Do("k", func() (int, error) {
+			inFlight.Done()
+			<-release
+			panic("kaboom")
+		})
+	}()
+	inFlight.Wait()
+	go func() {
+		_, _, err := c.Do("k", func() (int, error) { return 1, nil })
+		waiterDone <- err
+	}()
+	// Wait until the waiter has joined the flight (Dedups ticks on join)
+	// before letting the computation panic, so it is genuinely blocked.
+	for c.Stats().Dedups == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	if err := <-waiterDone; err == nil {
+		t.Fatal("waiter on a panicked flight got a nil error")
+	}
+	// The flight is cleaned up: a fresh Do computes normally.
+	if v, _, err := c.Do("k", func() (int, error) { return 9, nil }); err != nil || v != 9 {
+		t.Fatalf("post-panic Do = %d,%v", v, err)
 	}
 }
 

@@ -79,6 +79,9 @@ type Report struct {
 	// Tiled is the tiled-execution record (see tiled.go); nil in reports
 	// written before the channel-sharded RunTiled work.
 	Tiled *TiledSection `json:"tiled,omitempty"`
+	// Serve is the chopperd service-throughput record (see serve.go);
+	// nil in reports written before the service work.
+	Serve *ServeSection `json:"serve,omitempty"`
 }
 
 // arches is the measured architecture set, in paper order.
@@ -246,7 +249,12 @@ func Validate(r *Report) error {
 		}
 	}
 	if r.Tiled != nil {
-		return validateTiled(r.Tiled)
+		if err := validateTiled(r.Tiled); err != nil {
+			return err
+		}
+	}
+	if r.Serve != nil {
+		return validateServe(r.Serve)
 	}
 	return nil
 }

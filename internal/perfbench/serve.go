@@ -1,0 +1,102 @@
+package perfbench
+
+import "fmt"
+
+// ServeEntry is one chopperd load-generation phase measured by
+// cmd/chopperload: offered vs achieved throughput, outcome mix, and the
+// latency quantiles the QoS contract is judged on. The "steady" phase
+// runs inside capacity; the "overload" phase offers a multiple of
+// capacity to prove sheds stay deterministic 429s (ServerErrors == 0).
+type ServeEntry struct {
+	Phase       string  `json:"phase"`
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	// OKQPS is successfully completed requests per second — the number
+	// cmd/benchcheck's -min-serve-qps gate reads.
+	OKQPS    float64 `json:"ok_qps"`
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"`
+	Shed     int     `json:"shed"`
+	// ServerErrors counts 5xx responses other than the 503 drain
+	// rejection; any nonzero value fails the CI gate.
+	ServerErrors int     `json:"server_errors"`
+	ShedRate     float64 `json:"shed_rate"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	P50Ns        float64 `json:"p50_ns"`
+	P99Ns        float64 `json:"p99_ns"`
+	P999Ns       float64 `json:"p999_ns"`
+	// InteractiveP99Ns is the interactive-class p99 — the latency bound
+	// admission control exists to protect.
+	InteractiveP99Ns float64 `json:"interactive_p99_ns"`
+}
+
+// ServeSection is the chopperd service-throughput record inside a
+// Report; nil in reports written before the service work. Like the
+// tiled section it has no stored baseline: every refresh remeasures
+// both phases with the current code.
+type ServeSection struct {
+	Note    string       `json:"note,omitempty"`
+	Entries []ServeEntry `json:"entries"`
+}
+
+// SetServe attaches a serve section to the report.
+func (r *Report) SetServe(entries []ServeEntry, note string) {
+	r.Serve = &ServeSection{Note: note, Entries: entries}
+}
+
+// ServeOKQPS returns the named phase's completed-OK throughput, or 0
+// when the section or phase is missing.
+func (r *Report) ServeOKQPS(phase string) float64 {
+	if r.Serve == nil {
+		return 0
+	}
+	for _, e := range r.Serve.Entries {
+		if e.Phase == phase {
+			return e.OKQPS
+		}
+	}
+	return 0
+}
+
+// ServeServerErrors sums 5xx counts across every phase (-1 when the
+// section is missing, so gates can tell "absent" from "clean").
+func (r *Report) ServeServerErrors() int {
+	if r.Serve == nil {
+		return -1
+	}
+	sum := 0
+	for _, e := range r.Serve.Entries {
+		sum += e.ServerErrors
+	}
+	return sum
+}
+
+// validateServe checks a serve section's structure: named phases,
+// consistent counts, and quantile ordering.
+func validateServe(s *ServeSection) error {
+	if len(s.Entries) == 0 {
+		return fmt.Errorf("perfbench: serve section has no entries")
+	}
+	for i, e := range s.Entries {
+		id := fmt.Sprintf("serve[%d] %q", i, e.Phase)
+		switch {
+		case e.Phase == "":
+			return fmt.Errorf("perfbench: serve[%d]: missing phase name", i)
+		case e.Requests <= 0:
+			return fmt.Errorf("perfbench: %s: no requests", id)
+		case e.OK < 0 || e.Shed < 0 || e.ServerErrors < 0:
+			return fmt.Errorf("perfbench: %s: negative outcome count", id)
+		case e.OK+e.Shed > e.Requests:
+			return fmt.Errorf("perfbench: %s: ok %d + shed %d exceed requests %d", id, e.OK, e.Shed, e.Requests)
+		case e.OfferedQPS <= 0 || e.AchievedQPS <= 0:
+			return fmt.Errorf("perfbench: %s: missing throughput", id)
+		case e.OKQPS < 0 || e.OKQPS > e.AchievedQPS*1.01:
+			return fmt.Errorf("perfbench: %s: ok_qps %v out of range (achieved %v)", id, e.OKQPS, e.AchievedQPS)
+		case e.ShedRate < 0 || e.ShedRate > 1 || e.CacheHitRate < 0 || e.CacheHitRate > 1:
+			return fmt.Errorf("perfbench: %s: rate out of [0,1]", id)
+		case e.P50Ns <= 0 || e.P99Ns < e.P50Ns || e.P999Ns < e.P99Ns:
+			return fmt.Errorf("perfbench: %s: quantiles out of order (p50 %v p99 %v p999 %v)", id, e.P50Ns, e.P99Ns, e.P999Ns)
+		}
+	}
+	return nil
+}

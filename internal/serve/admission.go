@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"chopper/internal/guard"
+)
+
+// Admission-control errors. These never escape the package as-is — the
+// handler layer maps them onto HTTP statuses (429 for a shed, 503 for a
+// drain rejection) — but tests and the metrics layer dispatch on them.
+var (
+	// errShed marks a deterministic load-shedding rejection: the class's
+	// queue was full at arrival. The client should back off and retry.
+	errShed = errors.New("serve: overloaded, request shed")
+	// errDraining marks a rejection because the server is draining: it
+	// stopped admitting work and will shut down once in-flight requests
+	// finish.
+	errDraining = errors.New("serve: draining, not admitting requests")
+)
+
+// admitter enforces one QoS class's concurrency contract: at most
+// maxInflight requests executing and at most maxQueue admitted-but-
+// waiting. Arrivals beyond both bounds are rejected immediately with
+// errShed — deterministic load shedding instead of unbounded goroutine
+// growth. The zero value is not usable; construct with newAdmitter.
+type admitter struct {
+	// tokens is the execution semaphore: a buffered channel with one slot
+	// per allowed in-flight request.
+	tokens chan struct{}
+
+	mu       sync.Mutex
+	queued   int
+	maxQueue int
+}
+
+func newAdmitter(maxInflight, maxQueue int) *admitter {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admitter{tokens: make(chan struct{}, maxInflight), maxQueue: maxQueue}
+}
+
+// acquire admits one request: immediately if an execution slot is free,
+// after queueing if the bounded queue has room, with errShed otherwise.
+// A queued request gives up when the server starts draining (errDraining)
+// or its context ends (guard.ErrDeadline/ErrCanceled) — queue wait counts
+// against the request's deadline, so a slow class cannot park interactive
+// requests forever. The caller must release() after a nil return.
+func (a *admitter) acquire(ctx context.Context, drain <-chan struct{}) error {
+	select {
+	case a.tokens <- struct{}{}:
+		return nil
+	default:
+	}
+	a.mu.Lock()
+	if a.queued >= a.maxQueue {
+		a.mu.Unlock()
+		return errShed
+	}
+	a.queued++
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+	}()
+	select {
+	case a.tokens <- struct{}{}:
+		return nil
+	case <-drain:
+		return errDraining
+	case <-ctx.Done():
+		return guard.Ctx(ctx)
+	}
+}
+
+func (a *admitter) release() { <-a.tokens }
+
+// depths snapshots the gauges for /metrics.
+func (a *admitter) depths() (inflight, queued int) {
+	a.mu.Lock()
+	queued = a.queued
+	a.mu.Unlock()
+	return len(a.tokens), queued
+}

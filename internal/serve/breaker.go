@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"sync"
+
+	"chopper"
+)
+
+// breakerMaxLevel is the deepest degradation step: the hands-tuned
+// SIMDRAM baseline pipeline, which skips the OBS passes entirely.
+const breakerMaxLevel = 4
+
+// breaker is a per-tenant circuit breaker over compile health. Instead of
+// the classic open/closed binary (fail everything while open), it walks
+// the same graceful-degradation ladder the compiler itself uses: repeated
+// bad outcomes — degraded kernels, budget trips, recovered internal
+// panics — step the tenant's pipeline down one optimization level
+// (full -> reuse -> schedule -> bitslice -> baseline), trading code
+// quality for compile cost and stability; consecutive good outcomes at
+// the degraded level step it back up. The tenant keeps getting answers
+// either way — the degraded state is surfaced in every response rather
+// than turned into failures.
+//
+// The ladder moves on outcome counts only (no wall clocks), so breaker
+// behavior is deterministic and testable.
+type breaker struct {
+	mu           sync.Mutex
+	level        int // 0 = as requested .. breakerMaxLevel = baseline
+	bad, good    int // consecutive outcome counters at the current level
+	tripAfter    int // bad outcomes that trip one level down
+	recoverAfter int // good outcomes that restore one level up
+	trips        uint64
+}
+
+func newBreaker(tripAfter, recoverAfter int) *breaker {
+	if tripAfter < 1 {
+		tripAfter = defaultBreakerTripAfter
+	}
+	if recoverAfter < 1 {
+		recoverAfter = defaultBreakerRecoverAfter
+	}
+	return &breaker{tripAfter: tripAfter, recoverAfter: recoverAfter}
+}
+
+// plan caps a requested compilation according to the breaker state:
+// level 0 leaves it untouched, levels 1-3 cap the optimization ladder,
+// level 4 reroutes to the baseline pipeline. The returned level is
+// echoed into responses so tenants can see they are being degraded.
+func (b *breaker) plan(requested chopper.OptLevel) (opt chopper.OptLevel, baseline bool, level int) {
+	b.mu.Lock()
+	level = b.level
+	b.mu.Unlock()
+	opt = requested
+	switch {
+	case level >= breakerMaxLevel:
+		return chopper.OptBitslice, true, level
+	case level > 0:
+		caps := [...]chopper.OptLevel{chopper.OptFull, chopper.OptReuse, chopper.OptSchedule, chopper.OptBitslice}
+		if c := caps[level]; opt > c {
+			opt = c
+		}
+	}
+	return opt, false, level
+}
+
+// observe feeds one request outcome into the breaker. Bad outcomes are
+// the server-side failure families degrading can actually help with:
+// degraded kernels, budget exhaustion, deadline trips and internal
+// errors. Client mistakes (parse, typecheck, options) and sheds are
+// neutral — they say nothing about this tenant's pipeline health.
+func (b *breaker) observe(degraded bool, errClass string) {
+	bad := degraded
+	switch errClass {
+	case "budget", "internal", "deadline":
+		bad = true
+	case "":
+		// success; stays good unless the kernel itself was degraded
+	default:
+		return // neutral outcome
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if bad {
+		b.good = 0
+		b.bad++
+		if b.bad >= b.tripAfter && b.level < breakerMaxLevel {
+			b.level++
+			b.bad = 0
+			b.trips++
+		}
+		return
+	}
+	b.bad = 0
+	if b.level > 0 {
+		b.good++
+		if b.good >= b.recoverAfter {
+			b.level--
+			b.good = 0
+		}
+	}
+}
+
+// state snapshots the breaker for /metrics.
+func (b *breaker) state() (level int, trips uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.level, b.trips
+}

@@ -1,0 +1,880 @@
+// Package serve is chopperd's engine: a production-hardened, multi-tenant
+// compile-and-execute HTTP service over the chopper library, where every
+// robustness mechanism the library grew — guard budgets and deadlines, the
+// content-addressed kernel cache, the graceful-degradation ladder, the
+// stage-classed sentinel errors — becomes a per-request contract.
+//
+//   - Admission control and QoS: requests declare a class (interactive /
+//     batch / best-effort); each class maps to a guard.Budget, a deadline,
+//     a bounded queue and a max-inflight semaphore. When the queue fills,
+//     requests are shed deterministically with HTTP 429 + Retry-After
+//     instead of growing goroutines without bound.
+//   - Failure isolation: every tenant gets its own kernel-cache shard
+//     behind the kcache single-flight layer (a thundering herd of
+//     identical compiles does one compile), and a per-tenant circuit
+//     breaker that walks repeated degradation/budget/internal failures
+//     down the optimization ladder to the baseline pipeline — the tenant
+//     keeps getting answers, with the degraded state surfaced in the
+//     response. Handler-boundary panic recovery maps everything else onto
+//     the stage-classed sentinel taxonomy and stable HTTP statuses.
+//   - Lifecycle: SetNotReady flips /readyz ahead of a drain so load
+//     balancers stop routing; BeginDrain stops admitting (503); Shutdown
+//     waits for in-flight work and hard-cancels it through the guard
+//     layer's context checkpoints when the drain deadline passes.
+//
+// See docs/SERVICE.md for the endpoint reference, the error -> status
+// table and the drain sequence.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chopper"
+	"chopper/internal/transpose"
+)
+
+// Class is a request QoS class. Classes are admission-control domains:
+// each has its own inflight semaphore, bounded queue, deadline and
+// resource budget, so a flood of batch work cannot starve interactive
+// requests of execution slots.
+type Class int
+
+const (
+	// Interactive is the low-latency class: tight deadline, moderate
+	// budget, shed early rather than queue deep.
+	Interactive Class = iota
+	// Batch is the throughput class: long deadline, deep queue, the
+	// largest budgets.
+	Batch
+	// BestEffort is the scavenger class: smallest budgets, shortest
+	// queue, first to shed under load.
+	BestEffort
+	numClasses
+)
+
+var classNames = [numClasses]string{"interactive", "batch", "best-effort"}
+
+func (c Class) String() string {
+	if c < 0 || c >= numClasses {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// ParseClass maps the wire name onto a Class; "" defaults to Batch.
+func ParseClass(s string) (Class, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return Batch, nil
+	case "interactive":
+		return Interactive, nil
+	case "batch":
+		return Batch, nil
+	case "best-effort", "besteffort":
+		return BestEffort, nil
+	}
+	return 0, fmt.Errorf("unknown QoS class %q (valid: interactive, batch, best-effort)", s)
+}
+
+// ClassConfig is one QoS class's per-request contract.
+type ClassConfig struct {
+	// MaxInflight bounds concurrently executing requests of this class.
+	MaxInflight int
+	// MaxQueue bounds admitted-but-waiting requests; arrivals beyond it
+	// are shed with 429. 0 disables queueing (shed when slots are full).
+	MaxQueue int
+	// Deadline bounds each request end to end — queue wait included —
+	// through the guard layer's context checkpoints. 0 means no deadline.
+	Deadline time.Duration
+	// Budget caps the resource dimensions of each request's compile and
+	// simulation (see chopper.Budget). The zero value is unlimited.
+	Budget chopper.Budget
+}
+
+// Breaker and tenant-bound defaults.
+const (
+	defaultBreakerTripAfter    = 5
+	defaultBreakerRecoverAfter = 3
+	defaultCacheEntries        = 64
+	defaultMaxTenants          = 256
+	defaultMaxBodyBytes        = 8 << 20
+	defaultMaxLanes            = 4096
+	defaultMaxVerifyTrials     = 64
+)
+
+// Config configures a Server. The zero value of any field selects a
+// production-safe default; see DefaultConfig.
+type Config struct {
+	// Classes configures each QoS class; zero-valued entries get the
+	// DefaultConfig entry for that class.
+	Classes [numClasses]ClassConfig
+	// CacheEntries bounds each tenant's kernel-cache shard (<= 0: 64).
+	CacheEntries int
+	// MaxTenants bounds the tenant table. Tenants beyond the bound share
+	// one overflow shard (cache + breaker) instead of growing the map
+	// without limit — graceful degradation, not rejection. <= 0: 256.
+	MaxTenants int
+	// BreakerTripAfter is the consecutive bad-outcome count that steps a
+	// tenant one level down the degradation ladder (<= 0: 5).
+	BreakerTripAfter int
+	// BreakerRecoverAfter is the consecutive good-outcome count that
+	// steps a degraded tenant back up one level (<= 0: 3).
+	BreakerRecoverAfter int
+	// MaxBodyBytes bounds request bodies (<= 0: 8 MiB).
+	MaxBodyBytes int64
+	// MaxLanes bounds the SIMD lanes a run/verify request may ask for
+	// (<= 0: 4096).
+	MaxLanes int
+	// MaxVerifyTrials bounds per-request verification trials (<= 0: 64).
+	MaxVerifyTrials int
+}
+
+// DefaultClassConfig returns the default contract for one class.
+func DefaultClassConfig(c Class) ClassConfig {
+	procs := runtime.GOMAXPROCS(0)
+	switch c {
+	case Interactive:
+		n := procs
+		if n < 4 {
+			n = 4
+		}
+		return ClassConfig{
+			MaxInflight: n,
+			MaxQueue:    4 * n,
+			Deadline:    2 * time.Second,
+			Budget: chopper.Budget{
+				MaxNetGates: 1 << 18, MaxMicroOps: 1 << 19,
+				MaxSimSteps: 1 << 22, MaxDRAMCommands: 1 << 22,
+			},
+		}
+	case BestEffort:
+		return ClassConfig{
+			MaxInflight: 2,
+			MaxQueue:    4,
+			Deadline:    time.Second,
+			Budget: chopper.Budget{
+				MaxNetGates: 1 << 16, MaxMicroOps: 1 << 17,
+				MaxSimSteps: 1 << 20, MaxDRAMCommands: 1 << 20,
+			},
+		}
+	default: // Batch
+		n := procs / 2
+		if n < 2 {
+			n = 2
+		}
+		return ClassConfig{
+			MaxInflight: n,
+			MaxQueue:    16 * n,
+			Deadline:    30 * time.Second,
+			Budget: chopper.Budget{
+				MaxNetGates: 1 << 20, MaxMicroOps: 1 << 21,
+				MaxSimSteps: 1 << 24, MaxDRAMCommands: 1 << 24,
+			},
+		}
+	}
+}
+
+func (cfg Config) normalize() Config {
+	for c := Class(0); c < numClasses; c++ {
+		if cfg.Classes[c] == (ClassConfig{}) {
+			cfg.Classes[c] = DefaultClassConfig(c)
+		}
+		if cfg.Classes[c].MaxInflight < 1 {
+			cfg.Classes[c].MaxInflight = 1
+		}
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = defaultCacheEntries
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = defaultMaxTenants
+	}
+	if cfg.BreakerTripAfter <= 0 {
+		cfg.BreakerTripAfter = defaultBreakerTripAfter
+	}
+	if cfg.BreakerRecoverAfter <= 0 {
+		cfg.BreakerRecoverAfter = defaultBreakerRecoverAfter
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if cfg.MaxLanes <= 0 {
+		cfg.MaxLanes = defaultMaxLanes
+	}
+	if cfg.MaxVerifyTrials <= 0 {
+		cfg.MaxVerifyTrials = defaultMaxVerifyTrials
+	}
+	return cfg
+}
+
+// tenant is one isolation shard: a bounded kernel cache and a circuit
+// breaker. Tenants never share compile results (the cache key does not
+// include the tenant, but the shards are disjoint) and one tenant's
+// failure streak degrades only its own pipeline.
+type tenant struct {
+	name  string
+	cache *chopper.KernelCache
+	brk   *breaker
+}
+
+// Server is the chopperd engine. Construct with New; serve s.Handler().
+type Server struct {
+	cfg Config
+	adm [numClasses]*admitter
+	met *metrics
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	overflow *tenant
+
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	notReady  atomic.Bool
+	inflight  atomic.Int64
+
+	// baseCtx is canceled at the hard drain deadline; every request
+	// context derives from it, so cancellation reaches the guard
+	// checkpoints inside compiles and simulations.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// testHookAdmitted, when non-nil, runs after a request is admitted
+	// and before it executes — the seam drain/overload tests use to hold
+	// requests in flight deterministically.
+	testHookAdmitted func(Class, string)
+}
+
+// New builds a Server from cfg (zero-valued fields get defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.normalize()
+	s := &Server{
+		cfg:     cfg,
+		met:     newMetrics(),
+		tenants: make(map[string]*tenant),
+		drainCh: make(chan struct{}),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	for c := Class(0); c < numClasses; c++ {
+		s.adm[c] = newAdmitter(cfg.Classes[c].MaxInflight, cfg.Classes[c].MaxQueue)
+	}
+	s.overflow = s.newTenant("(overflow)")
+	return s
+}
+
+func (s *Server) newTenant(name string) *tenant {
+	return &tenant{
+		name:  name,
+		cache: chopper.NewKernelCache(s.cfg.CacheEntries),
+		brk:   newBreaker(s.cfg.BreakerTripAfter, s.cfg.BreakerRecoverAfter),
+	}
+}
+
+// tenantFor returns the tenant's shard, creating it under the bound;
+// beyond MaxTenants, unknown tenants share the overflow shard.
+func (s *Server) tenantFor(name string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return t
+	}
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		return s.overflow
+	}
+	t := s.newTenant(name)
+	s.tenants[name] = t
+	return t
+}
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compile", s.handleWork("compile"))
+	mux.HandleFunc("/v1/run", s.handleWork("run"))
+	mux.HandleFunc("/v1/verify", s.handleWork("verify"))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.notReady.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Request is the JSON body of /v1/compile, /v1/run and /v1/verify.
+type Request struct {
+	// Tenant selects the isolation shard; "" shares the default shard.
+	Tenant string `json:"tenant,omitempty"`
+	// Class is the QoS class: interactive, batch (default), best-effort.
+	Class string `json:"class,omitempty"`
+	// Source is the CHOPPER program.
+	Source string `json:"source"`
+	// Target is the PUD architecture: ambit (default), elp2im, simdram.
+	Target string `json:"target,omitempty"`
+	// Opt is the optimization level: bitslice, schedule, reuse,
+	// rename (default). The tenant's breaker may cap it lower.
+	Opt string `json:"opt,omitempty"`
+	// Harden compiles with TMR hardening.
+	Harden bool `json:"harden,omitempty"`
+	// Baseline requests the hands-tuned SIMDRAM methodology.
+	Baseline bool `json:"baseline,omitempty"`
+	// Entry overrides the entry node.
+	Entry string `json:"entry,omitempty"`
+	// Lanes is the SIMD width for run/verify (default 16).
+	Lanes int `json:"lanes,omitempty"`
+	// Inputs are the run operands, one value per lane (widths <= 64).
+	Inputs map[string][]uint64 `json:"inputs,omitempty"`
+	// Trials is the verify trial count (default 3).
+	Trials int `json:"trials,omitempty"`
+	// Seed seeds verification inputs (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Response is the JSON body of a successful request.
+type Response struct {
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class"`
+
+	// Compile facts, present on every endpoint (run and verify compile
+	// first, through the tenant's cache shard).
+	MicroOps     int    `json:"micro_ops"`
+	Pipeline     string `json:"pipeline"` // "chopper" or "baseline"
+	RequestedOpt string `json:"requested_opt"`
+	EffectiveOpt string `json:"effective_opt"`
+	// Degraded is true when the kernel compiled below the requested
+	// pipeline — the compiler's own ladder, or the tenant's breaker.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// BreakerLevel is the tenant's current degradation level (0 = none,
+	// 4 = baseline pipeline).
+	BreakerLevel int `json:"breaker_level,omitempty"`
+	// Cache says how the kernel cache served this compile: miss, hit,
+	// or shared (joined a concurrent identical compile).
+	Cache     string `json:"cache"`
+	CompileNs int64  `json:"compile_ns"`
+
+	// Run results.
+	Outputs map[string][]uint64 `json:"outputs,omitempty"`
+	// TimeNs is the simulated single-subarray makespan.
+	TimeNs float64 `json:"time_ns,omitempty"`
+
+	// Verify results. VerifyOK false with a 200 status means the kernel
+	// ran but disagreed with the reference semantics.
+	VerifyOK     *bool  `json:"verify_ok,omitempty"`
+	VerifyDetail string `json:"verify_detail,omitempty"`
+	Trials       int    `json:"trials,omitempty"`
+
+	// compilerDegraded is true only when the compiler itself walked the
+	// degradation ladder (not when the breaker pre-capped the request).
+	// The breaker feeds on this, not on Degraded: a tenant already capped
+	// by its breaker must not count its own capping as a new failure, or
+	// it could never recover.
+	compilerDegraded bool
+}
+
+// ErrorResponse is the JSON body of a failed request.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// ErrorClass is the stable machine-readable class: one of
+	// chopper.ErrorClass's values, or "shed" / "draining".
+	ErrorClass string `json:"error_class"`
+}
+
+// StatusForClass maps an error class (chopper.ErrorClass plus the serve
+// layer's "shed" and "draining") onto its HTTP status. One table, used
+// by the handlers and pinned by tests, so the wire contract cannot
+// drift from the error taxonomy:
+//
+//	400 options, parse, typecheck, normalize, codegen (bad request)
+//	408 deadline, canceled (request timed out / client gave up)
+//	413 budget (request exceeds its class's resource budget)
+//	422 verify (kernel ran but failed verification)
+//	429 shed (class queue full; retry with backoff)
+//	500 internal, unknown
+//	503 draining (server shutting down; retry elsewhere)
+func StatusForClass(class string) int {
+	switch class {
+	case "options", "parse", "typecheck", "normalize", "codegen":
+		return http.StatusBadRequest
+	case "deadline", "canceled":
+		return http.StatusRequestTimeout
+	case "budget":
+		return http.StatusRequestEntityTooLarge
+	case "verify":
+		return http.StatusUnprocessableEntity
+	case "shed":
+		return http.StatusTooManyRequests
+	case "draining":
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// classify maps any request-processing error onto its class name.
+// During a drain, hard-canceled work classifies as "draining" (503) —
+// the cancellation was the server's choice, not the client's problem.
+func (s *Server) classify(err error) string {
+	switch {
+	case errors.Is(err, errShed):
+		return "shed"
+	case errors.Is(err, errDraining):
+		return "draining"
+	}
+	var re *reqError
+	if errors.As(err, &re) {
+		return re.class
+	}
+	c := chopper.ErrorClass(err)
+	if c == "canceled" && s.Draining() {
+		return "draining"
+	}
+	if c == "" {
+		return "unknown"
+	}
+	return c
+}
+
+// reqError carries a serve-layer validation failure with its class.
+type reqError struct {
+	class string
+	msg   string
+}
+
+func (e *reqError) Error() string { return e.msg }
+
+func optionsErrf(format string, args ...any) error {
+	return &reqError{class: "options", msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) handleWork(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		// Panic recovery at the handler boundary: the chopper API already
+		// recovers its own panics to ErrInternal; this is the last line
+		// for serve-layer bugs. 500, never a crashed process.
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.panicked()
+				writeError(w, fmt.Errorf("internal: %v", rec), "internal")
+			}
+		}()
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if s.Draining() {
+			writeError(w, errDraining, "draining")
+			return
+		}
+		var req Request
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, fmt.Errorf("bad request body: %w", err), "options")
+			return
+		}
+		class, err := ParseClass(req.Class)
+		if err != nil {
+			writeError(w, err, "options")
+			return
+		}
+		cc := s.cfg.Classes[class]
+		tn := s.tenantFor(req.Tenant)
+
+		// The class deadline starts at arrival: queue wait spends it.
+		ctx, cancel := s.workCtx(r.Context(), cc.Deadline)
+		defer cancel()
+		start := time.Now()
+
+		if err := s.adm[class].acquire(ctx, s.drainCh); err != nil {
+			ec := s.classify(err)
+			s.met.rejected(class, ec)
+			s.met.finished(class, StatusForClass(ec), float64(time.Since(start).Nanoseconds()))
+			writeError(w, err, ec)
+			return
+		}
+		s.met.admitted(class)
+		defer s.adm[class].release()
+		if h := s.testHookAdmitted; h != nil {
+			h(class, kind)
+		}
+
+		resp, err := s.execute(ctx, kind, &req, tn, cc, class)
+		elapsed := float64(time.Since(start).Nanoseconds())
+		if err != nil {
+			ec := s.classify(err)
+			tn.brk.observe(false, ec)
+			s.met.finished(class, StatusForClass(ec), elapsed)
+			writeError(w, err, ec)
+			return
+		}
+		tn.brk.observe(resp.compilerDegraded, "")
+		s.met.finished(class, http.StatusOK, elapsed)
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// execute runs one admitted request end to end: parse knobs, apply the
+// tenant's breaker plan, compile through the tenant's cache shard, then
+// run or verify as asked.
+func (s *Server) execute(ctx context.Context, kind string, req *Request, tn *tenant, cc ClassConfig, class Class) (*Response, error) {
+	target, err := parseTarget(req.Target)
+	if err != nil {
+		return nil, err
+	}
+	requested, err := parseOpt(req.Opt)
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		return nil, optionsErrf("empty source")
+	}
+
+	effOpt, baseline, level := tn.brk.plan(requested)
+	baseline = baseline || req.Baseline
+	opts := chopper.Options{
+		Target: target,
+		Harden: req.Harden,
+		Entry:  req.Entry,
+		Budget: cc.Budget,
+		Cache:  tn.cache,
+	}.WithOpt(effOpt)
+	if baseline && req.Harden {
+		// The baseline pipeline rejects Harden; under a breaker reroute,
+		// degrade the hardening away rather than failing the tenant.
+		if !req.Baseline {
+			opts.Harden = false
+		}
+	}
+
+	var (
+		k       *chopper.Kernel
+		outcome chopper.CacheOutcome
+	)
+	compileStart := time.Now()
+	if baseline {
+		k, outcome, err = chopper.CompileBaselineCached(req.Source, opts)
+	} else {
+		k, outcome, err = chopper.CompileCtxCached(ctx, req.Source, opts)
+	}
+	compileNs := time.Since(compileStart).Nanoseconds()
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &Response{
+		Tenant:       req.Tenant,
+		Class:        class.String(),
+		MicroOps:     len(k.Prog().Ops),
+		Pipeline:     "chopper",
+		RequestedOpt: requested.String(),
+		EffectiveOpt: effOpt.String(),
+		BreakerLevel: level,
+		Cache:        outcome.String(),
+		CompileNs:    compileNs,
+	}
+	if baseline {
+		resp.Pipeline = "baseline"
+		resp.EffectiveOpt = "baseline"
+	}
+	if level > 0 {
+		resp.Degraded = true
+		resp.DegradedReason = fmt.Sprintf("tenant breaker at level %d: pipeline capped to %s", level, resp.EffectiveOpt)
+	}
+	if k.Degradation != nil {
+		resp.Degraded = true
+		resp.compilerDegraded = true
+		resp.EffectiveOpt = k.Degradation.Effective.String()
+		resp.DegradedReason = fmt.Sprintf("compiler degraded to %s after %d pass failures",
+			k.Degradation.Effective, len(k.Degradation.Events))
+	}
+
+	switch kind {
+	case "compile":
+		return resp, nil
+	case "run":
+		lanes := req.Lanes
+		if lanes == 0 {
+			lanes = 16
+		}
+		if lanes < 1 || lanes > s.cfg.MaxLanes {
+			return nil, optionsErrf("lanes %d outside [1, %d]", lanes, s.cfg.MaxLanes)
+		}
+		out, timeNs, err := runKernel(ctx, k, req.Inputs, lanes)
+		if err != nil {
+			return nil, err
+		}
+		resp.Outputs, resp.TimeNs = out, timeNs
+		return resp, nil
+	case "verify":
+		trials := req.Trials
+		if trials == 0 {
+			trials = 3
+		}
+		if trials < 1 || trials > s.cfg.MaxVerifyTrials {
+			return nil, optionsErrf("trials %d outside [1, %d]", trials, s.cfg.MaxVerifyTrials)
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		resp.Trials = trials
+		// Verification runs serially (workers=1): per-request fan-out
+		// would multiply one admission slot into GOMAXPROCS of load.
+		verr := k.VerifyCtx(ctx, trials, seed, 1)
+		ok := verr == nil
+		switch {
+		case verr == nil:
+			resp.VerifyOK = &ok
+			return resp, nil
+		case chopper.ErrorClass(verr) == "verify":
+			// A mismatch is a result, not a transport failure: 200 with
+			// verify_ok=false and the discrepancy detail.
+			resp.VerifyOK = &ok
+			resp.VerifyDetail = verr.Error()
+			return resp, nil
+		default:
+			return nil, verr
+		}
+	default:
+		return nil, &reqError{class: "internal", msg: "unknown endpoint kind " + kind}
+	}
+}
+
+// runKernel is Kernel.Run under a context: operands one value per lane,
+// widths up to 64 bits, outputs the same way.
+func runKernel(ctx context.Context, k *chopper.Kernel, inputs map[string][]uint64, lanes int) (map[string][]uint64, float64, error) {
+	rows := make(map[string][][]uint64, len(k.Inputs))
+	for _, in := range k.Inputs {
+		vals, ok := inputs[in.Name]
+		if !ok {
+			return nil, 0, optionsErrf("missing input %q", in.Name)
+		}
+		if in.Width > 64 {
+			return nil, 0, optionsErrf("input %q is %d bits wide; the service handles up to 64", in.Name, in.Width)
+		}
+		if len(vals) != lanes {
+			return nil, 0, optionsErrf("input %q has %d values, want one per lane (%d)", in.Name, len(vals), lanes)
+		}
+		rows[in.Name] = transpose.ToVertical(vals, in.Width, lanes)
+	}
+	res, err := k.RunRowsCtx(ctx, rows, lanes)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make(map[string][]uint64, len(k.Outputs))
+	for _, o := range k.Outputs {
+		if o.Width > 64 {
+			return nil, 0, optionsErrf("output %q is %d bits wide; the service handles up to 64", o.Name, o.Width)
+		}
+		out[o.Name] = transpose.FromVertical(res.Rows[o.Name], o.Width, lanes)
+	}
+	return out, res.TimeNs, nil
+}
+
+func parseTarget(s string) (chopper.Target, error) {
+	switch strings.ToLower(s) {
+	case "", "ambit":
+		return chopper.Ambit, nil
+	case "elp2im":
+		return chopper.ELP2IM, nil
+	case "simdram":
+		return chopper.SIMDRAM, nil
+	}
+	return 0, optionsErrf("unknown target %q (valid: ambit, elp2im, simdram)", s)
+}
+
+func parseOpt(s string) (chopper.OptLevel, error) {
+	switch strings.ToLower(s) {
+	case "", "rename", "full":
+		return chopper.OptFull, nil
+	case "reuse":
+		return chopper.OptReuse, nil
+	case "schedule":
+		return chopper.OptSchedule, nil
+	case "bitslice":
+		return chopper.OptBitslice, nil
+	}
+	return 0, optionsErrf("unknown opt level %q (valid: bitslice, schedule, reuse, rename)", s)
+}
+
+// workCtx derives a request context that ends when the client goes away,
+// the class deadline expires, or the server hard-cancels in-flight work
+// at the drain deadline.
+func (s *Server) workCtx(parent context.Context, deadline time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	if deadline > 0 {
+		dctx, dcancel := context.WithTimeout(ctx, deadline)
+		return dctx, func() { dcancel(); cancel(); stop() }
+	}
+	return ctx, func() { cancel(); stop() }
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error, class string) {
+	status := StatusForClass(class)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		// Shed and drain rejections are retryable; say when.
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, &ErrorResponse{Error: err.Error(), ErrorClass: class})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var sb strings.Builder
+	s.met.render(&sb)
+	for c := Class(0); c < numClasses; c++ {
+		inflight, queued := s.adm[c].depths()
+		fmt.Fprintf(&sb, "chopperd_inflight{class=%q} %d\n", c, inflight)
+		fmt.Fprintf(&sb, "chopperd_queued{class=%q} %d\n", c, queued)
+	}
+	var cache chopper.CacheStats
+	var trippedTenants, levels int
+	s.mu.Lock()
+	shards := make([]*tenant, 0, len(s.tenants)+1)
+	for _, t := range s.tenants {
+		shards = append(shards, t)
+	}
+	shards = append(shards, s.overflow)
+	nTenants := len(s.tenants)
+	s.mu.Unlock()
+	for _, t := range shards {
+		st := t.cache.Stats()
+		cache.Hits += st.Hits
+		cache.Misses += st.Misses
+		cache.Evictions += st.Evictions
+		cache.Dedups += st.Dedups
+		cache.Entries += st.Entries
+		if lvl, _ := t.brk.state(); lvl > 0 {
+			trippedTenants++
+			levels += lvl
+		}
+	}
+	fmt.Fprintf(&sb, "chopperd_cache_hits_total %d\n", cache.Hits)
+	fmt.Fprintf(&sb, "chopperd_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(&sb, "chopperd_cache_dedups_total %d\n", cache.Dedups)
+	fmt.Fprintf(&sb, "chopperd_cache_evictions_total %d\n", cache.Evictions)
+	fmt.Fprintf(&sb, "chopperd_cache_entries %d\n", cache.Entries)
+	fmt.Fprintf(&sb, "chopperd_tenants %d\n", nTenants)
+	fmt.Fprintf(&sb, "chopperd_breaker_tripped_tenants %d\n", trippedTenants)
+	fmt.Fprintf(&sb, "chopperd_breaker_level_sum %d\n", levels)
+	draining := 0
+	if s.Draining() {
+		draining = 1
+	}
+	fmt.Fprintf(&sb, "chopperd_draining %d\n", draining)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, sb.String())
+}
+
+// CacheStats aggregates the kernel-cache counters across every tenant
+// shard (exposed for chopperload's hit-rate reporting and tests).
+func (s *Server) CacheStats() chopper.CacheStats {
+	var sum chopper.CacheStats
+	s.mu.Lock()
+	shards := make([]*tenant, 0, len(s.tenants)+1)
+	for _, t := range s.tenants {
+		shards = append(shards, t)
+	}
+	shards = append(shards, s.overflow)
+	s.mu.Unlock()
+	for _, t := range shards {
+		st := t.cache.Stats()
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.Evictions += st.Evictions
+		sum.Dedups += st.Dedups
+		sum.Entries += st.Entries
+	}
+	return sum
+}
+
+// ClassConfig returns the effective (normalized) configuration of one
+// QoS class.
+func (s *Server) ClassConfig(c Class) ClassConfig {
+	if c < 0 || c >= numClasses {
+		return ClassConfig{}
+	}
+	return s.cfg.Classes[c]
+}
+
+// SetNotReady flips /readyz to 503 without stopping admission — the
+// pre-drain step that lets load balancers route away before the server
+// starts rejecting.
+func (s *Server) SetNotReady() { s.notReady.Store(true) }
+
+// BeginDrain makes the drain irrevocable: /readyz reports 503, new
+// requests are rejected with 503, queued requests are released with 503.
+// In-flight requests keep running until they finish or Shutdown's hard
+// deadline cancels them.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() {
+		s.notReady.Store(true)
+		close(s.drainCh)
+	})
+}
+
+// Draining reports whether BeginDrain has run.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown drains the server: stop admitting, wait for in-flight
+// requests, and when ctx expires first, hard-cancel the stragglers
+// through the guard layer and wait for them to unwind. Returns nil on a
+// clean drain, ctx.Err() when the hard deadline had to fire.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for s.inflight.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			// Hard drain: cancel in-flight work. Guard checkpoints run
+			// between micro-ops and pipeline stages, so this lands fast;
+			// bound the unwind wait anyway.
+			s.baseCancel()
+			unwind := time.After(10 * time.Second)
+			for s.inflight.Load() != 0 {
+				select {
+				case <-unwind:
+					return fmt.Errorf("serve: %d requests still in flight after hard cancel: %w", s.inflight.Load(), ctx.Err())
+				case <-tick.C:
+				}
+			}
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	return nil
+}
