@@ -45,6 +45,10 @@ func main() {
 		"how many workloads must meet -min-tiled-speedup")
 	minServeQPS := flag.Float64("min-serve-qps", 0,
 		"fail unless the serve section's steady phase completes this many requests/s OK, with zero 5xx in any phase (0 disables)")
+	minBatchSpeedup := flag.Float64("min-batch-speedup", 0,
+		"fail unless the serve_batch section's batched phase reaches this ok-qps multiple of the solo phase OR cuts its p99 by the same factor, with zero 5xx in both (0 disables)")
+	minBatchOccupancy := flag.Float64("min-batch-occupancy", 0,
+		"fail unless the serve_batch section's achieved mean batch size reaches this (0 disables)")
 	flag.Parse()
 	path := "BENCH_chopper.json"
 	if flag.NArg() > 1 {
@@ -145,6 +149,11 @@ func main() {
 		fmt.Printf("tiled gate: %d workloads at >=%.2gx (need %d) — ok\n", met, *minTiled, *minTiledWorkloads)
 	}
 
+	if sb := rep.ServeBatch; sb != nil {
+		fmt.Printf("serve_batch: mean batch size %.2f, solo %.1f ok-qps p99 %.1fms, batched %.1f ok-qps p99 %.1fms\n",
+			sb.MeanBatchSize, sb.Solo.OKQPS, sb.Solo.P99Ns/1e6, sb.Batched.OKQPS, sb.Batched.P99Ns/1e6)
+	}
+
 	if *minServeQPS > 0 {
 		if rep.Serve == nil {
 			fmt.Fprintf(os.Stderr, "benchcheck: -min-serve-qps %.2g set but %s has no serve section\n", *minServeQPS, path)
@@ -159,5 +168,43 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("serve gate: steady %.1f ok-qps (need %.2g), zero 5xx — ok\n", rep.ServeOKQPS("steady"), *minServeQPS)
+	}
+
+	if *minBatchSpeedup > 0 || *minBatchOccupancy > 0 {
+		sb := rep.ServeBatch
+		if sb == nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: batch gate set but %s has no serve_batch section\n", path)
+			os.Exit(1)
+		}
+		if sb.Solo.ServerErrors != 0 || sb.Batched.ServerErrors != 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: serve_batch records server errors (solo %d, batched %d), want 0\n",
+				sb.Solo.ServerErrors, sb.Batched.ServerErrors)
+			os.Exit(1)
+		}
+		if *minBatchOccupancy > 0 {
+			if sb.MeanBatchSize < *minBatchOccupancy {
+				fmt.Fprintf(os.Stderr, "benchcheck: mean batch size %.2f below the %.2g floor\n",
+					sb.MeanBatchSize, *minBatchOccupancy)
+				os.Exit(1)
+			}
+			fmt.Printf("batch occupancy gate: %.2f members/pass (need %.2g) — ok\n", sb.MeanBatchSize, *minBatchOccupancy)
+		}
+		if *minBatchSpeedup > 0 {
+			qpsGain := 0.0
+			if sb.Solo.OKQPS > 0 {
+				qpsGain = sb.Batched.OKQPS / sb.Solo.OKQPS
+			}
+			p99Cut := 0.0
+			if sb.Batched.P99Ns > 0 {
+				p99Cut = sb.Solo.P99Ns / sb.Batched.P99Ns
+			}
+			if qpsGain < *minBatchSpeedup && p99Cut < *minBatchSpeedup {
+				fmt.Fprintf(os.Stderr, "benchcheck: batched phase reaches %.2fx ok-qps and %.2fx p99 cut vs solo, need %.2gx on either\n",
+					qpsGain, p99Cut, *minBatchSpeedup)
+				os.Exit(1)
+			}
+			fmt.Printf("batch speedup gate: %.2fx ok-qps, %.2fx p99 cut (need %.2gx on either) — ok\n",
+				qpsGain, p99Cut, *minBatchSpeedup)
+		}
 	}
 }

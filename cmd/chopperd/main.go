@@ -51,6 +51,9 @@ func main() {
 	recoverAfter := flag.Int("breaker-recover-after", 0, "consecutive good outcomes before a degraded tenant recovers one level (0 = default)")
 	maxInflight := flag.Int("max-inflight", 0, "override every class's in-flight bound (0 = per-class defaults; CI uses this to force overload)")
 	maxQueue := flag.Int("max-queue", -1, "override every class's queue bound (-1 = per-class defaults)")
+	batchWindow := flag.Duration("batch-window", 0,
+		"coalesce same-key run/verify requests for up to this long into one device pass (0 disables batching)")
+	maxBatch := flag.Int("max-batch", 0, "members per coalesced pass; a full batch executes early (0 = default 8, cap 64)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -59,7 +62,7 @@ func main() {
 		BreakerTripAfter:    *tripAfter,
 		BreakerRecoverAfter: *recoverAfter,
 	}
-	if *maxInflight > 0 || *maxQueue >= 0 {
+	if *maxInflight > 0 || *maxQueue >= 0 || *batchWindow > 0 {
 		for c := serve.Interactive; c <= serve.BestEffort; c++ {
 			cc := serve.DefaultClassConfig(c)
 			if *maxInflight > 0 {
@@ -68,13 +71,18 @@ func main() {
 			if *maxQueue >= 0 {
 				cc.MaxQueue = *maxQueue
 			}
+			if *batchWindow > 0 {
+				cc.BatchWindow = *batchWindow
+				cc.MaxBatchSize = *maxBatch
+			}
 			cfg.Classes[c] = cc
 		}
 	}
 	srv := serve.New(cfg)
 	for c := serve.Interactive; c <= serve.BestEffort; c++ {
 		eff := srv.ClassConfig(c)
-		log.Printf("chopperd: class %s: inflight %d queue %d deadline %s", c, eff.MaxInflight, eff.MaxQueue, eff.Deadline)
+		log.Printf("chopperd: class %s: inflight %d queue %d deadline %s batch-window %s max-batch %d",
+			c, eff.MaxInflight, eff.MaxQueue, eff.Deadline, eff.BatchWindow, eff.MaxBatchSize)
 	}
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

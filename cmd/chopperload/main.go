@@ -37,6 +37,9 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "steady-phase length")
 	overQPS := flag.Float64("overload-qps", 0, "overload-phase offered load (0 disables the phase)")
 	overDur := flag.Duration("overload-duration", 0, "overload-phase length")
+	homogQPS := flag.Float64("homogeneous-qps", 0,
+		"same-key phase offered load, run once with batching opted out and once allowed (0 disables; point at a chopperd with -batch-window)")
+	homogDur := flag.Duration("homogeneous-duration", 0, "same-key phase length (each of the two passes)")
 	lanes := flag.Int("lanes", 8, "SIMD lanes for run requests")
 	tenants := flag.Int("tenants", 4, "tenant spread")
 	failOn5xx := flag.Bool("fail-on-5xx", false, "exit 2 if any phase saw a 5xx other than 503-draining")
@@ -57,13 +60,15 @@ func main() {
 		Transport: transport,
 	}}
 	report, err := serve.RunLoad(context.Background(), target, serve.LoadConfig{
-		Seed:             *seed,
-		QPS:              *qps,
-		Duration:         *duration,
-		OverloadQPS:      *overQPS,
-		OverloadDuration: *overDur,
-		Lanes:            *lanes,
-		Tenants:          *tenants,
+		Seed:                *seed,
+		QPS:                 *qps,
+		Duration:            *duration,
+		OverloadQPS:         *overQPS,
+		OverloadDuration:    *overDur,
+		HomogeneousQPS:      *homogQPS,
+		HomogeneousDuration: *homogDur,
+		Lanes:               *lanes,
+		Tenants:             *tenants,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chopperload: %v\n", err)
@@ -81,6 +86,9 @@ func main() {
 			fmt.Printf("         p50 %s  p99 %s  p999 %s  interactive-p99 %s  cache-hit %.1f%%  degraded %d\n",
 				time.Duration(p.P50Ns), time.Duration(p.P99Ns), time.Duration(p.P999Ns),
 				time.Duration(p.InteractiveP99Ns), 100*p.CacheHitRate, p.Degraded)
+			if p.MeanBatchSize > 0 {
+				fmt.Printf("         mean batch size %.2f\n", p.MeanBatchSize)
+			}
 		}
 	}
 
@@ -109,15 +117,16 @@ func main() {
 
 // updateBench refreshes the serve section of the tracked benchmark
 // report, preserving every other section (the same refresh pattern the
-// compile and tiled sections use).
+// compile and tiled sections use). The homogeneous solo/batched pair,
+// when present, lands in the serve_batch section instead, which
+// cmd/benchcheck gates with -min-batch-speedup / -min-batch-occupancy.
 func updateBench(path, note string, report *serve.LoadReport) error {
 	r, err := perfbench.Load(path)
 	if err != nil {
 		return err
 	}
-	entries := make([]perfbench.ServeEntry, 0, len(report.Phases))
-	for _, p := range report.Phases {
-		entries = append(entries, perfbench.ServeEntry{
+	toEntry := func(p serve.LoadPhase) perfbench.ServeEntry {
+		return perfbench.ServeEntry{
 			Phase:            p.Name,
 			OfferedQPS:       p.OfferedQPS,
 			AchievedQPS:      p.AchievedQPS,
@@ -132,8 +141,33 @@ func updateBench(path, note string, report *serve.LoadReport) error {
 			P99Ns:            p.P99Ns,
 			P999Ns:           p.P999Ns,
 			InteractiveP99Ns: p.InteractiveP99Ns,
+		}
+	}
+	var entries []perfbench.ServeEntry
+	var solo, batched *perfbench.ServeEntry
+	var meanBatch float64
+	for _, p := range report.Phases {
+		e := toEntry(p)
+		switch p.Name {
+		case "homog-solo":
+			solo = &e
+		case "homog-batched":
+			batched = &e
+			meanBatch = p.MeanBatchSize
+		default:
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) > 0 {
+		r.SetServe(entries, note)
+	}
+	if solo != nil && batched != nil {
+		r.SetServeBatch(&perfbench.ServeBatchSection{
+			Note:          note,
+			MeanBatchSize: meanBatch,
+			Solo:          *solo,
+			Batched:       *batched,
 		})
 	}
-	r.SetServe(entries, note)
 	return r.WriteFile(path)
 }

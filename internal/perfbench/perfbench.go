@@ -82,6 +82,9 @@ type Report struct {
 	// Serve is the chopperd service-throughput record (see serve.go);
 	// nil in reports written before the service work.
 	Serve *ServeSection `json:"serve,omitempty"`
+	// ServeBatch is the request-coalescing record (see serve.go); nil in
+	// reports written before the batching work.
+	ServeBatch *ServeBatchSection `json:"serve_batch,omitempty"`
 }
 
 // arches is the measured architecture set, in paper order.
@@ -254,7 +257,12 @@ func Validate(r *Report) error {
 		}
 	}
 	if r.Serve != nil {
-		return validateServe(r.Serve)
+		if err := validateServe(r.Serve); err != nil {
+			return err
+		}
+	}
+	if r.ServeBatch != nil {
+		return validateServeBatch(r.ServeBatch)
 	}
 	return nil
 }

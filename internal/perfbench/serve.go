@@ -71,6 +71,44 @@ func (r *Report) ServeServerErrors() int {
 	return sum
 }
 
+// ServeBatchSection is the request-coalescing record inside a Report:
+// the homogeneous same-key load replayed twice — once with every
+// request opting out of batching (Solo), once with batching allowed
+// (Batched) — plus the achieved members-per-pass. Nil in reports
+// written before the batching work. Like the serve section it has no
+// stored baseline: every refresh remeasures both phases.
+type ServeBatchSection struct {
+	Note string `json:"note,omitempty"`
+	// MeanBatchSize is the achieved members-per-coalesced-pass in the
+	// batched phase (pass-weighted; see serve.LoadPhase.MeanBatchSize).
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	// Solo and Batched are the same schedule's phases; cmd/benchcheck's
+	// -min-batch-speedup gate compares their OKQPS and P99Ns.
+	Solo    ServeEntry `json:"solo"`
+	Batched ServeEntry `json:"batched"`
+}
+
+// SetServeBatch attaches a serve-batch section to the report.
+func (r *Report) SetServeBatch(s *ServeBatchSection) {
+	r.ServeBatch = s
+}
+
+// validateServeBatch checks a serve-batch section's structure.
+func validateServeBatch(s *ServeBatchSection) error {
+	if s.MeanBatchSize < 0 {
+		return fmt.Errorf("perfbench: serve_batch: negative mean batch size %v", s.MeanBatchSize)
+	}
+	pair := &ServeSection{Entries: []ServeEntry{s.Solo, s.Batched}}
+	if err := validateServe(pair); err != nil {
+		return fmt.Errorf("serve_batch: %w", err)
+	}
+	if s.Solo.Phase != "homog-solo" || s.Batched.Phase != "homog-batched" {
+		return fmt.Errorf("perfbench: serve_batch: phases %q/%q, want homog-solo/homog-batched",
+			s.Solo.Phase, s.Batched.Phase)
+	}
+	return nil
+}
+
 // validateServe checks a serve section's structure: named phases,
 // consistent counts, and quantile ordering.
 func validateServe(s *ServeSection) error {

@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// batchedConfig returns a config with coalescing enabled on the Batch
+// class: a window wide enough that concurrent test requests always meet
+// inside it, sealed early by maxSize.
+func batchedConfig(window time.Duration, maxSize int) Config {
+	cfg := Config{}
+	cc := DefaultClassConfig(Batch)
+	cc.BatchWindow = window
+	cc.MaxBatchSize = maxSize
+	cfg.Classes[Batch] = cc
+	return cfg
+}
+
+// postConcurrently sends every request at once and returns the per-call
+// statuses and responses in request order.
+func postConcurrently(t *testing.T, h http.Handler, kind string, reqs []*Request) ([]int, []Response) {
+	t.Helper()
+	codes := make([]int, len(reqs))
+	resps := make([]Response, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r *Request) {
+			defer wg.Done()
+			codes[i] = post(t, h, kind, r, &resps[i])
+		}(i, r)
+	}
+	wg.Wait()
+	return codes, resps
+}
+
+// TestBatchedRunByteIdentity pins the tentpole contract on the wire: a
+// full coalesced pass returns, member by member, exactly the outputs
+// and simulated time the solo (NoBatch) path returns for the same
+// operands — and reports the occupancy it ran at.
+func TestBatchedRunByteIdentity(t *testing.T) {
+	const size = 4
+	s := New(batchedConfig(2*time.Second, size))
+	h := s.Handler()
+
+	lanes := []int{3, 64, 65, 16}
+	reqs := make([]*Request, size)
+	for i := range reqs {
+		n := lanes[i]
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		for l := 0; l < n; l++ {
+			a[l] = uint64(i*31+l) & 0xFF
+			b[l] = uint64(255 - l&0xFF)
+		}
+		reqs[i] = &Request{Source: addSrc, Lanes: n, Inputs: map[string][]uint64{"a": a, "b": b}}
+	}
+	codes, resps := postConcurrently(t, h, "run", reqs)
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("member %d status %d: %+v", i, code, resps[i])
+		}
+		if resps[i].BatchSize != size {
+			t.Errorf("member %d batch_size %d, want %d", i, resps[i].BatchSize, size)
+		}
+	}
+
+	for i, r := range reqs {
+		solo := *r
+		solo.NoBatch = true
+		var want Response
+		if code := post(t, h, "run", &solo, &want); code != http.StatusOK {
+			t.Fatalf("solo member %d status %d: %+v", i, code, want)
+		}
+		if want.BatchSize != 0 {
+			t.Errorf("solo member %d reports batch_size %d, want absent", i, want.BatchSize)
+		}
+		if resps[i].TimeNs != want.TimeNs {
+			t.Errorf("member %d TimeNs %v != solo %v", i, resps[i].TimeNs, want.TimeNs)
+		}
+		for name, wv := range want.Outputs {
+			gv := resps[i].Outputs[name]
+			if len(gv) != len(wv) {
+				t.Fatalf("member %d output %q: %d lanes, want %d", i, name, len(gv), len(wv))
+			}
+			for l := range wv {
+				if gv[l] != wv[l] {
+					t.Errorf("member %d output %q lane %d: %d != solo %d", i, name, l, gv[l], wv[l])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedVerifyMatchesSolo: coalesced verify sweeps report the same
+// verdicts and trial counts the solo path reports.
+func TestBatchedVerifyMatchesSolo(t *testing.T) {
+	const size = 3
+	s := New(batchedConfig(2*time.Second, size))
+	h := s.Handler()
+
+	reqs := []*Request{
+		{Source: addSrc, Trials: 2, Seed: 7},
+		{Source: addSrc, Trials: 4, Seed: 11},
+		{Source: addSrc, Trials: 1, Seed: 3},
+	}
+	codes, resps := postConcurrently(t, h, "verify", reqs)
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("member %d status %d: %+v", i, code, resps[i])
+		}
+		if resps[i].BatchSize != size {
+			t.Errorf("member %d batch_size %d, want %d", i, resps[i].BatchSize, size)
+		}
+		solo := *reqs[i]
+		solo.NoBatch = true
+		var want Response
+		if code := post(t, h, "verify", &solo, &want); code != http.StatusOK {
+			t.Fatalf("solo member %d status %d: %+v", i, code, want)
+		}
+		if resps[i].Trials != want.Trials {
+			t.Errorf("member %d trials %d != solo %d", i, resps[i].Trials, want.Trials)
+		}
+		if resps[i].VerifyOK == nil || want.VerifyOK == nil || *resps[i].VerifyOK != *want.VerifyOK {
+			t.Errorf("member %d verify_ok %v != solo %v", i, resps[i].VerifyOK, want.VerifyOK)
+		}
+		if resps[i].VerifyDetail != want.VerifyDetail {
+			t.Errorf("member %d detail %q != solo %q", i, resps[i].VerifyDetail, want.VerifyDetail)
+		}
+	}
+}
+
+// TestBatchMetricsNames pins the /metrics names the batching layer
+// exports — dashboards depend on them.
+func TestBatchMetricsNames(t *testing.T) {
+	s := New(batchedConfig(2*time.Second, 2))
+	h := s.Handler()
+	reqs := []*Request{
+		{Source: addSrc, Lanes: 2, Inputs: map[string][]uint64{"a": {1, 2}, "b": {3, 4}}},
+		{Source: addSrc, Lanes: 2, Inputs: map[string][]uint64{"a": {5, 6}, "b": {7, 8}}},
+	}
+	codes, _ := postConcurrently(t, h, "run", reqs)
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("member %d status %d", i, code)
+		}
+	}
+	_, body := get(t, h, "/metrics")
+	for _, want := range []string{
+		`chopperd_batch_passes_total{class="batch"} 1`,
+		`chopperd_batch_requests_total{class="batch",mode="batched"} 2`,
+		`chopperd_batch_requests_total{class="batch",mode="solo"} 0`,
+		`chopperd_batch_occupancy_bucket{class="batch",le="2"} 1`,
+		`chopperd_batch_occupancy_bucket{class="batch",le="64"} 1`,
+		`chopperd_batch_occupancy_bucket{class="batch",le="+Inf"} 1`,
+		`chopperd_batch_occupancy_sum{class="batch"} 2`,
+		`chopperd_batch_occupancy_count{class="batch"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestBatchWindowChargesDeadline: the batch window never extends a
+// request past its class deadline — a member whose deadline expires
+// inside an open window leaves with the standard 408, and the idle
+// executor unwinds so the server still drains cleanly.
+func TestBatchWindowChargesDeadline(t *testing.T) {
+	cfg := Config{}
+	cc := DefaultClassConfig(Batch)
+	cc.Deadline = 60 * time.Millisecond
+	cc.BatchWindow = 10 * time.Second // far beyond the deadline
+	cc.MaxBatchSize = 8
+	cfg.Classes[Batch] = cc
+	s := New(cfg)
+	h := s.Handler()
+
+	start := time.Now()
+	var er ErrorResponse
+	code := post(t, h, "run", &Request{
+		Source: addSrc, Lanes: 1,
+		Inputs: map[string][]uint64{"a": {1}, "b": {2}},
+	}, &er)
+	waited := time.Since(start)
+	if code != http.StatusRequestTimeout {
+		t.Fatalf("status %d (%+v), want 408: the window must not outlive the deadline", code, er)
+	}
+	if er.ErrorClass != "deadline" {
+		t.Errorf("error_class %q, want deadline", er.ErrorClass)
+	}
+	if waited >= cc.BatchWindow {
+		t.Errorf("request held %v, longer than the batch window itself", waited)
+	}
+
+	// The abandoned batch must not pin its admission slot or inflight
+	// count: a drain right after finishes promptly.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown after window-deadline expiry: %v", err)
+	}
+}
+
+// TestDrainFlushesOpenBatchWindow: BeginDrain flushes open batch
+// windows — the waiting member gets its executed 200, not a 503, and
+// the server then shuts down cleanly.
+func TestDrainFlushesOpenBatchWindow(t *testing.T) {
+	s := New(batchedConfig(10*time.Second, 8))
+	h := s.Handler()
+
+	type result struct {
+		code int
+		resp Response
+	}
+	done := make(chan result, 1)
+	go func() {
+		var resp Response
+		code := post(t, h, "run", &Request{
+			Source: addSrc, Lanes: 2,
+			Inputs: map[string][]uint64{"a": {40, 1}, "b": {2, 2}},
+		}, &resp)
+		done <- result{code, resp}
+	}()
+
+	// Wait until the request is inside an open window.
+	waitUntil := time.Now().Add(5 * time.Second)
+	for {
+		s.bat.mu.Lock()
+		open := len(s.bat.open)
+		s.bat.mu.Unlock()
+		if open > 0 {
+			break
+		}
+		if time.Now().After(waitUntil) {
+			t.Fatal("request never opened a batch window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	s.BeginDrain()
+	select {
+	case r := <-done:
+		if r.code != http.StatusOK {
+			t.Fatalf("drained batch member status %d (%+v), want 200: drain must flush, not drop", r.code, r.resp)
+		}
+		if got := r.resp.Outputs["z"]; len(got) != 2 || got[0] != 42 {
+			t.Fatalf("flushed member outputs %v", r.resp.Outputs)
+		}
+		if r.resp.BatchSize != 1 {
+			t.Errorf("flushed member batch_size %d, want 1", r.resp.BatchSize)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not flush the open batch window")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown after flush: %v", err)
+	}
+}
+
+// TestDeterminismBatchedServe: repeated coalesced passes over the same
+// members produce byte-identical responses (CI runs TestDeterminism*
+// under -race -cpu 1,4).
+func TestDeterminismBatchedServe(t *testing.T) {
+	const size = 3
+	reqs := make([]*Request, size)
+	for i := range reqs {
+		n := []int{5, 64, 65}[i]
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		for l := 0; l < n; l++ {
+			a[l], b[l] = uint64(l*7+i), uint64(l^i)
+		}
+		reqs[i] = &Request{Source: addSrc, Lanes: n, Inputs: map[string][]uint64{"a": a, "b": b}}
+	}
+
+	var first []Response
+	for rep := 0; rep < 3; rep++ {
+		s := New(batchedConfig(2*time.Second, size))
+		codes, resps := postConcurrently(t, s.Handler(), "run", reqs)
+		for i, code := range codes {
+			if code != http.StatusOK {
+				t.Fatalf("rep %d member %d status %d", rep, i, code)
+			}
+		}
+		if rep == 0 {
+			first = resps
+			continue
+		}
+		for i := range resps {
+			if resps[i].TimeNs != first[i].TimeNs || resps[i].BatchSize != first[i].BatchSize {
+				t.Fatalf("rep %d member %d: TimeNs/BatchSize drifted", rep, i)
+			}
+			if fmt.Sprint(resps[i].Outputs) != fmt.Sprint(first[i].Outputs) {
+				t.Fatalf("rep %d member %d: outputs drifted", rep, i)
+			}
+		}
+	}
+}

@@ -51,6 +51,13 @@ type LoadConfig struct {
 	// capacity) to prove sheds stay deterministic 429s.
 	OverloadQPS      float64
 	OverloadDuration time.Duration
+	// HomogeneousQPS and HomogeneousDuration, when both positive, append
+	// two same-key run-only phases that isolate the coalescing win:
+	// "homog-solo" (every request opts out with NoBatch) and
+	// "homog-batched" (the identical schedule with batching allowed).
+	// Point these at a server whose batch class has a BatchWindow.
+	HomogeneousQPS      float64
+	HomogeneousDuration time.Duration
 	// Lanes is the SIMD width of run requests (default 8).
 	Lanes int
 	// Tenants spreads requests over this many tenant shards (default 4).
@@ -188,6 +195,20 @@ type LoadPhase struct {
 	P999Ns           float64 `json:"p999_ns"`
 	InteractiveP99Ns float64 `json:"interactive_p99_ns"`
 	DurationNs       int64   `json:"duration_ns"`
+	// MeanBatchSize is the achieved members-per-coalesced-pass, estimated
+	// from per-response batch_size: each response contributes
+	// 1/batch_size of a pass, so requests / sum(1/batch_size) is the
+	// pass-weighted mean. 0 when no response reported a batch size.
+	MeanBatchSize float64 `json:"mean_batch_size,omitempty"`
+	// ByClass breaks latency down per QoS class.
+	ByClass map[string]ClassLatency `json:"by_class,omitempty"`
+}
+
+// ClassLatency is one QoS class's latency summary within a phase.
+type ClassLatency struct {
+	Requests int     `json:"requests"`
+	P50Ns    float64 `json:"p50_ns"`
+	P99Ns    float64 `json:"p99_ns"`
 }
 
 // LoadReport is the full run record.
@@ -276,45 +297,98 @@ func generate(rng *rand.Rand, cfg LoadConfig, heavy bool) genReq {
 	return genReq{kind: kind, req: req}
 }
 
+// homogSource is the homogeneous phase's program: a 16-bit multiply-
+// accumulate whose simulated device pass is long enough that a
+// saturated solo path queues and sheds — exactly the regime coalescing
+// exists for.
+var homogSource = LoadSource{
+	Name:   "mac16",
+	Source: "node main(a: u16, b: u16) returns (z: u16) let z = a * b + a; tel",
+	Inputs: []chopper.IOSpec{{Name: "a", Width: 16}, {Name: "b", Width: 16}},
+}
+
+// generateHomogeneous draws the same-key phase's schedule: one source,
+// one tenant, batch class, run kind — every request shares a batch
+// compatibility key, so the achieved batch size is limited only by the
+// arrival rate and the window.
+func generateHomogeneous(rng *rand.Rand, cfg LoadConfig, noBatch bool) genReq {
+	src := homogSource
+	req := &Request{
+		Tenant:  "tenant-0",
+		Class:   Batch.String(),
+		Source:  src.Source,
+		NoBatch: noBatch,
+		Lanes:   cfg.Lanes,
+		Inputs:  make(map[string][]uint64, len(src.Inputs)),
+	}
+	for _, in := range src.Inputs {
+		vals := make([]uint64, cfg.Lanes)
+		mask := uint64(1)<<uint(in.Width) - 1
+		for i := range vals {
+			vals[i] = rng.Uint64() & mask
+		}
+		req.Inputs[in.Name] = vals
+	}
+	return genReq{kind: "run", req: req}
+}
+
 // RunLoad drives target with the configured open-loop schedule: the
-// steady phase, then (when configured) the forced-overload phase.
+// steady phase, then (when configured) the forced-overload phase and
+// the homogeneous solo/batched pair.
 // ctx cancellation stops scheduling early; in-flight requests are always
 // awaited before the report is built.
 func RunLoad(ctx context.Context, target LoadTarget, cfg LoadConfig) (*LoadReport, error) {
 	cfg = cfg.normalize()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	report := &LoadReport{Seed: cfg.Seed}
-	report.Phases = append(report.Phases, runLoadPhase(ctx, target, cfg, rng, "steady", cfg.QPS, cfg.Duration, false))
+	report.Phases = append(report.Phases, runLoadPhase(ctx, target, cfg, rng, "steady", cfg.QPS, cfg.Duration,
+		func(r *rand.Rand) genReq { return generate(r, cfg, false) }))
 	if cfg.OverloadQPS > 0 && cfg.OverloadDuration > 0 {
 		report.Phases = append(report.Phases,
-			runLoadPhase(ctx, target, cfg, rng, "overload", cfg.OverloadQPS, cfg.OverloadDuration, true))
+			runLoadPhase(ctx, target, cfg, rng, "overload", cfg.OverloadQPS, cfg.OverloadDuration,
+				func(r *rand.Rand) genReq { return generate(r, cfg, true) }))
+	}
+	if cfg.HomogeneousQPS > 0 && cfg.HomogeneousDuration > 0 {
+		// Both phases replay the identical schedule from the same derived
+		// seed; only the NoBatch flag differs, so the solo-vs-batched
+		// comparison isolates the coalescing win.
+		for _, ph := range []struct {
+			name    string
+			noBatch bool
+		}{{"homog-solo", true}, {"homog-batched", false}} {
+			ph := ph
+			hr := rand.New(rand.NewSource(cfg.Seed ^ 0x686f6d6f67)) // "homog"
+			report.Phases = append(report.Phases,
+				runLoadPhase(ctx, target, cfg, hr, ph.name, cfg.HomogeneousQPS, cfg.HomogeneousDuration,
+					func(r *rand.Rand) genReq { return generateHomogeneous(r, cfg, ph.noBatch) }))
+		}
 	}
 	return report, ctx.Err()
 }
 
 // loadCollector accumulates phase results across dispatch goroutines.
 type loadCollector struct {
-	mu        sync.Mutex
-	statuses  map[int]int
-	latencies []float64
-	interLat  []float64
-	ok        int
-	shed      int
-	serverErr int
-	transport int
-	degraded  int
-	cacheHits int
-	cacheSeen int
+	mu          sync.Mutex
+	statuses    map[int]int
+	latencies   []float64
+	classLat    map[string][]float64
+	ok          int
+	shed        int
+	serverErr   int
+	transport   int
+	degraded    int
+	cacheHits   int
+	cacheSeen   int
+	batchN      int
+	batchInvSum float64
 }
 
-func (lc *loadCollector) record(interactive bool, status int, resp *Response, err error, latNs float64) {
+func (lc *loadCollector) record(class string, status int, resp *Response, err error, latNs float64) {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
 	lc.statuses[status]++
 	lc.latencies = append(lc.latencies, latNs)
-	if interactive {
-		lc.interLat = append(lc.interLat, latNs)
-	}
+	lc.classLat[class] = append(lc.classLat[class], latNs)
 	switch {
 	case err != nil && status == 0:
 		lc.transport++
@@ -328,6 +402,10 @@ func (lc *loadCollector) record(interactive bool, status int, resp *Response, er
 			if resp.Degraded {
 				lc.degraded++
 			}
+			if resp.BatchSize > 0 {
+				lc.batchN++
+				lc.batchInvSum += 1 / float64(resp.BatchSize)
+			}
 		}
 	case status == http.StatusTooManyRequests:
 		lc.shed++
@@ -336,7 +414,7 @@ func (lc *loadCollector) record(interactive bool, status int, resp *Response, er
 	}
 }
 
-func runLoadPhase(ctx context.Context, target LoadTarget, cfg LoadConfig, rng *rand.Rand, name string, qps float64, dur time.Duration, heavy bool) LoadPhase {
+func runLoadPhase(ctx context.Context, target LoadTarget, cfg LoadConfig, rng *rand.Rand, name string, qps float64, dur time.Duration, gen func(*rand.Rand) genReq) LoadPhase {
 	interval := time.Duration(float64(time.Second) / qps)
 	if interval <= 0 {
 		interval = time.Microsecond
@@ -345,14 +423,14 @@ func runLoadPhase(ctx context.Context, target LoadTarget, cfg LoadConfig, rng *r
 	if n < 1 {
 		n = 1
 	}
-	lc := &loadCollector{statuses: make(map[int]int)}
+	lc := &loadCollector{statuses: make(map[int]int), classLat: make(map[string][]float64)}
 	sem := make(chan struct{}, cfg.MaxOutstanding)
 	var wg sync.WaitGroup
 	start := time.Now()
 	next := start
 	sent := 0
 	for i := 0; i < n && ctx.Err() == nil; i++ {
-		g := generate(rng, cfg, heavy) // on the scheduler goroutine: rng is not shared
+		g := gen(rng) // on the scheduler goroutine: rng is not shared
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
@@ -365,7 +443,7 @@ func runLoadPhase(ctx context.Context, target LoadTarget, cfg LoadConfig, rng *r
 			defer func() { <-sem }()
 			t0 := time.Now()
 			status, resp, err := target.Do(ctx, g.kind, g.req)
-			lc.record(g.req.Class == Interactive.String(), status, resp, err, float64(time.Since(t0).Nanoseconds()))
+			lc.record(g.req.Class, status, resp, err, float64(time.Since(t0).Nanoseconds()))
 		}()
 	}
 	wg.Wait()
@@ -396,7 +474,20 @@ func runLoadPhase(ctx context.Context, target LoadTarget, cfg LoadConfig, rng *r
 	p.P50Ns = exactQuantile(lc.latencies, 0.5)
 	p.P99Ns = exactQuantile(lc.latencies, 0.99)
 	p.P999Ns = exactQuantile(lc.latencies, 0.999)
-	p.InteractiveP99Ns = exactQuantile(lc.interLat, 0.99)
+	if lc.batchN > 0 && lc.batchInvSum > 0 {
+		p.MeanBatchSize = float64(lc.batchN) / lc.batchInvSum
+	}
+	if len(lc.classLat) > 0 {
+		p.ByClass = make(map[string]ClassLatency, len(lc.classLat))
+		for class, lat := range lc.classLat {
+			p.ByClass[class] = ClassLatency{
+				Requests: len(lat),
+				P50Ns:    exactQuantile(lat, 0.5),
+				P99Ns:    exactQuantile(lat, 0.99),
+			}
+		}
+	}
+	p.InteractiveP99Ns = exactQuantile(lc.classLat[Interactive.String()], 0.99)
 	return p
 }
 

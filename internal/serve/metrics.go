@@ -69,6 +69,11 @@ func (h *histogram) quantileNs(q float64) float64 {
 	return bucketUpperNs(histBuckets - 1)
 }
 
+// occBucketEdges are the upper edges of the batch-occupancy histogram
+// (members per coalesced pass). The last edge equals maxBatchSizeCap,
+// so every pass lands in a finite bucket.
+var occBucketEdges = [...]int{1, 2, 4, 8, 16, 32, 64}
+
 // classMetrics aggregates one QoS class's request accounting.
 type classMetrics struct {
 	admitted uint64
@@ -77,6 +82,15 @@ type classMetrics struct {
 	deadline uint64 // gave up waiting in queue (deadline/cancel)
 	statuses map[int]uint64
 	latency  histogram
+
+	// Coalesced-pass accounting: passes executed, requests served
+	// batched (pass occupancy >= 2) vs solo (window closed with one
+	// member), and the occupancy histogram.
+	batchPasses   uint64
+	batchedReqs   uint64
+	soloBatchReqs uint64
+	occCounts     [len(occBucketEdges)]uint64
+	occSum        uint64
 }
 
 // metrics is the server-wide observability state rendered by /metrics.
@@ -123,6 +137,26 @@ func (m *metrics) finished(c Class, status int, ns float64) {
 	m.byClass[c].latency.observe(ns)
 }
 
+// batchExecuted records one coalesced pass of n members.
+func (m *metrics) batchExecuted(c Class, n int) {
+	m.mu.Lock()
+	cm := &m.byClass[c]
+	cm.batchPasses++
+	cm.occSum += uint64(n)
+	for i, edge := range occBucketEdges {
+		if n <= edge {
+			cm.occCounts[i]++
+			break
+		}
+	}
+	if n >= 2 {
+		cm.batchedReqs += uint64(n)
+	} else {
+		cm.soloBatchReqs++
+	}
+	m.mu.Unlock()
+}
+
 func (m *metrics) panicked() {
 	m.mu.Lock()
 	m.panics++
@@ -152,6 +186,17 @@ func (m *metrics) render(sb *strings.Builder) {
 		for _, q := range []float64{0.5, 0.99, 0.999} {
 			fmt.Fprintf(sb, "chopperd_latency_ns{class=%q,quantile=\"%g\"} %.0f\n", c, q, cm.byClassQuantile(q))
 		}
+		fmt.Fprintf(sb, "chopperd_batch_passes_total{class=%q} %d\n", c, cm.batchPasses)
+		fmt.Fprintf(sb, "chopperd_batch_requests_total{class=%q,mode=\"batched\"} %d\n", c, cm.batchedReqs)
+		fmt.Fprintf(sb, "chopperd_batch_requests_total{class=%q,mode=\"solo\"} %d\n", c, cm.soloBatchReqs)
+		var cum uint64
+		for i, edge := range occBucketEdges {
+			cum += cm.occCounts[i]
+			fmt.Fprintf(sb, "chopperd_batch_occupancy_bucket{class=%q,le=\"%d\"} %d\n", c, edge, cum)
+		}
+		fmt.Fprintf(sb, "chopperd_batch_occupancy_bucket{class=%q,le=\"+Inf\"} %d\n", c, cm.batchPasses)
+		fmt.Fprintf(sb, "chopperd_batch_occupancy_sum{class=%q} %d\n", c, cm.occSum)
+		fmt.Fprintf(sb, "chopperd_batch_occupancy_count{class=%q} %d\n", c, cm.batchPasses)
 	}
 	fmt.Fprintf(sb, "chopperd_handler_panics_total %d\n", m.panics)
 }

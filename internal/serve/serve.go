@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"chopper"
+	"chopper/internal/dram"
 	"chopper/internal/transpose"
 )
 
@@ -98,6 +99,20 @@ type ClassConfig struct {
 	// Budget caps the resource dimensions of each request's compile and
 	// simulation (see chopper.Budget). The zero value is unlimited.
 	Budget chopper.Budget
+	// BatchWindow enables request coalescing for this class: run/verify
+	// requests sharing a compatibility key (target, opt level, hardening,
+	// entry, source — everything that selects the compiled kernel and the
+	// execution semantics) collect for up to this long and execute as ONE
+	// simulated device pass, each member keeping byte-identical results.
+	// The window never extends a request past its class deadline — a
+	// member whose deadline expires while the window is open leaves with
+	// 408 exactly as a queued request would. 0 (the default) disables
+	// batching for the class.
+	BatchWindow time.Duration
+	// MaxBatchSize caps members per coalesced pass; a full batch executes
+	// before its window closes. <= 1 with a positive BatchWindow selects
+	// the default (8); the hard cap is 64.
+	MaxBatchSize int
 }
 
 // Breaker and tenant-bound defaults.
@@ -109,6 +124,8 @@ const (
 	defaultMaxBodyBytes        = 8 << 20
 	defaultMaxLanes            = 4096
 	defaultMaxVerifyTrials     = 64
+	defaultMaxBatchSize        = 8
+	maxBatchSizeCap            = 64
 )
 
 // Config configures a Server. The zero value of any field selects a
@@ -191,6 +208,17 @@ func (cfg Config) normalize() Config {
 		if cfg.Classes[c].MaxInflight < 1 {
 			cfg.Classes[c].MaxInflight = 1
 		}
+		if cfg.Classes[c].BatchWindow < 0 {
+			cfg.Classes[c].BatchWindow = 0
+		}
+		if cfg.Classes[c].BatchWindow > 0 {
+			if cfg.Classes[c].MaxBatchSize <= 1 {
+				cfg.Classes[c].MaxBatchSize = defaultMaxBatchSize
+			}
+			if cfg.Classes[c].MaxBatchSize > maxBatchSizeCap {
+				cfg.Classes[c].MaxBatchSize = maxBatchSizeCap
+			}
+		}
 	}
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = defaultCacheEntries
@@ -236,6 +264,12 @@ type Server struct {
 	tenants  map[string]*tenant
 	overflow *tenant
 
+	// bat indexes open (still-joinable) coalesced batches by
+	// compatibility key; laneWordCap bounds a batch's combined operand
+	// words to one physical row.
+	bat         batcher
+	laneWordCap int
+
 	drainCh   chan struct{}
 	drainOnce sync.Once
 	notReady  atomic.Bool
@@ -257,10 +291,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.normalize()
 	s := &Server{
-		cfg:     cfg,
-		met:     newMetrics(),
-		tenants: make(map[string]*tenant),
-		drainCh: make(chan struct{}),
+		cfg:         cfg,
+		met:         newMetrics(),
+		tenants:     make(map[string]*tenant),
+		drainCh:     make(chan struct{}),
+		bat:         batcher{open: make(map[string]*svcBatch)},
+		laneWordCap: dram.DefaultGeometry().Bitlines() / 64,
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for c := Class(0); c < numClasses; c++ {
@@ -344,6 +380,10 @@ type Request struct {
 	Trials int `json:"trials,omitempty"`
 	// Seed seeds verification inputs (default 1).
 	Seed int64 `json:"seed,omitempty"`
+	// NoBatch opts this request out of coalescing even when its class has
+	// a batch window (used by load generators to measure the solo path,
+	// and by clients that want strict request isolation).
+	NoBatch bool `json:"no_batch,omitempty"`
 }
 
 // Response is the JSON body of a successful request.
@@ -379,6 +419,11 @@ type Response struct {
 	VerifyOK     *bool  `json:"verify_ok,omitempty"`
 	VerifyDetail string `json:"verify_detail,omitempty"`
 	Trials       int    `json:"trials,omitempty"`
+
+	// BatchSize reports how many requests shared this request's coalesced
+	// device pass (absent on the solo path; 1 means the batch window
+	// closed with no company).
+	BatchSize int `json:"batch_size,omitempty"`
 
 	// compilerDegraded is true only when the compiler itself walked the
 	// degradation ladder (not when the breaker pre-capped the request).
@@ -504,11 +549,18 @@ func (s *Server) handleWork(kind string) http.HandlerFunc {
 		defer cancel()
 		start := time.Now()
 
+		if s.batchEligible(kind, cc, &req) {
+			if plan, perr := s.planRequest(&req, tn, cc); perr == nil {
+				resp, executed, err := s.runBatched(ctx, kind, &req, plan, tn, cc, class)
+				s.finishWork(w, class, tn, start, resp, executed, err)
+				return
+			}
+			// Plan (target/opt/source) errors fall through to the solo
+			// path so validation keeps its place behind admission.
+		}
+
 		if err := s.adm[class].acquire(ctx, s.drainCh); err != nil {
-			ec := s.classify(err)
-			s.met.rejected(class, ec)
-			s.met.finished(class, StatusForClass(ec), float64(time.Since(start).Nanoseconds()))
-			writeError(w, err, ec)
+			s.finishWork(w, class, tn, start, nil, false, err)
 			return
 		}
 		s.met.admitted(class)
@@ -518,24 +570,49 @@ func (s *Server) handleWork(kind string) http.HandlerFunc {
 		}
 
 		resp, err := s.execute(ctx, kind, &req, tn, cc, class)
-		elapsed := float64(time.Since(start).Nanoseconds())
-		if err != nil {
-			ec := s.classify(err)
-			tn.brk.observe(false, ec)
-			s.met.finished(class, StatusForClass(ec), elapsed)
-			writeError(w, err, ec)
-			return
-		}
-		tn.brk.observe(resp.compilerDegraded, "")
-		s.met.finished(class, http.StatusOK, elapsed)
-		writeJSON(w, http.StatusOK, resp)
+		s.finishWork(w, class, tn, start, resp, true, err)
 	}
 }
 
-// execute runs one admitted request end to end: parse knobs, apply the
-// tenant's breaker plan, compile through the tenant's cache shard, then
-// run or verify as asked.
-func (s *Server) execute(ctx context.Context, kind string, req *Request, tn *tenant, cc ClassConfig, class Class) (*Response, error) {
+// finishWork is the shared request epilogue: breaker observation and
+// metrics for executed requests, rejection accounting for requests that
+// never reached execution (admission failures, batch-window expiries),
+// then the response write.
+func (s *Server) finishWork(w http.ResponseWriter, class Class, tn *tenant, start time.Time, resp *Response, executed bool, err error) {
+	elapsed := float64(time.Since(start).Nanoseconds())
+	if err != nil {
+		ec := s.classify(err)
+		if executed {
+			tn.brk.observe(false, ec)
+		} else {
+			s.met.rejected(class, ec)
+		}
+		s.met.finished(class, StatusForClass(ec), elapsed)
+		writeError(w, err, ec)
+		return
+	}
+	tn.brk.observe(resp.compilerDegraded, "")
+	s.met.finished(class, http.StatusOK, elapsed)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// reqPlan is the compile decision for one request after parsing its
+// knobs and applying the tenant's breaker plan. It is everything a
+// compile needs besides the source text, computed once so the batched
+// and solo paths cannot diverge.
+type reqPlan struct {
+	target    chopper.Target
+	requested chopper.OptLevel
+	effOpt    chopper.OptLevel
+	baseline  bool
+	level     int
+	opts      chopper.Options
+}
+
+// planRequest parses the request's compile knobs and applies the
+// tenant's breaker plan. Errors are all options-classed validation
+// failures.
+func (s *Server) planRequest(req *Request, tn *tenant, cc ClassConfig) (*reqPlan, error) {
 	target, err := parseTarget(req.Target)
 	if err != nil {
 		return nil, err
@@ -564,40 +641,60 @@ func (s *Server) execute(ctx context.Context, kind string, req *Request, tn *ten
 			opts.Harden = false
 		}
 	}
+	return &reqPlan{
+		target:    target,
+		requested: requested,
+		effOpt:    effOpt,
+		baseline:  baseline,
+		level:     level,
+		opts:      opts,
+	}, nil
+}
 
+// compileForPlan compiles the source under a plan, through the plan's
+// cache shard.
+func compileForPlan(ctx context.Context, p *reqPlan, source string) (*chopper.Kernel, chopper.CacheOutcome, int64, error) {
 	var (
 		k       *chopper.Kernel
 		outcome chopper.CacheOutcome
+		err     error
 	)
 	compileStart := time.Now()
-	if baseline {
-		k, outcome, err = chopper.CompileBaselineCached(req.Source, opts)
+	if p.baseline {
+		k, outcome, err = chopper.CompileBaselineCached(source, p.opts)
 	} else {
-		k, outcome, err = chopper.CompileCtxCached(ctx, req.Source, opts)
+		k, outcome, err = chopper.CompileCtxCached(ctx, source, p.opts)
 	}
 	compileNs := time.Since(compileStart).Nanoseconds()
 	if err != nil {
-		return nil, err
+		return nil, outcome, compileNs, err
 	}
+	return k, outcome, compileNs, nil
+}
 
+// baseResponse builds the compile-fact part of a response: pipeline,
+// optimization/degradation state, cache outcome. Batched members each
+// get their own (their breaker level may differ even when the compiled
+// kernel is shared).
+func baseResponse(req *Request, class Class, p *reqPlan, k *chopper.Kernel, outcome chopper.CacheOutcome, compileNs int64) *Response {
 	resp := &Response{
 		Tenant:       req.Tenant,
 		Class:        class.String(),
 		MicroOps:     len(k.Prog().Ops),
 		Pipeline:     "chopper",
-		RequestedOpt: requested.String(),
-		EffectiveOpt: effOpt.String(),
-		BreakerLevel: level,
+		RequestedOpt: p.requested.String(),
+		EffectiveOpt: p.effOpt.String(),
+		BreakerLevel: p.level,
 		Cache:        outcome.String(),
 		CompileNs:    compileNs,
 	}
-	if baseline {
+	if p.baseline {
 		resp.Pipeline = "baseline"
 		resp.EffectiveOpt = "baseline"
 	}
-	if level > 0 {
+	if p.level > 0 {
 		resp.Degraded = true
-		resp.DegradedReason = fmt.Sprintf("tenant breaker at level %d: pipeline capped to %s", level, resp.EffectiveOpt)
+		resp.DegradedReason = fmt.Sprintf("tenant breaker at level %d: pipeline capped to %s", p.level, resp.EffectiveOpt)
 	}
 	if k.Degradation != nil {
 		resp.Degraded = true
@@ -606,6 +703,48 @@ func (s *Server) execute(ctx context.Context, kind string, req *Request, tn *ten
 		resp.DegradedReason = fmt.Sprintf("compiler degraded to %s after %d pass failures",
 			k.Degradation.Effective, len(k.Degradation.Events))
 	}
+	return resp
+}
+
+// batchEligible says whether a request may join a coalesced pass:
+// the class must have a batch window, the request must not opt out, and
+// the kind must be run or verify with in-bounds lane/trial counts
+// (out-of-bounds values take the solo path so their validation errors
+// keep the exact solo ordering and wording).
+func (s *Server) batchEligible(kind string, cc ClassConfig, req *Request) bool {
+	if cc.BatchWindow <= 0 || cc.MaxBatchSize <= 1 || req.NoBatch {
+		return false
+	}
+	switch kind {
+	case "run":
+		lanes := req.Lanes
+		if lanes == 0 {
+			lanes = 16
+		}
+		return lanes >= 1 && lanes <= s.cfg.MaxLanes
+	case "verify":
+		trials := req.Trials
+		if trials == 0 {
+			trials = 3
+		}
+		return trials >= 1 && trials <= s.cfg.MaxVerifyTrials
+	}
+	return false
+}
+
+// execute runs one admitted request end to end: parse knobs, apply the
+// tenant's breaker plan, compile through the tenant's cache shard, then
+// run or verify as asked.
+func (s *Server) execute(ctx context.Context, kind string, req *Request, tn *tenant, cc ClassConfig, class Class) (*Response, error) {
+	p, err := s.planRequest(req, tn, cc)
+	if err != nil {
+		return nil, err
+	}
+	k, outcome, compileNs, err := compileForPlan(ctx, p, req.Source)
+	if err != nil {
+		return nil, err
+	}
+	resp := baseResponse(req, class, p, k, outcome, compileNs)
 
 	switch kind {
 	case "compile":

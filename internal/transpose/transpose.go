@@ -78,6 +78,87 @@ func ToVertical(elems []uint64, width, lanes int) [][]uint64 {
 	return rows
 }
 
+// ToVerticalInto is ToVertical writing into caller-allocated rows at a
+// word offset: bit b of element l lands in bit l%64 of dst[b][off+l/64].
+// It is the zero-copy primitive batched execution uses to pack several
+// requests' operands into one shared arena — each request transposes
+// directly into its own word-aligned lane span. dst must have at least
+// `width` rows of at least off+Words(lanes) words; words outside the
+// span are left untouched, and the span's tail word is masked to `lanes`
+// bits exactly as ToVertical masks its own tail.
+func ToVerticalInto(dst [][]uint64, off int, elems []uint64, width, lanes int) {
+	if width <= 0 || width > 64 {
+		panic(fmt.Sprintf("transpose: width %d out of range (1..64)", width))
+	}
+	if len(elems) < lanes {
+		panic(fmt.Sprintf("transpose: %d elements for %d lanes", len(elems), lanes))
+	}
+	if len(dst) < width {
+		panic(fmt.Sprintf("transpose: %d destination rows for width %d", len(dst), width))
+	}
+	w := Words(lanes)
+	for b := 0; b < width; b++ {
+		if len(dst[b]) < off+w {
+			panic(fmt.Sprintf("transpose: destination row %d has %d words, need %d", b, len(dst[b]), off+w))
+		}
+	}
+	var block [64]uint64
+	for base := 0; base < lanes; base += 64 {
+		n := lanes - base
+		if n > 64 {
+			n = 64
+		}
+		for i := 0; i < n; i++ {
+			block[i] = elems[base+i]
+		}
+		for i := n; i < 64; i++ {
+			block[i] = 0
+		}
+		Transpose64(&block)
+		word := off + base/64
+		if n == 64 {
+			for b := 0; b < width; b++ {
+				dst[b][word] = block[b]
+			}
+		} else {
+			tailMask := (uint64(1) << uint(n)) - 1
+			for b := 0; b < width; b++ {
+				dst[b][word] = block[b] & tailMask
+			}
+		}
+	}
+}
+
+// PasteRows copies vertical rows already in bit-row layout into dst at a
+// word offset, masking each row's tail word to `lanes` bits. It is the
+// paste half of batched packing for operands that arrive pre-transposed
+// (wide verify inputs). src rows shorter than Words(lanes) read as zero.
+func PasteRows(dst [][]uint64, off int, src [][]uint64, lanes int) {
+	w := Words(lanes)
+	mask := ^uint64(0)
+	if r := lanes % 64; r != 0 {
+		mask = (uint64(1) << uint(r)) - 1
+	}
+	if len(dst) < len(src) {
+		panic(fmt.Sprintf("transpose: %d destination rows for %d source rows", len(dst), len(src)))
+	}
+	for b := range src {
+		if len(dst[b]) < off+w {
+			panic(fmt.Sprintf("transpose: destination row %d has %d words, need %d", b, len(dst[b]), off+w))
+		}
+		for i := 0; i < w; i++ {
+			var v uint64
+			if i < len(src[b]) {
+				v = src[b][i]
+			}
+			if i == w-1 {
+				v &= mask
+			}
+			dst[b][off+i] = v
+		}
+	}
+}
+
 // FromVertical is the inverse of ToVertical: it gathers bit l of every row
 // back into element l. Rows beyond len(rows) read as zero, so a narrower
 // result can be widened for free.

@@ -181,3 +181,95 @@ func TestPanicsOnBadArgs(t *testing.T) {
 		}()
 	}
 }
+
+// TestToVerticalIntoMatchesToVertical packs several lane groups into one
+// shared arena and checks every span equals a standalone ToVertical of
+// the same elements, with untouched words preserved.
+func TestToVerticalIntoMatchesToVertical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const width = 11
+	groups := []int{64, 1, 63, 65, 128, 7}
+	total := 0
+	offs := make([]int, len(groups))
+	for i, lanes := range groups {
+		offs[i] = total
+		total += Words(lanes)
+	}
+	dst := make([][]uint64, width)
+	for b := range dst {
+		dst[b] = make([]uint64, total)
+		for i := range dst[b] {
+			dst[b][i] = ^uint64(0) // sentinel: must be overwritten span-exactly
+		}
+	}
+	elems := make([][]uint64, len(groups))
+	for gi, lanes := range groups {
+		elems[gi] = make([]uint64, lanes)
+		for i := range elems[gi] {
+			elems[gi][i] = rng.Uint64()
+		}
+		ToVerticalInto(dst, offs[gi], elems[gi], width, lanes)
+	}
+	for gi, lanes := range groups {
+		want := ToVertical(elems[gi], width, lanes)
+		w := Words(lanes)
+		for b := 0; b < width; b++ {
+			for i := 0; i < w; i++ {
+				if got := dst[b][offs[gi]+i]; got != want[b][i] {
+					t.Fatalf("group %d row %d word %d: got %#x want %#x", gi, b, i, got, want[b][i])
+				}
+			}
+		}
+	}
+}
+
+// TestPasteRowsMasksTail pastes pre-transposed rows and checks the tail
+// word is masked to the lane count and short source rows read as zero.
+func TestPasteRowsMasksTail(t *testing.T) {
+	src := [][]uint64{{^uint64(0), ^uint64(0)}, {0x123456789abcdef0}}
+	dst := [][]uint64{make([]uint64, 5), make([]uint64, 5)}
+	for b := range dst {
+		for i := range dst[b] {
+			dst[b][i] = 0xdead
+		}
+	}
+	PasteRows(dst, 2, src, 70) // 2 words, tail masked to 6 bits
+	if dst[0][2] != ^uint64(0) || dst[0][3] != (1<<6)-1 {
+		t.Fatalf("row 0 spans wrong: %#x %#x", dst[0][2], dst[0][3])
+	}
+	if dst[1][2] != 0x123456789abcdef0 || dst[1][3] != 0 {
+		t.Fatalf("row 1 spans wrong: %#x %#x (short source must read 0)", dst[1][2], dst[1][3])
+	}
+	for b := range dst {
+		if dst[b][0] != 0xdead || dst[b][1] != 0xdead || dst[b][4] != 0xdead {
+			t.Fatalf("row %d: words outside the span were touched", b)
+		}
+	}
+}
+
+// TestFromVerticalOfPastedSpan checks the round trip through a shared
+// arena: elements transposed into a span come back exactly.
+func TestFromVerticalOfPastedSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const width, lanes, off = 13, 65, 3
+	elems := make([]uint64, lanes)
+	mask := uint64(1)<<width - 1
+	for i := range elems {
+		elems[i] = rng.Uint64() & mask
+	}
+	dst := make([][]uint64, width)
+	for b := range dst {
+		dst[b] = make([]uint64, off+Words(lanes)+2)
+	}
+	ToVerticalInto(dst, off, elems, width, lanes)
+	sub := make([][]uint64, width)
+	for b := range sub {
+		sub[b] = dst[b][off : off+Words(lanes)]
+	}
+	got := FromVertical(sub, width, lanes)
+	for i := range elems {
+		if got[i] != elems[i] {
+			t.Fatalf("lane %d: got %#x want %#x", i, got[i], elems[i])
+		}
+	}
+}

@@ -133,25 +133,33 @@ func (k *Kernel) verifyTrials(ctx context.Context, trials int, seed int64, worke
 			got[o.Name] = transpose.FromVerticalWide(res.Rows[o.Name], o.Width, lanes)
 		}
 
-		for l := 0; l < lanes; l++ {
-			ref := make(map[string]*big.Int, len(k.Inputs))
-			for name, vals := range inWide {
-				ref[name] = limbsToBig(vals[l])
-			}
-			want, err := k.Graph.Eval(ref)
-			if err != nil {
-				return stagef(ErrVerify, "chopper: verify", "trial %d: reference eval: %v", trial, err)
-			}
-			for _, out := range k.Outputs {
-				gotV := limbsToBig(got[out.Name][l])
-				if gotV.Cmp(want[out.Name]) != 0 {
-					return stagef(ErrVerify, "chopper: verify", "trial %d lane %d: output %q = %v, reference says %v",
-						trial, l, out.Name, gotV, want[out.Name])
-				}
+		return k.compareTrial(trial, inWide, got, lanes)
+	})
+}
+
+// compareTrial checks one trial's outputs lane by lane against the
+// reference dataflow evaluation. It is shared between the solo sweep
+// (verifyTrials) and the batched sweep (VerifyBatchCtx) so the two paths
+// report byte-identical discrepancies.
+func (k *Kernel) compareTrial(trial int, inWide, got map[string][][]uint64, lanes int) error {
+	for l := 0; l < lanes; l++ {
+		ref := make(map[string]*big.Int, len(k.Inputs))
+		for name, vals := range inWide {
+			ref[name] = limbsToBig(vals[l])
+		}
+		want, err := k.Graph.Eval(ref)
+		if err != nil {
+			return stagef(ErrVerify, "chopper: verify", "trial %d: reference eval: %v", trial, err)
+		}
+		for _, out := range k.Outputs {
+			gotV := limbsToBig(got[out.Name][l])
+			if gotV.Cmp(want[out.Name]) != 0 {
+				return stagef(ErrVerify, "chopper: verify", "trial %d lane %d: output %q = %v, reference says %v",
+					trial, l, out.Name, gotV, want[out.Name])
 			}
 		}
-		return nil
-	})
+	}
+	return nil
 }
 
 // randWideInputs draws one batch of random operand values in wide
