@@ -320,7 +320,9 @@ func (k *Kernel) VerifyBatchCtx(ctx context.Context, specs []VerifySpec) (perSpe
 		for t := 0; t < sp.Trials; t++ {
 			lanes := verifyLaneSchedule[t%len(verifyLaneSchedule)]
 			rng := rand.New(rand.NewSource(trialSeed(sp.Seed, t)))
-			refs = append(refs, trialRef{spec: si, trial: t, lanes: lanes, inWide: randWideInputs(rng, k.Inputs, lanes)})
+			inWide := randWideInputs(rng, k.Inputs, lanes)
+			k.clampAnnotated(inWide)
+			refs = append(refs, trialRef{spec: si, trial: t, lanes: lanes, inWide: inWide})
 			counts = append(counts, lanes)
 		}
 	}

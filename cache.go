@@ -91,6 +91,9 @@ func cacheKey(pipeline, src string, opts Options) string {
 		// SALP, the emitter mode and the host-transfer model.
 		strconv.FormatBool(opts.SALP),
 		strconv.Itoa(int(opts.Emitter)),
+		// Narrowing changes the emitted program, so the mode is part of
+		// the content address.
+		strconv.Itoa(int(opts.Narrow)),
 		strconv.FormatFloat(opts.Transfer.ChannelBWGBs, 'g', -1, 64),
 		strconv.FormatFloat(opts.Transfer.DMASetupNs, 'g', -1, 64),
 	)

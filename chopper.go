@@ -35,6 +35,7 @@ import (
 	"chopper/internal/hostmodel"
 	"chopper/internal/isa"
 	"chopper/internal/logic"
+	"chopper/internal/narrow"
 	"chopper/internal/obs"
 	"chopper/internal/pool"
 	"chopper/internal/sim"
@@ -94,6 +95,68 @@ func (m EmitterMode) String() string {
 	default:
 		return "auto"
 	}
+}
+
+// NarrowMode selects the precision-inference middle end (internal/narrow):
+// a range/demanded-bits analysis over the dataflow graph that shrinks each
+// value to its live bits before bit-slicing. Bit-serial cost is linear in
+// operand width, so narrowing directly cuts emitted micro-ops and
+// makespan; narrowed kernels still verify bit-identically against the
+// original graph's golden reference.
+type NarrowMode int
+
+const (
+	// NarrowOff disables the pass; output is byte-identical to a build
+	// without it.
+	NarrowOff NarrowMode = iota
+	// NarrowSafe narrows using only facts provable from the program
+	// (constants, shifts, comparison results, conversion truncations).
+	// Always sound, no annotations consulted.
+	NarrowSafe
+	// NarrowAnnotated additionally trusts @range(name, lo, hi)
+	// annotations on the entry node. Inputs are then contractually
+	// confined to their annotated ranges: Verify and the fault harnesses
+	// clamp generated inputs to them, and running a kernel on
+	// out-of-range inputs yields unspecified (but still deterministic)
+	// output values.
+	NarrowAnnotated
+)
+
+func (m NarrowMode) String() string {
+	switch m {
+	case NarrowSafe:
+		return "safe"
+	case NarrowAnnotated:
+		return "annotated"
+	default:
+		return "off"
+	}
+}
+
+// NarrowReport summarizes what the precision-inference pass did to one
+// kernel (Kernel.Narrow; nil when the pass was off or fell back).
+type NarrowReport struct {
+	// Mode is the narrowing mode the kernel compiled under.
+	Mode NarrowMode
+	// Values is the value count of the pre-narrowing graph.
+	Values int
+	// Narrowed counts values emitted below their declared width;
+	// DeadValues counts values dropped as unreachable from any output.
+	Narrowed   int
+	DeadValues int
+	// DeclaredBits sums declared widths before the pass; LiveBits sums
+	// the widths actually emitted. Their ratio is the width-level win.
+	DeclaredBits int
+	LiveBits     int
+	// ResizesInserted counts width-boundary resize nodes added;
+	// SignedRewrites counts signed ops proven sign-clear and rewritten
+	// unsigned; SplitCompares counts wide-vs-narrow comparisons split
+	// into a high-bits check plus a narrow compare; ReassocChains counts
+	// add chains rebalanced for narrower partial sums.
+	ResizesInserted int
+	SignedRewrites  int
+	SplitCompares   int
+	ReassocChains   int
 }
 
 // HostTransfer configures the host<->DRAM DMA model RunTiled charges for
@@ -158,6 +221,12 @@ type Options struct {
 	// reports what the layer did. Single-subarray runs only (RunTiled
 	// rejects it). See docs/RELIABILITY.md.
 	Recovery Recovery
+	// Narrow selects the precision-inference middle end. The default,
+	// NarrowOff, compiles every value at its declared width; NarrowSafe
+	// narrows to provably live bits; NarrowAnnotated additionally trusts
+	// @range annotations. Kernel.Narrow reports what the pass did. See
+	// docs/PERFORMANCE.md ("Precision-adaptive compilation").
+	Narrow NarrowMode
 	// SetOpt marks Opt as explicitly set (distinguishes OptBitslice, which
 	// is the zero value, from "use the default"). Use WithOpt to build
 	// Options fluently, or set both fields.
@@ -207,6 +276,9 @@ func (o Options) validate() error {
 	}
 	if o.Emitter < EmitterAuto || o.Emitter > EmitterSubarrayAware {
 		return optionsErrf("unknown emitter mode %d", int(o.Emitter))
+	}
+	if o.Narrow < NarrowOff || o.Narrow > NarrowAnnotated {
+		return optionsErrf("unknown narrowing mode %d", int(o.Narrow))
 	}
 	if err := o.Transfer.model().Validate(); err != nil {
 		return optionsErrf("%v", err)
@@ -270,10 +342,22 @@ type Kernel struct {
 	// at. Nil means the requested pipeline worked.
 	Degradation *DegradationReport
 
+	// Narrow reports what the precision-inference pass did (bits
+	// declared vs live, values narrowed, rewrites applied). Nil when
+	// Options.Narrow is NarrowOff — or when the pass fell back to the
+	// declared-width graph because it could not prove its own rewrite
+	// well-formed, so nil is also the "not actually narrowed" signal.
+	Narrow *NarrowReport
+
 	prog         *isa.Program
 	inputTag     map[string]int
 	outputTag    map[string]int
 	constPattern map[int]uint64
+
+	// inputRanges holds the trusted @range annotations the kernel
+	// compiled under (NarrowAnnotated only): verify and reliability
+	// trials clamp their generated inputs into these ranges.
+	inputRanges map[string]narrow.Range
 
 	// decoded caches the pre-decoded execution stream of prog (built once,
 	// on first run). Kernels are immutable after compilation, so the cache
@@ -356,7 +440,18 @@ func compileSource(ctx context.Context, src string, opts Options) (*Kernel, erro
 	if err != nil {
 		return nil, stage(ErrNormalize, "chopper: normalize", err)
 	}
-	return compileGraph(ctx, prog, entry, graph, opts)
+	var ranges map[string]narrow.Range
+	if opts.Narrow == NarrowAnnotated {
+		if e := prog.Lookup(entry); e != nil {
+			for name, r := range typecheck.InputRanges(e) {
+				if ranges == nil {
+					ranges = make(map[string]narrow.Range)
+				}
+				ranges[name] = narrow.Range{Lo: r.Lo, Hi: r.Hi}
+			}
+		}
+	}
+	return compileGraph(ctx, prog, entry, graph, opts, ranges)
 }
 
 // compileGraph drives the graceful-degradation ladder: it attempts the
@@ -367,7 +462,7 @@ func compileSource(ctx context.Context, src string, opts Options) (*Kernel, erro
 // are recorded in a DegradationReport on the kernel. Ordinary input
 // errors and guard stops (budget, cancellation) fail directly — retrying
 // cannot fix the former and must not mask the latter.
-func compileGraph(ctx context.Context, prog *dsl.Program, entry string, graph *dfg.Graph, opts Options) (*Kernel, error) {
+func compileGraph(ctx context.Context, prog *dsl.Program, entry string, graph *dfg.Graph, opts Options, ranges map[string]narrow.Range) (*Kernel, error) {
 	// Honour the @noreuse annotation: the OBS-2 hook that lets programmers
 	// "transparently decide whether this optimization shall be enforced".
 	opt := opts.Opt
@@ -376,13 +471,46 @@ func compileGraph(ctx context.Context, prog *dsl.Program, entry string, graph *d
 			opt = obs.Schedule
 		}
 	}
+
+	// Precision inference runs once, ahead of the degradation ladder: the
+	// narrowed graph feeds bit-slicing while the original stays the
+	// kernel's interface and golden reference. Narrowing is an
+	// optimization, so any failure — a pass panic, or the pass declining
+	// its own rewrite — silently falls back to the declared-width graph;
+	// Kernel.Narrow == nil is the fallback signal.
+	lower := graph
+	var nrep *NarrowReport
+	if opts.Narrow != NarrowOff {
+		if err := protect("narrow", func() error {
+			ng, st, err := narrow.Run(graph, narrow.Opts{Ranges: ranges})
+			if err != nil {
+				return stage(ErrCodegen, "chopper: narrow", err)
+			}
+			lower = ng
+			nrep = &NarrowReport{
+				Mode: opts.Narrow, Values: st.Values,
+				Narrowed: st.Narrowed, DeadValues: st.DeadValues,
+				DeclaredBits: st.DeclaredBits, LiveBits: st.LiveBits,
+				ResizesInserted: st.ResizesInserted, SignedRewrites: st.SignedRewrites,
+				SplitCompares: st.SplitCompares, ReassocChains: st.ReassocChains,
+			}
+			return nil
+		}); err != nil {
+			lower, nrep = graph, nil
+		}
+	}
+
 	report := &DegradationReport{Requested: opt}
 	for lv := opt; ; lv-- {
-		k, err := compileGraphAt(ctx, prog, graph, opts, lv)
+		k, err := compileGraphAt(ctx, prog, graph, lower, opts, lv)
 		if err == nil {
 			report.Effective = lv
 			if report.Degraded() {
 				k.Degradation = report
+			}
+			k.Narrow = nrep
+			if opts.Narrow == NarrowAnnotated {
+				k.inputRanges = ranges
 			}
 			return k, nil
 		}
@@ -403,7 +531,10 @@ func compileGraph(ctx context.Context, prog *dsl.Program, entry string, graph *d
 // after each one. Pass panics and check failures come back as *passFailure
 // for the ladder in compileGraph; budget and cancellation checkpoints
 // surface guard errors directly.
-func compileGraphAt(ctx context.Context, prog *dsl.Program, graph *dfg.Graph, opts Options, opt OptLevel) (*Kernel, error) {
+// graph is the kernel's interface and golden reference; lower is the
+// graph actually lowered (the narrowed graph when precision inference ran,
+// otherwise graph itself).
+func compileGraphAt(ctx context.Context, prog *dsl.Program, graph, lower *dfg.Graph, opts Options, opt OptLevel) (*Kernel, error) {
 	b := opts.Budget
 
 	// Parallel bit-slicing of independent equations. Kept serial when a
@@ -417,7 +548,7 @@ func compileGraphAt(ctx context.Context, prog *dsl.Program, graph *dfg.Graph, op
 
 	var net *logic.Net
 	if err := protect("bitslice", func() error {
-		n, err := bitslice.Lower(graph, bitslice.Options{Fold: opt.HasReuse(), Workers: workers})
+		n, err := bitslice.Lower(lower, bitslice.Options{Fold: opt.HasReuse(), Workers: workers})
 		if err != nil {
 			return stage(ErrCodegen, "chopper: bitslice", err)
 		}
@@ -521,7 +652,7 @@ func CompileGraph(graph *dfg.Graph, opts Options) (k *Kernel, err error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	return compileGraph(nil, nil, "", graph, opts)
+	return compileGraph(nil, nil, "", graph, opts, nil)
 }
 
 // splitBit parses "name[3]" into ("name", 3).

@@ -14,6 +14,13 @@
 // figures come from the deterministic timing model, so the gate is exact
 // even on noisy CI machines.
 //
+// With -min-narrow-uop-reduction R (R > 0) it gates on the narrow
+// section: at least -min-narrow-workloads workloads must have some
+// measured architecture where safe-mode narrowing both cuts the emitted
+// micro-ops by the fraction R and speeds the simulated makespan up by
+// -min-narrow-speedup. Like the tiled figures these come from the
+// deterministic timing model, so the gate is exact on noisy machines.
+//
 // With -min-serve-qps Q (Q > 0) it gates on the chopperd serve section
 // (written by cmd/chopperload -bench): the steady phase must complete at
 // least Q requests per second successfully, and no phase — including the
@@ -43,6 +50,12 @@ func main() {
 		"fail unless this end-to-end channel-sharding speedup is met on enough workloads (0 disables)")
 	minTiledWorkloads := flag.Int("min-tiled-workloads", 2,
 		"how many workloads must meet -min-tiled-speedup")
+	minNarrowUop := flag.Float64("min-narrow-uop-reduction", 0,
+		"fail unless safe-mode narrowing cuts emitted micro-ops by this fraction on enough workloads (0 disables)")
+	minNarrowSpeedup := flag.Float64("min-narrow-speedup", 1.2,
+		"with -min-narrow-uop-reduction: the simulated makespan speedup the same entries must also reach")
+	minNarrowWorkloads := flag.Int("min-narrow-workloads", 2,
+		"how many workloads must meet the narrowing thresholds")
 	minServeQPS := flag.Float64("min-serve-qps", 0,
 		"fail unless the serve section's steady phase completes this many requests/s OK, with zero 5xx in any phase (0 disables)")
 	minBatchSpeedup := flag.Float64("min-batch-speedup", 0,
@@ -103,6 +116,21 @@ func main() {
 		fmt.Println()
 	}
 
+	if rep.Narrow != nil {
+		gains := rep.NarrowGains()
+		names := make([]string, 0, len(gains))
+		for wl := range gains {
+			names = append(names, wl)
+		}
+		sort.Strings(names)
+		fmt.Printf("narrow: %d entries", len(rep.Narrow.Entries))
+		for _, wl := range names {
+			e := gains[wl]
+			fmt.Printf(", %s -%.1f%% uops %.2fx (%s)", wl, 100*e.UopReduction, e.MakespanSpeedup, e.Arch)
+		}
+		fmt.Println()
+	}
+
 	if rep.Serve != nil {
 		fmt.Printf("serve: %d phases", len(rep.Serve.Entries))
 		for _, e := range rep.Serve.Entries {
@@ -147,6 +175,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("tiled gate: %d workloads at >=%.2gx (need %d) — ok\n", met, *minTiled, *minTiledWorkloads)
+	}
+
+	if *minNarrowUop > 0 {
+		if rep.Narrow == nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: -min-narrow-uop-reduction %.2g set but %s has no narrow section\n", *minNarrowUop, path)
+			os.Exit(1)
+		}
+		// A workload qualifies when any measured architecture clears both
+		// bars at once — how much slack narrowing converts into savings
+		// depends on each architecture's instruction repertoire.
+		qualified := map[string]bool{}
+		for _, e := range rep.Narrow.Entries {
+			if e.UopReduction >= *minNarrowUop && e.MakespanSpeedup >= *minNarrowSpeedup {
+				qualified[e.Workload] = true
+			}
+		}
+		if len(qualified) < *minNarrowWorkloads {
+			fmt.Fprintf(os.Stderr, "benchcheck: only %d workloads reach a %.2g micro-op reduction with a %.2gx makespan speedup, need %d\n",
+				len(qualified), *minNarrowUop, *minNarrowSpeedup, *minNarrowWorkloads)
+			os.Exit(1)
+		}
+		fmt.Printf("narrow gate: %d workloads at >=-%.2g uops and >=%.2gx makespan (need %d) — ok\n",
+			len(qualified), *minNarrowUop, *minNarrowSpeedup, *minNarrowWorkloads)
 	}
 
 	if sb := rep.ServeBatch; sb != nil {

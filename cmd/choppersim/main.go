@@ -6,12 +6,14 @@
 //	choppersim [-target ...] [-opt ...] [-baseline] [-lanes N]
 //	           [-harden] [-fault-rate P] [-fault-seed S]
 //	           [-recover none|parity|vote] [-epoch-uops N] [-max-retries N]
+//	           [-narrow off|safe|annotated]
 //	           [-timeout D] [-max-uops N]
 //	           [-in name=v1,v2,... ...] file.chop
 //	choppersim -asm file.pud       # execute raw PUD assembly
 //	choppersim -bench              # run the tracked benchmark suite
 //	choppersim -compile-bench      # run the compile-throughput suite
 //	choppersim -tiled-bench        # run the channel-sharded tiled suite
+//	choppersim -narrow-bench       # run the precision-adaptive suite
 //
 // -bench runs the internal/perfbench suite (paper workloads x all
 // architectures) and writes BENCH_chopper.json (override with -bench-out),
@@ -31,6 +33,20 @@
 // host-transfer time and end-to-end time per configuration (the
 // channel-sharding speedup CI gates on). Like -compile-bench it composes
 // with -bench or refreshes just its own section of an existing report.
+//
+// -narrow-bench refreshes the report's `narrow` section: every suite
+// workload compiles with and without safe-mode narrowing on every
+// architecture, the narrowed kernel is verified bit-exactly, and the
+// emitted micro-op counts plus simulated makespans of both are recorded
+// (the precision-adaptive gains CI gates on). Like the other section
+// flags it composes with -bench or refreshes just its own section.
+//
+// -narrow selects the precision-adaptive compilation mode for single-
+// program runs (see docs/PERFORMANCE.md): safe narrows values to bits
+// the compiler can prove live, annotated additionally trusts @range
+// input annotations. When narrowing engages, the summary gains a line
+// with the declared-vs-live bit accounting and the micro-ops saved
+// against a narrowing-off compile of the same program.
 //
 // -harden compiles with TMR (see docs/RELIABILITY.md); -fault-rate runs the
 // program on a faulty subarray, injecting TRA charge-sharing flips at the
@@ -105,6 +121,7 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "per-TRA charge-sharing fault probability; 0 disables injection")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (same seed, same faults)")
 	recoverMode := flag.String("recover", "none", "self-healing execution detector: none, parity, vote")
+	narrowMode := flag.String("narrow", "off", "precision-adaptive compilation: off, safe, annotated")
 	epochUops := flag.Int("epoch-uops", 0, "with -recover: target epoch length in micro-ops; 0 means the default (256)")
 	maxRetries := flag.Int("max-retries", 0, "with -recover: replays allowed per epoch; 0 means the default (3), negative means detect-only")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for compile+run (e.g. 5s); 0 disables")
@@ -114,16 +131,17 @@ func main() {
 	benchQuick := flag.Bool("bench-quick", false, "with -bench: one timed iteration per pair (CI smoke)")
 	compileBench := flag.Bool("compile-bench", false, "run the compile-throughput suite and record it in the report's compile section")
 	tiledBench := flag.Bool("tiled-bench", false, "run the channel-sharded tiled suite and record it in the report's tiled section")
+	narrowBench := flag.Bool("narrow-bench", false, "run the precision-adaptive compilation suite and record it in the report's narrow section")
 	ins := inputFlags{}
 	flag.Var(ins, "in", "input operand values: name=v1,v2,... (repeatable)")
 	flag.Parse()
 
-	if *benchMode || *compileBench || *tiledBench {
+	if *benchMode || *compileBench || *tiledBench || *narrowBench {
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: choppersim [-bench] [-compile-bench] [-tiled-bench] [-bench-out file] [-bench-quick]")
+			fmt.Fprintln(os.Stderr, "usage: choppersim [-bench] [-compile-bench] [-tiled-bench] [-narrow-bench] [-bench-out file] [-bench-quick]")
 			os.Exit(2)
 		}
-		runBench(*benchOut, *benchQuick, *benchMode, *compileBench, *tiledBench)
+		runBench(*benchOut, *benchQuick, *benchMode, *compileBench, *tiledBench, *narrowBench)
 		return
 	}
 	if flag.NArg() != 1 {
@@ -180,6 +198,12 @@ func main() {
 		fatal(fmt.Errorf("unknown -recover %q (valid: none, parity, vote)", *recoverMode))
 	}
 	opts.Recovery = chopper.Recovery{Detector: det, EpochUops: *epochUops, MaxRetries: *maxRetries}
+	narrows := map[string]chopper.NarrowMode{"off": chopper.NarrowOff, "safe": chopper.NarrowSafe, "annotated": chopper.NarrowAnnotated}
+	nm, ok := narrows[strings.ToLower(*narrowMode)]
+	if !ok {
+		fatal(fmt.Errorf("unknown -narrow %q (valid: off, safe, annotated)", *narrowMode))
+	}
+	opts.Narrow = nm
 	// Compile through the process-wide kernel cache so the summary reports
 	// the serving-path counters a long-lived embedder would see (a one-shot
 	// invocation records one miss).
@@ -254,6 +278,30 @@ func main() {
 		fmt.Printf("compile: %.2f ms wall, %.0f gates/s; kernel cache: %d hits / %d misses\n",
 			cs*1e3, float64(gates)/cs, stats.Hits, stats.Misses)
 	}
+	if nm != chopper.NarrowOff {
+		if k.Narrow == nil {
+			fmt.Printf("narrowing (%s): pass fell back; program is the narrowing-off lowering\n", nm)
+		} else {
+			// A narrowing-off compile of the same program (served from the
+			// kernel cache on repeats) anchors the micro-ops-saved figure.
+			wide := opts
+			wide.Narrow = chopper.NarrowOff
+			var base *chopper.Kernel
+			if *baselineFlag {
+				base, err = chopper.CompileBaseline(string(srcBytes), wide)
+			} else {
+				base, err = chopper.CompileCtx(ctx, string(srcBytes), wide)
+			}
+			line := fmt.Sprintf("narrowing (%s): %d declared -> %d live bits across %d values",
+				k.Narrow.Mode, k.Narrow.DeclaredBits, k.Narrow.LiveBits, k.Narrow.Values)
+			if err == nil && len(base.Prog().Ops) > 0 {
+				saved := len(base.Prog().Ops) - len(k.Prog().Ops)
+				line += fmt.Sprintf(", %d micro-ops saved (%.1f%%)",
+					saved, 100*float64(saved)/float64(len(base.Prog().Ops)))
+			}
+			fmt.Println(line)
+		}
+	}
 	fmt.Printf("single-subarray makespan: %.1f us (%d lanes)\n", res.TimeNs/1000, *lanes)
 	if s := wall.Seconds(); s > 0 {
 		fmt.Printf("simulation rate: %.0f uops/s, %.0f DRAM commands/s (%.2f ms wall clock)\n",
@@ -302,9 +350,10 @@ func main() {
 // verbatim so refreshing the current numbers never loses the recorded
 // pre-optimization references. sim selects the simulator-throughput suite
 // (-bench), compile the cold-compile suite (-compile-bench), tiled the
-// channel-sharded tiled suite (-tiled-bench); without -bench, the existing
-// report supplies every section the invocation does not refresh.
-func runBench(outPath string, quick, sim, compile, tiled bool) {
+// channel-sharded tiled suite (-tiled-bench), narrow the precision-
+// adaptive suite (-narrow-bench); without -bench, the existing report
+// supplies every section the invocation does not refresh.
+func runBench(outPath string, quick, sim, compile, tiled, narrow bool) {
 	note := "choppersim"
 	if sim {
 		note += " -bench"
@@ -314,6 +363,9 @@ func runBench(outPath string, quick, sim, compile, tiled bool) {
 	}
 	if tiled {
 		note += " -tiled-bench"
+	}
+	if narrow {
+		note += " -narrow-bench"
 	}
 	if quick {
 		note += " -bench-quick (single iteration; not comparable across machines)"
@@ -334,6 +386,7 @@ func runBench(outPath string, quick, sim, compile, tiled bool) {
 		if prevErr == nil {
 			rep.Compile = prev.Compile
 			rep.Tiled = prev.Tiled
+			rep.Narrow = prev.Narrow
 		}
 	} else {
 		// Section-only refresh: the simulator sections must come from an
@@ -356,6 +409,13 @@ func runBench(outPath string, quick, sim, compile, tiled bool) {
 			fatal(err)
 		}
 		rep.SetTiled(te, note)
+	}
+	if narrow {
+		ne, err := perfbench.RunNarrowSuite()
+		if err != nil {
+			fatal(err)
+		}
+		rep.SetNarrow(ne, note)
 	}
 	if err := perfbench.Validate(rep); err != nil {
 		fatal(err)
@@ -400,12 +460,24 @@ func runBench(outPath string, quick, sim, compile, tiled bool) {
 				e.Workload, e.Channels, e.Tiles, e.DeviceNs, e.TransferNs, e.EndToEndNs, sp)
 		}
 	}
+	if narrow && rep.Narrow != nil {
+		fmt.Printf("\n%-14s %-8s %10s %10s %10s %10s %12s %12s\n",
+			"workload", "arch", "base-uops", "narrowed", "reduction", "speedup", "decl-bits", "live-bits")
+		for _, e := range rep.Narrow.Entries {
+			fmt.Printf("%-14s %-8s %10d %10d %9.1f%% %9.2fx %12d %12d\n",
+				e.Workload, e.Arch, e.BaseUops, e.NarrowUops, 100*e.UopReduction,
+				e.MakespanSpeedup, e.DeclaredBits, e.LiveBits)
+		}
+	}
 	fmt.Printf("wrote %s (%d current entries, %d baseline entries", outPath, len(rep.Current), len(rep.Baseline))
 	if rep.Compile != nil {
 		fmt.Printf(", %d compile entries", len(rep.Compile.Current))
 	}
 	if rep.Tiled != nil {
 		fmt.Printf(", %d tiled entries", len(rep.Tiled.Entries))
+	}
+	if rep.Narrow != nil {
+		fmt.Printf(", %d narrow entries", len(rep.Narrow.Entries))
 	}
 	fmt.Println(")")
 }

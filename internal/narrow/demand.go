@@ -1,0 +1,94 @@
+package narrow
+
+import "chopper/internal/dfg"
+
+// demands runs the backward demanded-bits analysis: dem[id] is the number
+// of low bits of value id that any consumer (or output) can observe. 0
+// means dead. The transfer functions mirror exactly how many bits the
+// rewrite in rewrite.go will read from each argument — the two tables must
+// stay in lockstep, because the rewrite's resize-up steps are only exact
+// when the demand join covered the read width (an argument emitted below
+// its demand is range-limited, hence value-exact).
+//
+// Value-based operators (compares, min/max/absdiff, div/mod, popcount,
+// variable shifts, mux conditions) demand their arguments' full declared
+// widths: their results depend on the argument's value, not a bit slice.
+func demands(g *dfg.Graph, iv []interval) []int {
+	dem := make([]int, len(g.Values))
+	for _, o := range g.Outputs {
+		if w := g.Values[o].Width; w > dem[o] {
+			dem[o] = w
+		}
+	}
+	join := func(id dfg.ValueID, n int) {
+		if w := g.Values[id].Width; n > w {
+			n = w
+		}
+		if n > dem[id] {
+			dem[id] = n
+		}
+	}
+	fullArgs := func(v *dfg.Value) {
+		for _, a := range v.Args {
+			join(a, g.Values[a].Width)
+		}
+	}
+	for id := len(g.Values) - 1; id >= 0; id-- {
+		v := &g.Values[id]
+		d := dem[id]
+		if d == 0 {
+			continue // dead: demands nothing from its arguments
+		}
+		switch v.Kind {
+		case dfg.OpInput, dfg.OpConst:
+			// no arguments
+		case dfg.OpAdd, dfg.OpSub, dfg.OpMul, dfg.OpAnd, dfg.OpOr, dfg.OpXor,
+			dfg.OpNot, dfg.OpNeg:
+			// Low d bits of the result depend only on low d bits of the
+			// arguments (modular arithmetic / bitwise).
+			for _, a := range v.Args {
+				join(a, d)
+			}
+		case dfg.OpShl:
+			if k := immShift(v); k >= 0 {
+				join(v.Args[0], d)
+			} else {
+				// Conservative rewrite replicates the node verbatim and
+				// reads the full argument.
+				join(v.Args[0], g.Values[v.Args[0]].Width)
+			}
+		case dfg.OpShr:
+			if k := immShift(v); k >= 0 {
+				join(v.Args[0], d+k)
+			} else {
+				join(v.Args[0], g.Values[v.Args[0]].Width)
+			}
+		case dfg.OpSra:
+			k := immShift(v)
+			if k >= 0 && signClear(iv[v.Args[0]], g.Values[v.Args[0]].Width) {
+				// Rewritten to a logical shift.
+				join(v.Args[0], d+k)
+			} else {
+				join(v.Args[0], g.Values[v.Args[0]].Width)
+			}
+		case dfg.OpMux:
+			join(v.Args[0], g.Values[v.Args[0]].Width)
+			join(v.Args[1], d)
+			join(v.Args[2], d)
+		case dfg.OpShlV:
+			join(v.Args[0], d)
+			join(v.Args[1], g.Values[v.Args[1]].Width)
+		case dfg.OpResize:
+			n := d
+			if v.Width < n {
+				n = v.Width
+			}
+			join(v.Args[0], n)
+		default:
+			// Compares (signed and unsigned), min/max/absdiff, popcount,
+			// div/mod, variable right shifts: value-based.
+			fullArgs(v)
+		}
+	}
+	return dem
+}

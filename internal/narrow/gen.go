@@ -1,0 +1,123 @@
+package narrow
+
+import (
+	"math/big"
+
+	"chopper/internal/dfg"
+)
+
+// cursor draws deterministic pseudo-random decisions from a byte string,
+// cycling when it runs out. The same bytes always produce the same graph,
+// which is what lets fuzz findings reproduce from their corpus entry.
+type cursor struct {
+	data []byte
+	i    int
+}
+
+func (c *cursor) next() byte {
+	if len(c.data) == 0 {
+		return 0
+	}
+	b := c.data[c.i%len(c.data)]
+	c.i++
+	return b
+}
+
+func (c *cursor) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	v := int(c.next())<<8 | int(c.next())
+	return v % n
+}
+
+// genKinds are the operator kinds GenGraph draws from — every evaluable
+// kind, so the fuzz targets exercise each rewrite rule.
+var genKinds = []dfg.OpKind{
+	dfg.OpAdd, dfg.OpSub, dfg.OpMul, dfg.OpAnd, dfg.OpOr, dfg.OpXor,
+	dfg.OpNot, dfg.OpNeg, dfg.OpShl, dfg.OpShr, dfg.OpSra,
+	dfg.OpEq, dfg.OpNe, dfg.OpLtU, dfg.OpGtU, dfg.OpLeU, dfg.OpGeU,
+	dfg.OpLtS, dfg.OpLeS, dfg.OpGtS, dfg.OpGeS,
+	dfg.OpMux, dfg.OpMin, dfg.OpMax, dfg.OpAbsDiff, dfg.OpPopCount,
+	dfg.OpResize, dfg.OpShlV, dfg.OpShrV, dfg.OpSraV, dfg.OpDivU, dfg.OpModU,
+}
+
+// GenGraph derives a small well-typed graph (every operator's operands
+// sit at the operator's width, adapted through OpResize) plus an optional
+// annotation for input "i0" from a fuzz byte string. Inputs are "i0" and
+// "i1", outputs "o0" and "o1", widths 1..16.
+func GenGraph(data []byte) (*dfg.Graph, map[string]Range) {
+	c := &cursor{data: data}
+	g := &dfg.Graph{}
+	addV := func(v dfg.Value) dfg.ValueID {
+		g.Values = append(g.Values, v)
+		return dfg.ValueID(len(g.Values) - 1)
+	}
+	resizeTo := func(id dfg.ValueID, w int) dfg.ValueID {
+		if g.Values[id].Width == w {
+			return id
+		}
+		return addV(dfg.Value{Kind: dfg.OpResize, Args: []dfg.ValueID{id}, Width: w})
+	}
+
+	w0 := 1 + c.intn(16)
+	w1 := 1 + c.intn(16)
+	i0 := addV(dfg.Value{Kind: dfg.OpInput, Width: w0, Name: "i0"})
+	i1 := addV(dfg.Value{Kind: dfg.OpInput, Width: w1, Name: "i1"})
+	g.Inputs = []dfg.ValueID{i0, i1}
+	ids := []dfg.ValueID{i0, i1}
+	for j := 0; j < 2; j++ {
+		w := 1 + c.intn(16)
+		ids = append(ids, addV(dfg.Value{
+			Kind: dfg.OpConst, Width: w,
+			Imm: big.NewInt(int64(c.intn(1 << uint(min2(w, 12))))),
+		}))
+	}
+
+	n := 6 + c.intn(19)
+	for j := 0; j < n; j++ {
+		kind := genKinds[c.intn(len(genKinds))]
+		w := 1 + c.intn(16)
+		pick := func() dfg.ValueID { return ids[c.intn(len(ids))] }
+		var id dfg.ValueID
+		switch kind {
+		case dfg.OpNot, dfg.OpNeg, dfg.OpPopCount:
+			id = addV(dfg.Value{Kind: kind, Args: []dfg.ValueID{resizeTo(pick(), w)}, Width: w})
+		case dfg.OpShl, dfg.OpShr, dfg.OpSra:
+			// Amounts occasionally exceed the width to hit the clamp paths.
+			k := c.intn(w + 2)
+			id = addV(dfg.Value{Kind: kind, Args: []dfg.ValueID{resizeTo(pick(), w)}, Width: w, Imm: big.NewInt(int64(k))})
+		case dfg.OpEq, dfg.OpNe, dfg.OpLtU, dfg.OpGtU, dfg.OpLeU, dfg.OpGeU,
+			dfg.OpLtS, dfg.OpLeS, dfg.OpGtS, dfg.OpGeS:
+			x, y := resizeTo(pick(), w), resizeTo(pick(), w)
+			id = addV(dfg.Value{Kind: kind, Args: []dfg.ValueID{x, y}, Width: 1})
+		case dfg.OpMux:
+			cond := resizeTo(pick(), 1)
+			x, y := resizeTo(pick(), w), resizeTo(pick(), w)
+			id = addV(dfg.Value{Kind: dfg.OpMux, Args: []dfg.ValueID{cond, x, y}, Width: w})
+		case dfg.OpResize:
+			id = resizeTo(pick(), w)
+		default:
+			x, y := resizeTo(pick(), w), resizeTo(pick(), w)
+			id = addV(dfg.Value{Kind: kind, Args: []dfg.ValueID{x, y}, Width: w})
+		}
+		ids = append(ids, id)
+	}
+
+	g.Outputs = []dfg.ValueID{ids[len(ids)-1], ids[c.intn(len(ids))]}
+	g.OutputNames = []string{"o0", "o1"}
+
+	var ranges map[string]Range
+	if c.next()&1 == 1 {
+		span := maxOf(w0)
+		lo := big.NewInt(int64(c.intn(1 << uint(min2(w0, 10)))))
+		hi := new(big.Int).Add(lo, big.NewInt(int64(c.intn(64))))
+		if hi.Cmp(span) > 0 {
+			hi.Set(span)
+		}
+		if lo.Cmp(hi) <= 0 {
+			ranges = map[string]Range{"i0": {Lo: lo, Hi: hi}}
+		}
+	}
+	return g, ranges
+}

@@ -1,0 +1,276 @@
+package narrow
+
+import (
+	"math/big"
+
+	"chopper/internal/dfg"
+)
+
+// interval is an inclusive unsigned bound [lo, hi] on a value's reference
+// Eval result (the true mathematical value, before any consumer masks it).
+// lo >= 0 always; hi can exceed 2^width-1 only transiently inside a
+// transfer function — every stored interval for a masked operator is
+// clamped to its declared width, while operators whose Eval result is
+// derived without masking (shr, popcount, mux, min/max, ...) keep finite
+// bounds computed from their argument intervals.
+type interval struct {
+	lo, hi *big.Int
+}
+
+// rb is the number of bits needed to represent every value in the
+// interval: max(1, hi.BitLen()).
+func (iv interval) rb() int {
+	if n := iv.hi.BitLen(); n > 1 {
+		return n
+	}
+	return 1
+}
+
+var bigOne = big.NewInt(1)
+
+// maxOf returns 2^w - 1.
+func maxOf(w int) *big.Int {
+	m := new(big.Int).Lsh(bigOne, uint(w))
+	return m.Sub(m, bigOne)
+}
+
+// full returns the interval spanning an entire w-bit width.
+func full(w int) interval {
+	return interval{lo: new(big.Int), hi: maxOf(w)}
+}
+
+func bigMin(a, b *big.Int) *big.Int {
+	if a.Cmp(b) <= 0 {
+		return a
+	}
+	return b
+}
+
+func bigMax(a, b *big.Int) *big.Int {
+	if a.Cmp(b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// immShift extracts a constant shift amount from v.Imm, or -1 when the
+// immediate is missing, negative, or absurdly large (graphs built outside
+// the typechecker can carry arbitrary immediates; Validate does not check
+// them). Amounts are capped so << never allocates unbounded memory.
+func immShift(v *dfg.Value) int {
+	if v.Imm == nil || !v.Imm.IsInt64() {
+		return -1
+	}
+	k := v.Imm.Int64()
+	if k < 0 || k > 1<<20 {
+		return -1
+	}
+	return int(k)
+}
+
+// signClear reports whether arg0's interval proves its sign bit (at the
+// declared width w0) is always zero, making signed and unsigned
+// interpretations coincide.
+func signClear(iv0 interval, w0 int) bool {
+	return iv0.hi.BitLen() < w0
+}
+
+// intervals runs the forward range analysis. Graph order is topological
+// (Validate guarantees args precede uses), so one pass suffices. Inputs
+// take their annotated range when one is present and valid, the full
+// declared width otherwise.
+func intervals(g *dfg.Graph, ranges map[string]Range) []interval {
+	out := make([]interval, len(g.Values))
+	for id := range g.Values {
+		v := &g.Values[id]
+		if v.Kind == dfg.OpInput {
+			if r, ok := ranges[v.Name]; ok && r.valid(v.Width) {
+				out[id] = interval{lo: new(big.Int).Set(r.Lo), hi: new(big.Int).Set(r.Hi)}
+			} else {
+				out[id] = full(v.Width)
+			}
+			continue
+		}
+		out[id] = transfer(v, out)
+	}
+	return out
+}
+
+// transfer computes one value's interval from its arguments'. Operators
+// whose Eval result is masked to the declared width may fall back to
+// full(w); operators that propagate argument values unmasked must always
+// return bounds derived from the argument intervals, because those values
+// can exceed 2^w when an argument is wider than the node.
+func transfer(v *dfg.Value, iv []interval) interval {
+	w := v.Width
+	arg := func(i int) interval { return iv[v.Args[i]] }
+	switch v.Kind {
+	case dfg.OpInput:
+		return full(w)
+	case dfg.OpConst:
+		c := new(big.Int)
+		if v.Imm != nil {
+			c.And(v.Imm, maxOf(w))
+		}
+		return interval{lo: c, hi: new(big.Int).Set(c)}
+	case dfg.OpAdd:
+		a, b := arg(0), arg(1)
+		hi := new(big.Int).Add(a.hi, b.hi)
+		if hi.Cmp(maxOf(w)) <= 0 {
+			return interval{lo: new(big.Int).Add(a.lo, b.lo), hi: hi}
+		}
+		return full(w)
+	case dfg.OpSub:
+		a, b := arg(0), arg(1)
+		lo := new(big.Int).Sub(a.lo, b.hi)
+		hi := new(big.Int).Sub(a.hi, b.lo)
+		if lo.Sign() >= 0 && hi.Cmp(maxOf(w)) <= 0 {
+			return interval{lo: lo, hi: hi}
+		}
+		return full(w)
+	case dfg.OpMul:
+		a, b := arg(0), arg(1)
+		hi := new(big.Int).Mul(a.hi, b.hi)
+		if hi.Cmp(maxOf(w)) <= 0 {
+			return interval{lo: new(big.Int).Mul(a.lo, b.lo), hi: hi}
+		}
+		return full(w)
+	case dfg.OpAnd:
+		a, b := arg(0), arg(1)
+		return interval{lo: new(big.Int), hi: new(big.Int).Set(bigMin(a.hi, b.hi))}
+	case dfg.OpOr:
+		a, b := arg(0), arg(1)
+		n := a.rb()
+		if m := b.rb(); m > n {
+			n = m
+		}
+		return interval{lo: new(big.Int).Set(bigMax(a.lo, b.lo)), hi: maxOf(n)}
+	case dfg.OpXor:
+		a, b := arg(0), arg(1)
+		n := a.rb()
+		if m := b.rb(); m > n {
+			n = m
+		}
+		return interval{lo: new(big.Int), hi: maxOf(n)}
+	case dfg.OpNot:
+		a := arg(0)
+		if a.hi.Cmp(maxOf(w)) <= 0 {
+			return interval{
+				lo: new(big.Int).Sub(maxOf(w), a.hi),
+				hi: new(big.Int).Sub(maxOf(w), a.lo),
+			}
+		}
+		return full(w)
+	case dfg.OpNeg:
+		a := arg(0)
+		if a.hi.Sign() == 0 {
+			return interval{lo: new(big.Int), hi: new(big.Int)}
+		}
+		if a.lo.Sign() >= 1 && a.hi.Cmp(maxOf(w)) <= 0 {
+			two := new(big.Int).Lsh(bigOne, uint(w))
+			return interval{
+				lo: new(big.Int).Sub(two, a.hi),
+				hi: new(big.Int).Sub(two, a.lo),
+			}
+		}
+		return full(w)
+	case dfg.OpShl:
+		k := immShift(v)
+		if k < 0 {
+			return full(w)
+		}
+		a := arg(0)
+		hi := new(big.Int).Lsh(a.hi, uint(k))
+		if hi.Cmp(maxOf(w)) <= 0 {
+			return interval{lo: new(big.Int).Lsh(a.lo, uint(k)), hi: hi}
+		}
+		return full(w)
+	case dfg.OpShr:
+		// Eval computes arg>>k unmasked: bound from the argument, never
+		// from the declared width.
+		k := immShift(v)
+		a := arg(0)
+		if k < 0 {
+			return interval{lo: new(big.Int), hi: new(big.Int).Set(a.hi)}
+		}
+		return interval{lo: new(big.Int).Rsh(a.lo, uint(k)), hi: new(big.Int).Rsh(a.hi, uint(k))}
+	case dfg.OpSra:
+		k := immShift(v)
+		a := arg(0)
+		if k >= 0 && signClear(a, v.Width) {
+			// Sign bit clear: arithmetic shift == logical shift, and the
+			// result is also masked to w by Eval.
+			return interval{lo: new(big.Int).Rsh(a.lo, uint(k)), hi: bigMin(new(big.Int).Rsh(a.hi, uint(k)), maxOf(w))}
+		}
+		return full(w)
+	case dfg.OpEq, dfg.OpNe, dfg.OpLtU, dfg.OpGtU, dfg.OpLeU, dfg.OpGeU,
+		dfg.OpLtS, dfg.OpLeS, dfg.OpGtS, dfg.OpGeS:
+		return interval{lo: new(big.Int), hi: new(big.Int).Set(bigOne)}
+	case dfg.OpMux:
+		t, f := arg(1), arg(2)
+		return interval{lo: new(big.Int).Set(bigMin(t.lo, f.lo)), hi: new(big.Int).Set(bigMax(t.hi, f.hi))}
+	case dfg.OpMin:
+		a, b := arg(0), arg(1)
+		return interval{lo: new(big.Int).Set(bigMin(a.lo, b.lo)), hi: new(big.Int).Set(bigMin(a.hi, b.hi))}
+	case dfg.OpMax:
+		a, b := arg(0), arg(1)
+		return interval{lo: new(big.Int).Set(bigMax(a.lo, b.lo)), hi: new(big.Int).Set(bigMax(a.hi, b.hi))}
+	case dfg.OpAbsDiff:
+		a, b := arg(0), arg(1)
+		h1 := new(big.Int).Sub(a.hi, b.lo)
+		h2 := new(big.Int).Sub(b.hi, a.lo)
+		hi := bigMax(h1, h2)
+		if hi.Sign() < 0 {
+			hi = new(big.Int)
+		}
+		return interval{lo: new(big.Int), hi: new(big.Int).Set(hi)}
+	case dfg.OpPopCount:
+		a := arg(0)
+		lo := new(big.Int)
+		if a.lo.Sign() >= 1 {
+			lo.SetInt64(1)
+		}
+		return interval{lo: lo, hi: big.NewInt(int64(a.rb()))}
+	case dfg.OpResize:
+		a := arg(0)
+		if a.hi.Cmp(maxOf(w)) <= 0 {
+			return interval{lo: new(big.Int).Set(a.lo), hi: new(big.Int).Set(a.hi)}
+		}
+		return full(w)
+	case dfg.OpShlV:
+		a, b := arg(0), arg(1)
+		if b.hi.IsInt64() && b.hi.Int64() < int64(w) {
+			hi := new(big.Int).Lsh(a.hi, uint(b.hi.Int64()))
+			if hi.Cmp(maxOf(w)) <= 0 {
+				return interval{lo: new(big.Int).Lsh(a.lo, uint(b.lo.Int64())), hi: hi}
+			}
+		}
+		return full(w)
+	case dfg.OpShrV:
+		a := arg(0)
+		return interval{lo: new(big.Int), hi: new(big.Int).Set(a.hi)}
+	case dfg.OpSraV:
+		a := arg(0)
+		if signClear(a, v.Width) {
+			return interval{lo: new(big.Int), hi: bigMin(new(big.Int).Set(a.hi), maxOf(w))}
+		}
+		return full(w)
+	case dfg.OpDivU:
+		a, b := arg(0), arg(1)
+		if b.lo.Sign() >= 1 {
+			return interval{lo: new(big.Int).Div(a.lo, b.hi), hi: new(big.Int).Div(a.hi, b.lo)}
+		}
+		// Division by zero yields 2^w-1 in the reference semantics.
+		return interval{lo: new(big.Int), hi: new(big.Int).Set(bigMax(a.hi, maxOf(w)))}
+	case dfg.OpModU:
+		a, b := arg(0), arg(1)
+		if b.lo.Sign() >= 1 {
+			hiM := new(big.Int).Sub(b.hi, bigOne)
+			return interval{lo: new(big.Int), hi: new(big.Int).Set(bigMin(a.hi, hiM))}
+		}
+		// Mod by zero yields the dividend.
+		return interval{lo: new(big.Int), hi: new(big.Int).Set(a.hi)}
+	default:
+		return full(w)
+	}
+}

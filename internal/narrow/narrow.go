@@ -1,0 +1,139 @@
+// Package narrow is the precision-inference middle end: a pass between DFG
+// construction and bit-slicing that shrinks every value to the bits it can
+// actually carry and need. Bit-serial cost is linear in operand width, so a
+// 16-bit accumulator that provably holds 7-bit values costs more than twice
+// the micro-ops it should; this pass recovers that slack (the Proteus-style
+// dynamic-precision idea applied at compile time).
+//
+// The pass is three phases over one graph:
+//
+//  1. Forward value-range analysis (interval.go): an unsigned interval
+//     [lo, hi] per value bounding its reference Eval result — exact for
+//     constants, the annotated range for annotated inputs, the full
+//     declared width otherwise, with per-operator transfer functions that
+//     fall back to the declared width whenever wraparound is possible.
+//
+//  2. Backward demanded-bits analysis (demand.go): from the outputs, how
+//     many low bits of each value any consumer can observe. The join is
+//     max; a value nothing demands is dead.
+//
+//  3. A rewrite (rewrite.go) that re-emits the graph with each value at
+//     width min(declared, range bits, demanded bits), inserting canonical
+//     OpResize nodes at width boundaries, splitting wide-vs-narrow
+//     unsigned comparisons into a high-bits check plus a narrow compare,
+//     rewriting provably sign-clear signed operations to their unsigned
+//     forms, and rebalancing single-use add chains so partial sums grow
+//     logarithmically instead of staying at the declared width.
+//
+// Soundness contract, maintained by construction and checked by the fuzz
+// harness in this package: for every value, the narrowed graph's value is
+// congruent to the original modulo 2^w where w is at least the bits any
+// consumer reads; values whose range fits their emitted width are exact.
+// Outputs are exact in their live bits, so a narrowed kernel verifies
+// bit-identically against the original graph's Eval on every input that
+// honors the annotations (all inputs, in safe mode).
+package narrow
+
+import (
+	"fmt"
+	"math/big"
+
+	"chopper/internal/dfg"
+)
+
+// Range is an inclusive bound on an input's runtime values (unsigned).
+type Range struct {
+	Lo, Hi *big.Int
+}
+
+// valid reports whether the range is usable for an input of width w.
+func (r Range) valid(w int) bool {
+	return r.Lo != nil && r.Hi != nil && r.Lo.Sign() >= 0 &&
+		r.Lo.Cmp(r.Hi) <= 0 && r.Hi.BitLen() <= w
+}
+
+// Opts configure a narrowing run.
+type Opts struct {
+	// Ranges annotates inputs — keyed by dfg input name, after array
+	// scalarization — with trusted value ranges. Inputs without an entry
+	// (and every input in safe mode) are assumed to span their declared
+	// width. Invalid ranges are ignored, never widened into unsoundness.
+	Ranges map[string]Range
+}
+
+// Stats summarize what one narrowing run did.
+type Stats struct {
+	// Values is the value count of the original graph; DeclaredBits the
+	// sum of its declared widths.
+	Values       int
+	DeclaredBits int
+	// LiveBits is the sum of widths actually emitted (the narrowed
+	// graph's total, including inserted resizes).
+	LiveBits int
+	// Narrowed counts live values emitted below their declared width.
+	Narrowed int
+	// DeadValues counts values no output demands (dropped entirely).
+	DeadValues int
+	// ResizesInserted counts OpResize nodes added at width boundaries.
+	ResizesInserted int
+	// SignedRewrites counts signed operations (sra, signed compares)
+	// proven sign-clear and rewritten to their unsigned forms.
+	SignedRewrites int
+	// SplitCompares counts wide-vs-narrow unsigned order comparisons
+	// split into a shared high-bits check plus a narrow compare.
+	SplitCompares int
+	// ReassocChains counts single-use add chains (length >= 4) rebuilt as
+	// balanced trees so partial-sum ranges grow logarithmically.
+	ReassocChains int
+}
+
+// Run narrows g under opts and returns the rewritten graph. The input
+// graph is never mutated; the result has the same inputs (same names, same
+// order — possibly narrower) and the same outputs (same names, same order,
+// each exact in its live bits and at most its declared width). An error
+// means the pass could not prove its own output well-formed; callers
+// should fall back to the original graph.
+func Run(g *dfg.Graph, opts Opts) (*dfg.Graph, Stats, error) {
+	var st Stats
+	if err := g.Validate(); err != nil {
+		return nil, st, fmt.Errorf("narrow: input graph: %w", err)
+	}
+	st.Values = len(g.Values)
+	for i := range g.Values {
+		st.DeclaredBits += g.Values[i].Width
+	}
+
+	g2, chains, dead := reassociate(g)
+	st.ReassocChains = chains
+	st.DeadValues = dead
+
+	iv := intervals(g2, opts.Ranges)
+	dem := demands(g2, iv)
+	ng := rewrite(g2, iv, dem, &st)
+
+	for i := range ng.Values {
+		st.LiveBits += ng.Values[i].Width
+	}
+	if err := ng.Validate(); err != nil {
+		return nil, st, fmt.Errorf("narrow: rewritten graph: %w", err)
+	}
+	if len(ng.Inputs) != len(g.Inputs) || len(ng.Outputs) != len(g.Outputs) {
+		return nil, st, fmt.Errorf("narrow: interface mismatch: %d/%d inputs, %d/%d outputs",
+			len(ng.Inputs), len(g.Inputs), len(ng.Outputs), len(g.Outputs))
+	}
+	for i, in := range ng.Inputs {
+		want := g.Values[g.Inputs[i]].Name
+		if got := ng.Values[in].Name; got != want {
+			return nil, st, fmt.Errorf("narrow: input %d renamed %q -> %q", i, want, got)
+		}
+	}
+	for i, name := range ng.OutputNames {
+		if name != g.OutputNames[i] {
+			return nil, st, fmt.Errorf("narrow: output %d renamed %q -> %q", i, g.OutputNames[i], name)
+		}
+		if w, dw := ng.Values[ng.Outputs[i]].Width, g.Values[g.Outputs[i]].Width; w > dw {
+			return nil, st, fmt.Errorf("narrow: output %q widened %d -> %d", name, dw, w)
+		}
+	}
+	return ng, st, nil
+}

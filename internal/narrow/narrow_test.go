@@ -1,0 +1,374 @@
+package narrow
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"chopper/internal/dfg"
+)
+
+func mask(x *big.Int, w int) *big.Int {
+	return new(big.Int).And(x, maxOf(w))
+}
+
+// checkEquiv narrows g and cross-checks Eval of the original vs the
+// narrowed graph on `trials` deterministic input assignments, comparing
+// outputs masked to their declared widths. When ranges is non-nil the
+// inputs are drawn from the annotated ranges (the annotated-mode
+// contract: annotations are trusted).
+func checkEquiv(t *testing.T, g *dfg.Graph, ranges map[string]Range, trials int, seed int64) {
+	t.Helper()
+	ng, _, err := Run(g, Opts{Ranges: ranges})
+	if err != nil {
+		t.Fatalf("narrow.Run: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		in := make(map[string]*big.Int, len(g.Inputs))
+		for _, i := range g.Inputs {
+			v := &g.Values[i]
+			x := new(big.Int).Rand(rng, new(big.Int).Lsh(bigOne, uint(v.Width)))
+			switch trial {
+			case 0:
+				x.SetInt64(0)
+			case 1:
+				x.Set(maxOf(v.Width))
+			}
+			if r, ok := ranges[v.Name]; ok && r.valid(v.Width) {
+				span := new(big.Int).Sub(r.Hi, r.Lo)
+				span.Add(span, bigOne)
+				x.Mod(x, span).Add(x, r.Lo)
+			}
+			in[v.Name] = x
+		}
+		want, err := g.Eval(in)
+		if err != nil {
+			t.Fatalf("original Eval: %v", err)
+		}
+		got, err := ng.Eval(in)
+		if err != nil {
+			t.Fatalf("narrowed Eval: %v", err)
+		}
+		for i, name := range g.OutputNames {
+			w := g.Values[g.Outputs[i]].Width
+			if mask(want[name], w).Cmp(mask(got[name], w)) != 0 {
+				t.Fatalf("trial %d output %q: original %v, narrowed %v (inputs %v)",
+					trial, name, mask(want[name], w), mask(got[name], w), in)
+			}
+		}
+	}
+}
+
+// graph builds a test graph from a tiny op list. Each entry appends one
+// value; negative args index previously appended values.
+type tb struct {
+	g *dfg.Graph
+}
+
+func (b *tb) add(v dfg.Value) dfg.ValueID {
+	b.g.Values = append(b.g.Values, v)
+	return dfg.ValueID(len(b.g.Values) - 1)
+}
+
+func (b *tb) input(name string, w int) dfg.ValueID {
+	id := b.add(dfg.Value{Kind: dfg.OpInput, Width: w, Name: name})
+	b.g.Inputs = append(b.g.Inputs, id)
+	return id
+}
+
+func (b *tb) out(name string, id dfg.ValueID) {
+	b.g.Outputs = append(b.g.Outputs, id)
+	b.g.OutputNames = append(b.g.OutputNames, name)
+}
+
+func newTB() *tb { return &tb{g: &dfg.Graph{}} }
+
+// TestShrDemandNarrows pins the motivating shape: a 16-bit value whose
+// consumer keeps only a high slice should shrink everything to the live
+// bits.
+func TestShrDemandNarrows(t *testing.T) {
+	b := newTB()
+	x := b.input("x", 16)
+	sh := b.add(dfg.Value{Kind: dfg.OpShr, Args: []dfg.ValueID{x}, Width: 16, Imm: big.NewInt(12)})
+	r := b.add(dfg.Value{Kind: dfg.OpResize, Args: []dfg.ValueID{sh}, Width: 4})
+	b.out("y", r)
+
+	ng, st, err := Run(b.g, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LiveBits >= st.DeclaredBits {
+		t.Fatalf("no narrowing: declared %d, live %d", st.DeclaredBits, st.LiveBits)
+	}
+	if w := ng.Values[ng.Outputs[0]].Width; w != 4 {
+		t.Fatalf("output width %d, want 4", w)
+	}
+	checkEquiv(t, b.g, nil, 32, 1)
+}
+
+// TestAddChainReassoc checks that a left-leaning accumulation of narrow
+// terms is rebalanced and its partials narrowed: eight 1-bit terms summed
+// into a 16-bit accumulator need at most 4-bit partials.
+func TestAddChainReassoc(t *testing.T) {
+	b := newTB()
+	x := b.input("x", 8)
+	var acc dfg.ValueID
+	for i := 0; i < 8; i++ {
+		bit := b.add(dfg.Value{Kind: dfg.OpShr, Args: []dfg.ValueID{x}, Width: 8, Imm: big.NewInt(int64(i))})
+		bit = b.add(dfg.Value{Kind: dfg.OpAnd, Args: []dfg.ValueID{bit, b.add(dfg.Value{Kind: dfg.OpConst, Width: 8, Imm: big.NewInt(1)})}, Width: 8})
+		wide := b.add(dfg.Value{Kind: dfg.OpResize, Args: []dfg.ValueID{bit}, Width: 16})
+		if i == 0 {
+			acc = wide
+		} else {
+			acc = b.add(dfg.Value{Kind: dfg.OpAdd, Args: []dfg.ValueID{acc, wide}, Width: 16})
+		}
+	}
+	b.out("n", acc)
+
+	ng, st, err := Run(b.g, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReassocChains == 0 {
+		t.Fatalf("no add chain rebalanced: %+v", st)
+	}
+	if w := ng.Values[ng.Outputs[0]].Width; w > 4 {
+		t.Fatalf("accumulator output width %d, want <= 4", w)
+	}
+	checkEquiv(t, b.g, nil, 64, 2)
+}
+
+// TestSplitCompare: a 10-bit value against 7-bit variable thresholds
+// splits into a 3-bit high check plus a 7-bit compare; two thresholds
+// share the high check through consing. Comparisons against constants are
+// exempt — the synthesizer's constant fast path beats the split — so the
+// third compare below must stay whole.
+func TestSplitCompare(t *testing.T) {
+	b := newTB()
+	c := b.input("c", 10)
+	base := b.input("base", 10)
+	// Two variable thresholds, both provably 7-bit: base>>3 and base>>3+25.
+	t1 := b.add(dfg.Value{Kind: dfg.OpShr, Args: []dfg.ValueID{base}, Width: 10, Imm: big.NewInt(3)})
+	t2 := b.add(dfg.Value{Kind: dfg.OpAdd, Args: []dfg.ValueID{t1, b.add(dfg.Value{Kind: dfg.OpConst, Width: 10, Imm: big.NewInt(25)})}, Width: 10})
+	kc := b.add(dfg.Value{Kind: dfg.OpConst, Width: 10, Imm: big.NewInt(97)})
+	lt := b.add(dfg.Value{Kind: dfg.OpLtU, Args: []dfg.ValueID{c, t2}, Width: 1})
+	ge := b.add(dfg.Value{Kind: dfg.OpGeU, Args: []dfg.ValueID{c, t1}, Width: 1})
+	gc := b.add(dfg.Value{Kind: dfg.OpGeU, Args: []dfg.ValueID{c, kc}, Width: 1})
+	both := b.add(dfg.Value{Kind: dfg.OpAnd, Args: []dfg.ValueID{lt, ge}, Width: 1})
+	b.out("in_range", b.add(dfg.Value{Kind: dfg.OpAnd, Args: []dfg.ValueID{both, gc}, Width: 1}))
+
+	_, st, err := Run(b.g, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SplitCompares != 2 {
+		t.Fatalf("SplitCompares = %d, want 2", st.SplitCompares)
+	}
+	checkEquiv(t, b.g, nil, 128, 3)
+}
+
+// TestSignedRewrite: sra and signed compares over values with a provably
+// clear sign bit become their unsigned forms.
+func TestSignedRewrite(t *testing.T) {
+	b := newTB()
+	x := b.input("x", 8)
+	half := b.add(dfg.Value{Kind: dfg.OpShr, Args: []dfg.ValueID{x}, Width: 8, Imm: big.NewInt(1)})
+	sra := b.add(dfg.Value{Kind: dfg.OpSra, Args: []dfg.ValueID{half}, Width: 8, Imm: big.NewInt(2)})
+	cmp := b.add(dfg.Value{Kind: dfg.OpLtS, Args: []dfg.ValueID{sra, half}, Width: 1})
+	b.out("q", sra)
+	b.out("lt", cmp)
+
+	_, st, err := Run(b.g, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SignedRewrites < 2 {
+		t.Fatalf("SignedRewrites = %d, want >= 2", st.SignedRewrites)
+	}
+	checkEquiv(t, b.g, nil, 64, 4)
+}
+
+// TestKeptSigned: a genuinely signed sra (sign bit reachable) must be
+// preserved bit-exactly.
+func TestKeptSigned(t *testing.T) {
+	b := newTB()
+	x := b.input("x", 6)
+	sra := b.add(dfg.Value{Kind: dfg.OpSra, Args: []dfg.ValueID{x}, Width: 6, Imm: big.NewInt(2)})
+	cmp := b.add(dfg.Value{Kind: dfg.OpGeS, Args: []dfg.ValueID{x, sra}, Width: 1})
+	b.out("q", sra)
+	b.out("ge", cmp)
+	_, st, err := Run(b.g, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SignedRewrites != 0 {
+		t.Fatalf("SignedRewrites = %d, want 0", st.SignedRewrites)
+	}
+	checkEquiv(t, b.g, nil, 64, 5)
+}
+
+// TestAnnotatedRange: a trusted input range narrows everything downstream
+// of a wide input; an invalid range is ignored rather than trusted.
+func TestAnnotatedRange(t *testing.T) {
+	b := newTB()
+	a := b.input("a", 16)
+	bIn := b.input("b", 16)
+	sum := b.add(dfg.Value{Kind: dfg.OpAdd, Args: []dfg.ValueID{a, bIn}, Width: 16})
+	b.out("s", sum)
+
+	ranges := map[string]Range{
+		"a": {Lo: big.NewInt(0), Hi: big.NewInt(15)},
+		"b": {Lo: big.NewInt(0), Hi: big.NewInt(15)},
+	}
+	ng, st, err := Run(b.g, Opts{Ranges: ranges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := ng.Values[ng.Outputs[0]].Width; w != 5 {
+		t.Fatalf("annotated sum width %d, want 5", w)
+	}
+	if st.Narrowed == 0 {
+		t.Fatal("expected narrowed values")
+	}
+	checkEquiv(t, b.g, ranges, 64, 6)
+
+	// Invalid ranges (hi below lo, hi too wide, negative lo) are ignored.
+	for _, bad := range []Range{
+		{Lo: big.NewInt(9), Hi: big.NewInt(3)},
+		{Lo: big.NewInt(0), Hi: new(big.Int).Lsh(bigOne, 20)},
+		{Lo: big.NewInt(-4), Hi: big.NewInt(3)},
+		{},
+	} {
+		ng, _, err := Run(b.g, Opts{Ranges: map[string]Range{"a": bad}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w := ng.Values[ng.Outputs[0]].Width; w != 16 {
+			t.Fatalf("invalid range %v narrowed the sum to %d bits", bad, w)
+		}
+	}
+}
+
+// TestDeadValue: values unreachable from outputs are dropped.
+func TestDeadValue(t *testing.T) {
+	b := newTB()
+	x := b.input("x", 8)
+	b.add(dfg.Value{Kind: dfg.OpNot, Args: []dfg.ValueID{x}, Width: 8}) // dead
+	b.out("y", b.add(dfg.Value{Kind: dfg.OpNeg, Args: []dfg.ValueID{x}, Width: 8}))
+	ng, st, err := Run(b.g, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadValues != 1 {
+		t.Fatalf("DeadValues = %d, want 1", st.DeadValues)
+	}
+	for i := range ng.Values {
+		if ng.Values[i].Kind == dfg.OpNot {
+			t.Fatal("dead OpNot survived the rewrite")
+		}
+	}
+	checkEquiv(t, b.g, nil, 16, 7)
+}
+
+// TestDivByConstNonzero narrows through a provably nonzero divisor, and
+// keeps the width-dependent zero-divisor semantics when it cannot prove
+// one.
+func TestDivByConstNonzero(t *testing.T) {
+	b := newTB()
+	x := b.input("x", 12)
+	ten := b.add(dfg.Value{Kind: dfg.OpConst, Width: 12, Imm: big.NewInt(10)})
+	b.out("q", b.add(dfg.Value{Kind: dfg.OpDivU, Args: []dfg.ValueID{x, ten}, Width: 12}))
+	b.out("r", b.add(dfg.Value{Kind: dfg.OpModU, Args: []dfg.ValueID{x, ten}, Width: 12}))
+	ng, _, err := Run(b.g, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := ng.Values[ng.Outputs[1]].Width; w != 4 {
+		t.Fatalf("x %% 10 width %d, want 4", w)
+	}
+	checkEquiv(t, b.g, nil, 64, 8)
+
+	b2 := newTB()
+	x2 := b2.input("x", 8)
+	y2 := b2.input("y", 8)
+	b2.out("q", b2.add(dfg.Value{Kind: dfg.OpDivU, Args: []dfg.ValueID{x2, y2}, Width: 8}))
+	b2.out("r", b2.add(dfg.Value{Kind: dfg.OpModU, Args: []dfg.ValueID{x2, y2}, Width: 8}))
+	checkEquiv(t, b2.g, nil, 64, 9) // trial 0 drives y=0 through the zero-div path
+}
+
+// TestInterfacePreserved: dead inputs keep their interface slot and name.
+func TestInterfacePreserved(t *testing.T) {
+	b := newTB()
+	b.input("unused", 16)
+	x := b.input("x", 8)
+	b.out("y", x)
+	ng, _, err := Run(b.g, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ng.Inputs) != 2 || ng.Values[ng.Inputs[0]].Name != "unused" {
+		t.Fatalf("interface not preserved: %+v", ng.Inputs)
+	}
+	if w := ng.Values[ng.Inputs[0]].Width; w != 1 {
+		t.Fatalf("dead input kept %d bits, want 1", w)
+	}
+}
+
+// TestNarrowedStatsAccounting sanity-checks the declared/live totals.
+func TestNarrowedStatsAccounting(t *testing.T) {
+	g, _ := GenGraph([]byte("stats-seed"))
+	ng, st, err := Run(g, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Values != len(g.Values) {
+		t.Fatalf("Values = %d, want %d", st.Values, len(g.Values))
+	}
+	want := 0
+	for i := range ng.Values {
+		want += ng.Values[i].Width
+	}
+	if st.LiveBits != want {
+		t.Fatalf("LiveBits = %d, want %d", st.LiveBits, want)
+	}
+}
+
+// TestGenCorpusEquivalence sweeps the generator over a deterministic
+// corpus in both safe and annotated modes.
+func TestGenCorpusEquivalence(t *testing.T) {
+	for i := 0; i < 300; i++ {
+		data := []byte(fmt.Sprintf("corpus-%d-%d", i, i*i*2654435761))
+		g, ranges := GenGraph(data)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generated graph %d invalid: %v", i, err)
+		}
+		checkEquiv(t, g, nil, 8, int64(i))
+		if ranges != nil {
+			checkEquiv(t, g, ranges, 8, int64(i)+1000)
+		}
+	}
+}
+
+// FuzzNarrowEval is the in-package oracle: Eval of the narrowed graph
+// must match Eval of the original on every generated graph, in safe and
+// annotated modes.
+func FuzzNarrowEval(f *testing.F) {
+	f.Add([]byte("seed"))
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0x10, 0x07, 0x22, 0x2a})
+	f.Add([]byte("signed-sra-compare"))
+	f.Add([]byte("resize-edges-resize"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, ranges := GenGraph(data)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generated graph invalid: %v", err)
+		}
+		seed := int64(len(data))
+		checkEquiv(t, g, nil, 6, seed)
+		if ranges != nil {
+			checkEquiv(t, g, ranges, 6, seed+1)
+		}
+	})
+}

@@ -1,0 +1,551 @@
+package narrow
+
+import (
+	"math/big"
+
+	"chopper/internal/dfg"
+)
+
+// gKey identifies a value for hash-consing in the rewrite builder. Imm is
+// keyed by its decimal string (big.Int is not comparable); unused arg
+// slots are -1.
+type gKey struct {
+	kind       dfg.OpKind
+	a0, a1, a2 dfg.ValueID
+	width      int
+	imm        string
+	name       string
+}
+
+// graphBuilder appends values to a fresh graph with hash-consing, so the
+// resize nodes and split-compare subtrees the rewrite introduces are
+// shared rather than duplicated. Inputs are never consed: two inputs are
+// distinct even when structurally identical.
+type graphBuilder struct {
+	g       *dfg.Graph
+	cons    map[gKey]dfg.ValueID
+	resizes int
+}
+
+func newBuilder(hint int) *graphBuilder {
+	return &graphBuilder{
+		g:    &dfg.Graph{Values: make([]dfg.Value, 0, hint)},
+		cons: make(map[gKey]dfg.ValueID, hint),
+	}
+}
+
+func (b *graphBuilder) width(id dfg.ValueID) int { return b.g.Values[id].Width }
+
+func (b *graphBuilder) addRaw(v dfg.Value) dfg.ValueID {
+	id := dfg.ValueID(len(b.g.Values))
+	b.g.Values = append(b.g.Values, v)
+	return id
+}
+
+func (b *graphBuilder) add(v dfg.Value) dfg.ValueID {
+	if v.Kind == dfg.OpInput {
+		return b.addRaw(v)
+	}
+	k := gKey{kind: v.Kind, a0: -1, a1: -1, a2: -1, width: v.Width, name: v.Name}
+	if len(v.Args) > 0 {
+		k.a0 = v.Args[0]
+	}
+	if len(v.Args) > 1 {
+		k.a1 = v.Args[1]
+	}
+	if len(v.Args) > 2 {
+		k.a2 = v.Args[2]
+	}
+	if v.Imm != nil {
+		k.imm = v.Imm.String()
+	}
+	if id, ok := b.cons[k]; ok {
+		return id
+	}
+	id := b.addRaw(v)
+	b.cons[k] = id
+	return id
+}
+
+func (b *graphBuilder) bin(kind dfg.OpKind, a0, a1 dfg.ValueID, w int) dfg.ValueID {
+	return b.add(dfg.Value{Kind: kind, Args: []dfg.ValueID{a0, a1}, Width: w})
+}
+
+func (b *graphBuilder) konst(imm *big.Int, w int) dfg.ValueID {
+	return b.add(dfg.Value{Kind: dfg.OpConst, Width: w, Imm: new(big.Int).Set(imm)})
+}
+
+// resize adapts id to width w, inserting a canonical OpResize only when
+// the widths differ (OpResize semantics are mask-to-width / zero-extend,
+// matching both Eval and the bit-slicer's width adaptation). Constants are
+// rematerialized at the target width instead — a resize node costs real
+// micro-ops downstream, a re-emitted constant is just another literal (and
+// the hash-consing dedups it); the orphaned original is swept by compact.
+func (b *graphBuilder) resize(id dfg.ValueID, w int) dfg.ValueID {
+	if b.width(id) == w {
+		return id
+	}
+	if v := &b.g.Values[id]; v.Kind == dfg.OpConst {
+		imm := new(big.Int)
+		if v.Imm != nil {
+			imm.And(v.Imm, maxOf(w))
+		}
+		return b.konst(imm, w)
+	}
+	before := len(b.g.Values)
+	nid := b.add(dfg.Value{Kind: dfg.OpResize, Args: []dfg.ValueID{id}, Width: w})
+	if len(b.g.Values) > before {
+		b.resizes++
+	}
+	return nid
+}
+
+func clampW(x int) int {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// reassociate rebuilds g with single-use add chains rebalanced into
+// pairwise trees. A left-leaning accumulation a+b+c+d keeps every partial
+// sum at the declared accumulator width; the balanced form (a+b)+(c+d)
+// lets the forward range analysis prove each partial needs only
+// log-many extra bits, which is where reduction-style workloads
+// (popcount sums, MACs) get their narrowing from. The transform is exact:
+// addition mod 2^w is associative and every chain node sits at one width.
+// The lazy output-driven rebuild also drops values unreachable from any
+// output; dead counts them. Returns the rebuilt graph, the number of
+// chains (>= 4 leaves) rebalanced, and the dead-value count.
+func reassociate(g *dfg.Graph) (ng *dfg.Graph, chains, dead int) {
+	uses := make([]int, len(g.Values))
+	for i := range g.Values {
+		for _, a := range g.Values[i].Args {
+			uses[a]++
+		}
+	}
+	isOut := make([]bool, len(g.Values))
+	for _, o := range g.Outputs {
+		isOut[o] = true
+	}
+
+	b := newBuilder(len(g.Values))
+	memo := make([]dfg.ValueID, len(g.Values))
+	for i := range memo {
+		memo[i] = -1
+	}
+	// Inputs come first, in interface order, whether or not they are
+	// reachable from an output.
+	for _, in := range g.Inputs {
+		v := &g.Values[in]
+		id := b.addRaw(dfg.Value{Kind: dfg.OpInput, Width: v.Width, Name: v.Name})
+		b.g.Inputs = append(b.g.Inputs, id)
+		memo[in] = id
+	}
+
+	var build func(id dfg.ValueID) dfg.ValueID
+	build = func(id dfg.ValueID) dfg.ValueID {
+		if memo[id] >= 0 {
+			return memo[id]
+		}
+		v := &g.Values[id]
+		if v.Kind == dfg.OpAdd {
+			// Absorb single-use same-width add operands into one chain.
+			var leaves []dfg.ValueID
+			var walk func(x dfg.ValueID)
+			walk = func(x dfg.ValueID) {
+				xv := &g.Values[x]
+				if xv.Kind == dfg.OpAdd && xv.Width == v.Width && uses[x] == 1 && !isOut[x] && memo[x] < 0 {
+					walk(xv.Args[0])
+					walk(xv.Args[1])
+					return
+				}
+				leaves = append(leaves, build(x))
+			}
+			walk(v.Args[0])
+			walk(v.Args[1])
+			if len(leaves) >= 4 {
+				chains++
+			}
+			for len(leaves) > 1 {
+				next := leaves[:0:0]
+				for i := 0; i+1 < len(leaves); i += 2 {
+					next = append(next, b.bin(dfg.OpAdd, leaves[i], leaves[i+1], v.Width))
+				}
+				if len(leaves)%2 == 1 {
+					next = append(next, leaves[len(leaves)-1])
+				}
+				leaves = next
+			}
+			memo[id] = leaves[0]
+			return leaves[0]
+		}
+		args := make([]dfg.ValueID, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = build(a)
+		}
+		var imm *big.Int
+		if v.Imm != nil {
+			imm = new(big.Int).Set(v.Imm)
+		}
+		nv := dfg.Value{Kind: v.Kind, Args: args, Width: v.Width, Imm: imm, Name: v.Name}
+		var nid dfg.ValueID
+		if v.Kind == dfg.OpInput {
+			nid = b.addRaw(nv) // input not in g.Inputs: keep it distinct
+		} else {
+			nid = b.add(nv)
+		}
+		memo[id] = nid
+		return nid
+	}
+	for i, o := range g.Outputs {
+		b.g.Outputs = append(b.g.Outputs, build(o))
+		b.g.OutputNames = append(b.g.OutputNames, g.OutputNames[i])
+	}
+	for id := range memo {
+		if memo[id] < 0 {
+			dead++
+		}
+	}
+	return b.g, chains, dead
+}
+
+// rewrite re-emits g with every live value at width
+// min(declared, range bits, demanded bits), per the canonicalization
+// rules documented on each case. The width each case reads from an
+// argument never exceeds the demand joined onto that argument in
+// demand.go — that pairing is what makes every resize-up exact (an
+// argument emitted below its demand is range-limited, hence carries its
+// exact value).
+func rewrite(g *dfg.Graph, iv []interval, dem []int, st *Stats) *dfg.Graph {
+	b := newBuilder(len(g.Values) + 16)
+	m := make([]dfg.ValueID, len(g.Values))
+	for i := range m {
+		m[i] = -1
+	}
+	zero := new(big.Int)
+
+	for id := range g.Values {
+		v := &g.Values[id]
+		w := v.Width
+		d := dem[id]
+		if d == 0 && v.Kind != dfg.OpInput {
+			// Unreachable from any output. (Outputs themselves always
+			// carry demand, so nothing downstream can miss this value.)
+			st.DeadValues++
+			continue
+		}
+		rb := iv[id].rb()
+		nw := clampW(min2(w, min2(rb, d)))
+		arg := func(i int) dfg.ValueID { return m[v.Args[i]] }
+		argW := func(i int) int { return b.width(m[v.Args[i]]) }
+		origW := func(i int) int { return g.Values[v.Args[i]].Width }
+		copyImm := func() *big.Int {
+			if v.Imm == nil {
+				return nil
+			}
+			return new(big.Int).Set(v.Imm)
+		}
+
+		switch v.Kind {
+		case dfg.OpInput:
+			aw := 1
+			if d > 0 {
+				aw = nw
+			}
+			m[id] = b.addRaw(dfg.Value{Kind: dfg.OpInput, Width: aw, Name: v.Name})
+
+		case dfg.OpConst:
+			imm := new(big.Int)
+			if v.Imm != nil {
+				imm.And(v.Imm, maxOf(nw))
+			}
+			m[id] = b.konst(imm, nw)
+
+		case dfg.OpAdd, dfg.OpSub:
+			// The bit-serial adder computes at the operand length and
+			// drops the carry out, so both operands must sit at exactly
+			// the result width: a narrower operand would lose a carry
+			// into the bits we keep.
+			m[id] = b.bin(v.Kind, b.resize(arg(0), nw), b.resize(arg(1), nw), nw)
+
+		case dfg.OpAnd, dfg.OpOr, dfg.OpXor:
+			// Bitwise: operands only ever shrink (the synthesizer
+			// zero-extends internally, and high bits beyond nw are not
+			// demanded).
+			a0 := b.resize(arg(0), min2(argW(0), nw))
+			a1 := b.resize(arg(1), min2(argW(1), nw))
+			m[id] = b.bin(v.Kind, a0, a1, nw)
+
+		case dfg.OpNot, dfg.OpNeg:
+			m[id] = b.add(dfg.Value{Kind: v.Kind, Args: []dfg.ValueID{b.resize(arg(0), nw)}, Width: nw})
+
+		case dfg.OpMul:
+			// The multiplier accumulates at the result width, so
+			// operands only shrink; the narrower operand drives the
+			// partial-product loop, so put it second.
+			a0 := b.resize(arg(0), min2(argW(0), nw))
+			a1 := b.resize(arg(1), min2(argW(1), nw))
+			if b.width(a0) < b.width(a1) {
+				a0, a1 = a1, a0
+			}
+			m[id] = b.bin(dfg.OpMul, a0, a1, nw)
+
+		case dfg.OpShl:
+			k := immShift(v)
+			switch {
+			case k < 0:
+				// Unanalyzable immediate: replicate verbatim.
+				m[id] = b.add(dfg.Value{Kind: dfg.OpShl, Args: []dfg.ValueID{b.resize(arg(0), origW(0))}, Width: w, Imm: copyImm()})
+			case k >= nw:
+				// Every live bit is shifted out.
+				m[id] = b.konst(zero, nw)
+			default:
+				m[id] = b.add(dfg.Value{Kind: dfg.OpShl, Args: []dfg.ValueID{b.resize(arg(0), nw)}, Width: nw, Imm: big.NewInt(int64(k))})
+			}
+
+		case dfg.OpShr:
+			m[id] = b.emitShr(v, arg(0), origW(0), d, w, copyImm())
+
+		case dfg.OpSra:
+			k := immShift(v)
+			switch {
+			case k >= 0 && signClear(iv[v.Args[0]], origW(0)):
+				// Sign bit provably clear: arithmetic == logical shift.
+				st.SignedRewrites++
+				m[id] = b.emitShr(v, arg(0), origW(0), d, w, copyImm())
+			case k >= 0:
+				// Kept signed: the operand must sit at its declared width
+				// (both Eval and the synthesizer take the sign bit from
+				// there), but the result still truncates to the demand.
+				m[id] = b.add(dfg.Value{Kind: dfg.OpSra, Args: []dfg.ValueID{b.resize(arg(0), origW(0))}, Width: clampW(d), Imm: copyImm()})
+			default:
+				m[id] = b.add(dfg.Value{Kind: dfg.OpSra, Args: []dfg.ValueID{b.resize(arg(0), origW(0))}, Width: w, Imm: copyImm()})
+			}
+
+		case dfg.OpEq, dfg.OpNe, dfg.OpLtU, dfg.OpGtU, dfg.OpLeU, dfg.OpGeU:
+			m[id] = b.emitCmpU(v.Kind, arg(0), arg(1), st)
+
+		case dfg.OpLtS, dfg.OpLeS, dfg.OpGtS, dfg.OpGeS:
+			// Eval interprets both operands at arg0's declared width; if
+			// neither can have that sign bit set, signed order equals
+			// unsigned order.
+			w0 := origW(0)
+			if iv[v.Args[0]].hi.BitLen() < w0 && iv[v.Args[1]].hi.BitLen() < w0 {
+				st.SignedRewrites++
+				var uk dfg.OpKind
+				switch v.Kind {
+				case dfg.OpLtS:
+					uk = dfg.OpLtU
+				case dfg.OpLeS:
+					uk = dfg.OpLeU
+				case dfg.OpGtS:
+					uk = dfg.OpGtU
+				default:
+					uk = dfg.OpGeU
+				}
+				m[id] = b.emitCmpU(uk, arg(0), arg(1), st)
+			} else {
+				m[id] = b.bin(v.Kind, b.resize(arg(0), w0), b.resize(arg(1), origW(1)), 1)
+			}
+
+		case dfg.OpMux:
+			// The selector stays at its declared width (Eval tests the
+			// whole value); the arms only need the demanded bits.
+			cond := b.resize(arg(0), origW(0))
+			t := b.resize(arg(1), min2(argW(1), nw))
+			f := b.resize(arg(2), min2(argW(2), nw))
+			m[id] = b.add(dfg.Value{Kind: dfg.OpMux, Args: []dfg.ValueID{cond, t, f}, Width: nw})
+
+		case dfg.OpMin, dfg.OpMax, dfg.OpAbsDiff:
+			// Value-based: operands keep their (exact) emitted widths —
+			// the synthesizer zero-extends internally — and the result
+			// shrinks to its range.
+			m[id] = b.bin(v.Kind, arg(0), arg(1), clampW(min2(w, rb)))
+
+		case dfg.OpPopCount:
+			m[id] = b.add(dfg.Value{Kind: dfg.OpPopCount, Args: []dfg.ValueID{arg(0)}, Width: clampW(min2(w, rb))})
+
+		case dfg.OpDivU, dfg.OpModU:
+			if iv[v.Args[1]].lo.Sign() >= 1 {
+				// Divisor provably nonzero: pure value semantics.
+				m[id] = b.bin(v.Kind, arg(0), arg(1), clampW(min2(w, rb)))
+			} else {
+				// Division by zero is width-dependent (2^w-1 / dividend):
+				// replicate at declared widths.
+				m[id] = b.bin(v.Kind, b.resize(arg(0), origW(0)), b.resize(arg(1), origW(1)), w)
+			}
+
+		case dfg.OpShlV:
+			// Both Eval and the barrel shifter zero the result once the
+			// (exact) amount reaches the node width; at nw <= w that
+			// zeroes exactly the bits shifted past the live window.
+			m[id] = b.bin(dfg.OpShlV, b.resize(arg(0), nw), arg(1), nw)
+
+		case dfg.OpShrV, dfg.OpSraV:
+			// Amount-dependent clamping makes these width-sensitive:
+			// replicate at declared widths.
+			m[id] = b.bin(v.Kind, b.resize(arg(0), origW(0)), b.resize(arg(1), origW(1)), w)
+
+		case dfg.OpResize:
+			m[id] = b.resize(arg(0), clampW(min2(w, min2(rb, d))))
+
+		default:
+			// Future op kinds: replicate verbatim at declared widths.
+			args := make([]dfg.ValueID, len(v.Args))
+			for i := range v.Args {
+				args[i] = b.resize(arg(i), origW(i))
+			}
+			m[id] = b.add(dfg.Value{Kind: v.Kind, Args: args, Width: w, Imm: copyImm()})
+		}
+
+		if b.width(m[id]) < w {
+			st.Narrowed++
+		}
+	}
+
+	// Interface: inputs in declaration order (they were emitted in value
+	// order above), outputs adapted to their live bits.
+	ng := b.g
+	ng.Inputs = make([]dfg.ValueID, len(g.Inputs))
+	for i, in := range g.Inputs {
+		ng.Inputs[i] = m[in]
+	}
+	ng.Outputs = make([]dfg.ValueID, len(g.Outputs))
+	ng.OutputNames = append([]string(nil), g.OutputNames...)
+	for i, o := range g.Outputs {
+		ow := clampW(min2(g.Values[o].Width, iv[o].rb()))
+		ng.Outputs[i] = b.resize(m[o], ow)
+	}
+	return compact(ng)
+}
+
+// compact drops values unreachable from any output (constant
+// rematerialization in resize and shift-past-width folds can orphan a
+// value's first emission), preserving order and the full input interface.
+func compact(g *dfg.Graph) *dfg.Graph {
+	keep := make([]bool, len(g.Values))
+	var mark func(id dfg.ValueID)
+	mark = func(id dfg.ValueID) {
+		if keep[id] {
+			return
+		}
+		keep[id] = true
+		for _, a := range g.Values[id].Args {
+			mark(a)
+		}
+	}
+	for _, in := range g.Inputs {
+		keep[in] = true // inputs are interface, reachable or not
+	}
+	for _, o := range g.Outputs {
+		mark(o)
+	}
+	remap := make([]dfg.ValueID, len(g.Values))
+	ng := &dfg.Graph{Values: make([]dfg.Value, 0, len(g.Values))}
+	for id := range g.Values {
+		if !keep[id] {
+			remap[id] = -1
+			continue
+		}
+		v := g.Values[id]
+		args := make([]dfg.ValueID, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = remap[a]
+		}
+		v.Args = args
+		remap[id] = dfg.ValueID(len(ng.Values))
+		ng.Values = append(ng.Values, v)
+	}
+	ng.Inputs = make([]dfg.ValueID, len(g.Inputs))
+	for i, in := range g.Inputs {
+		ng.Inputs[i] = remap[in]
+	}
+	ng.Outputs = make([]dfg.ValueID, len(g.Outputs))
+	for i, o := range g.Outputs {
+		ng.Outputs[i] = remap[o]
+	}
+	ng.OutputNames = append([]string(nil), g.OutputNames...)
+	return ng
+}
+
+// emitShr emits a logical right shift by a constant of the already-mapped
+// operand a0 (also the lowering for sign-clear OpSra). The operand keeps
+// its emitted width aw: the shift lands at its natural aw-k bits and an
+// explicit resize truncates to the demand. The resize matters even though
+// the bit-slicer would truncate for free: OpShr is unmasked in the Eval
+// semantics, so only an OpResize keeps the reference value inside the
+// emitted width (the invariant every identity-collapsed resize relies
+// on). A shift past the operand's live bits is constant zero — and
+// exactly zero, since the live bits bound the operand's value.
+func (b *graphBuilder) emitShr(v *dfg.Value, a0 dfg.ValueID, w0, d, w int, imm *big.Int) dfg.ValueID {
+	k := immShift(v)
+	if k < 0 {
+		return b.add(dfg.Value{Kind: dfg.OpShr, Args: []dfg.ValueID{b.resize(a0, w0)}, Width: w, Imm: imm})
+	}
+	aw := b.width(a0)
+	if k >= aw {
+		return b.konst(new(big.Int), 1)
+	}
+	shr := b.add(dfg.Value{Kind: dfg.OpShr, Args: []dfg.ValueID{a0}, Width: aw - k, Imm: big.NewInt(int64(k))})
+	return b.resize(shr, clampW(min2(aw-k, d)))
+}
+
+// splitGap is the minimum operand-width difference before an order
+// comparison is split into a high-bits test plus a narrow comparison.
+const splitGap = 2
+
+// emitCmpU emits an unsigned comparison of two already-mapped (and, by the
+// full-width demand on comparison operands, value-exact) operands. Order
+// comparisons between two variables whose widths differ by >= splitGap
+// bits split into a high-bits test plus a comparison at the narrow width:
+// a variable-vs-variable compare synthesizes a full borrow network per bit
+// while the equality test is a cheap reduction, so cutting compared bits
+// dominates. Comparisons against a constant are left whole — the logic
+// synthesizer's constant fast path is already cheaper per bit than the
+// split's high-bits test, so splitting those is a measured net loss.
+func (b *graphBuilder) emitCmpU(kind dfg.OpKind, a0, a1 dfg.ValueID, st *Stats) dfg.ValueID {
+	// Equality needs no split: the synthesizer zero-extends internally.
+	if kind == dfg.OpEq || kind == dfg.OpNe {
+		return b.bin(kind, a0, a1, 1)
+	}
+	// Normalize to Lt/Le so x is the left operand.
+	switch kind {
+	case dfg.OpGtU:
+		kind, a0, a1 = dfg.OpLtU, a1, a0
+	case dfg.OpGeU:
+		kind, a0, a1 = dfg.OpLeU, a1, a0
+	}
+	ax, ay := b.width(a0), b.width(a1)
+	if b.g.Values[a0].Kind == dfg.OpConst || b.g.Values[a1].Kind == dfg.OpConst {
+		return b.bin(kind, a0, a1, 1)
+	}
+	switch {
+	case ax >= ay+splitGap:
+		// x < y only if x's high bits are zero and its low bits compare.
+		// The zero test is phrased as an order comparison against 1, not
+		// Eq against 0: the logic synthesizer has a constant fast path
+		// for order comparisons but lowers Eq/Ne bit by bit.
+		st.SplitCompares++
+		hi := b.add(dfg.Value{Kind: dfg.OpShr, Args: []dfg.ValueID{a0}, Width: ax - ay, Imm: big.NewInt(int64(ay))})
+		hiZero := b.bin(dfg.OpLtU, hi, b.konst(big.NewInt(1), ax-ay), 1)
+		low := b.bin(kind, b.resize(a0, ay), a1, 1)
+		return b.bin(dfg.OpAnd, hiZero, low, 1)
+	case ay >= ax+splitGap:
+		// x < y if y's high bits are set, else compare at x's width.
+		st.SplitCompares++
+		hi := b.add(dfg.Value{Kind: dfg.OpShr, Args: []dfg.ValueID{a1}, Width: ay - ax, Imm: big.NewInt(int64(ax))})
+		hiSet := b.bin(dfg.OpGeU, hi, b.konst(big.NewInt(1), ay-ax), 1)
+		low := b.bin(kind, a0, b.resize(a1, ax), 1)
+		return b.bin(dfg.OpOr, hiSet, low, 1)
+	default:
+		return b.bin(kind, a0, a1, 1)
+	}
+}

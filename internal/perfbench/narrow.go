@@ -1,0 +1,192 @@
+package perfbench
+
+// The precision-adaptive compilation suite: where Measure tracks the run
+// path at declared widths, this file tracks what safe-mode narrowing (the
+// internal/narrow middle end) buys on the same workloads — emitted
+// micro-ops, simulated single-subarray makespan, and the pass's own
+// declared-vs-live bit accounting. Both sides of every entry are compiled
+// from the same source at the same optimization level; the only difference
+// is Options.Narrow, so the recorded reduction is the narrowing pass's.
+//
+// The simulated makespan (RunResult.TimeNs) comes from the deterministic
+// timing model, so BaseMakespanNs/NarrowMakespanNs/MakespanSpeedup are
+// bit-stable across machines and -quick runs; only nothing wall-clock is
+// recorded here. Every narrowed kernel is verified against the reference
+// dataflow semantics before its numbers are recorded — an entry with
+// Verified=false never leaves MeasureNarrow.
+
+import (
+	"fmt"
+
+	"chopper"
+	"chopper/internal/isa"
+	"chopper/internal/workloads"
+)
+
+// NarrowEntry is one (workload, arch) narrowing measurement.
+type NarrowEntry struct {
+	Workload string `json:"workload"`
+	Arch     string `json:"arch"`
+	Lanes    int    `json:"lanes"`
+	// BaseUops/NarrowUops are the emitted program lengths without and with
+	// safe-mode narrowing.
+	BaseUops   int `json:"base_uops"`
+	NarrowUops int `json:"narrow_uops"`
+	// UopReduction is 1 - NarrowUops/BaseUops (0.2 = 20% fewer micro-ops).
+	UopReduction float64 `json:"uop_reduction"`
+	// BaseMakespanNs/NarrowMakespanNs are the simulated single-subarray
+	// makespans (RunResult.TimeNs) of one run at Lanes lanes.
+	BaseMakespanNs   float64 `json:"base_makespan_ns"`
+	NarrowMakespanNs float64 `json:"narrow_makespan_ns"`
+	// MakespanSpeedup is BaseMakespanNs / NarrowMakespanNs.
+	MakespanSpeedup float64 `json:"makespan_speedup"`
+	// DeclaredBits/LiveBits are the pass's width accounting (summed value
+	// widths before and after narrowing).
+	DeclaredBits int `json:"declared_bits"`
+	LiveBits     int `json:"live_bits"`
+	// Verified records that the narrowed kernel passed bit-exact
+	// verification against the reference dataflow semantics.
+	Verified bool `json:"verified"`
+}
+
+// NarrowSection is the precision-adaptive compilation record inside a
+// Report. Like the tiled section it has no recorded baseline subsection:
+// the narrowing-off side of every entry is remeasured with the current
+// compiler every refresh, so the comparison stays apples-to-apples.
+type NarrowSection struct {
+	Note    string        `json:"note,omitempty"`
+	Entries []NarrowEntry `json:"entries"`
+}
+
+// MeasureNarrow measures one (workload, arch) pair: compile with
+// narrowing off and with safe-mode narrowing, verify the narrowed kernel,
+// and run both once on the suite inputs for the simulated makespans.
+func MeasureNarrow(workload string, arch isa.Arch) (NarrowEntry, error) {
+	spec, ok := workloads.Get(workload)
+	if !ok {
+		return NarrowEntry{}, fmt.Errorf("perfbench: unknown workload %q", workload)
+	}
+	base, err := chopper.Compile(spec.Src, chopper.Options{Target: arch})
+	if err != nil {
+		return NarrowEntry{}, fmt.Errorf("perfbench: compile %s/%s: %w", workload, arch, err)
+	}
+	nk, err := chopper.Compile(spec.Src, chopper.Options{Target: arch, Narrow: chopper.NarrowSafe})
+	if err != nil {
+		return NarrowEntry{}, fmt.Errorf("perfbench: narrow compile %s/%s: %w", workload, arch, err)
+	}
+	if nk.Narrow == nil {
+		return NarrowEntry{}, fmt.Errorf("perfbench: %s/%s: narrowing fell back to the original graph", workload, arch)
+	}
+	if err := nk.Verify(2, int64(arch)+4000); err != nil {
+		return NarrowEntry{}, fmt.Errorf("perfbench: %s/%s: narrowed kernel failed verification: %w", workload, arch, err)
+	}
+
+	baseRes, err := base.RunRows(Inputs(base, Lanes), Lanes)
+	if err != nil {
+		return NarrowEntry{}, fmt.Errorf("perfbench: run %s/%s: %w", workload, arch, err)
+	}
+	narrowRes, err := nk.RunRows(Inputs(nk, Lanes), Lanes)
+	if err != nil {
+		return NarrowEntry{}, fmt.Errorf("perfbench: narrowed run %s/%s: %w", workload, arch, err)
+	}
+
+	e := NarrowEntry{
+		Workload:         workload,
+		Arch:             arch.String(),
+		Lanes:            Lanes,
+		BaseUops:         len(base.Prog().Ops),
+		NarrowUops:       len(nk.Prog().Ops),
+		BaseMakespanNs:   baseRes.TimeNs,
+		NarrowMakespanNs: narrowRes.TimeNs,
+		DeclaredBits:     nk.Narrow.DeclaredBits,
+		LiveBits:         nk.Narrow.LiveBits,
+		Verified:         true,
+	}
+	if e.BaseUops > 0 {
+		e.UopReduction = 1 - float64(e.NarrowUops)/float64(e.BaseUops)
+	}
+	if e.NarrowMakespanNs > 0 {
+		e.MakespanSpeedup = e.BaseMakespanNs / e.NarrowMakespanNs
+	}
+	return e, nil
+}
+
+// RunNarrowSuite measures every (workload, arch) pair of the suite.
+func RunNarrowSuite() ([]NarrowEntry, error) {
+	var out []NarrowEntry
+	for _, wl := range Workloads {
+		for _, arch := range arches {
+			e, err := MeasureNarrow(wl, arch)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// SetNarrow attaches a precision-adaptive compilation section to the
+// report.
+func (r *Report) SetNarrow(entries []NarrowEntry, note string) {
+	r.Narrow = &NarrowSection{Note: note, Entries: entries}
+}
+
+// NarrowGains returns, per workload, the best (uop reduction, makespan
+// speedup) pair over the measured architectures — "best" by uop
+// reduction, with that entry's speedup. This is the quantity the CI gate
+// counts: a workload meets the narrowing thresholds when some measured
+// architecture clears both bars, since how much slack narrowing can turn
+// into savings varies with each architecture's instruction repertoire.
+func (r *Report) NarrowGains() map[string]NarrowEntry {
+	out := make(map[string]NarrowEntry)
+	if r.Narrow == nil {
+		return out
+	}
+	for _, e := range r.Narrow.Entries {
+		if best, ok := out[e.Workload]; !ok || e.UopReduction > best.UopReduction {
+			out[e.Workload] = e
+		}
+	}
+	return out
+}
+
+// validateNarrow checks a narrow section's structure: identity fields
+// set, positive program sizes and makespans, verified entries, reductions
+// consistent with the recorded sizes, and live bits within declared.
+func validateNarrow(n *NarrowSection) error {
+	if len(n.Entries) == 0 {
+		return fmt.Errorf("perfbench: narrow section has no entries")
+	}
+	for i, e := range n.Entries {
+		id := fmt.Sprintf("narrow[%d] %s/%s", i, e.Workload, e.Arch)
+		switch {
+		case e.Workload == "" || e.Arch == "":
+			return fmt.Errorf("perfbench: %s: missing workload/arch", id)
+		case e.Lanes <= 0:
+			return fmt.Errorf("perfbench: %s: lanes %d", id, e.Lanes)
+		case e.BaseUops <= 0 || e.NarrowUops <= 0:
+			return fmt.Errorf("perfbench: %s: missing program sizes", id)
+		case e.BaseMakespanNs <= 0 || e.NarrowMakespanNs <= 0:
+			return fmt.Errorf("perfbench: %s: missing makespans", id)
+		case e.DeclaredBits <= 0 || e.LiveBits <= 0 || e.LiveBits > e.DeclaredBits:
+			return fmt.Errorf("perfbench: %s: bit accounting %d live / %d declared", id, e.LiveBits, e.DeclaredBits)
+		case !e.Verified:
+			return fmt.Errorf("perfbench: %s: not verified", id)
+		}
+		if want := 1 - float64(e.NarrowUops)/float64(e.BaseUops); diffAbs(e.UopReduction, want) > 1e-9 {
+			return fmt.Errorf("perfbench: %s: uop_reduction %g inconsistent with %d/%d", id, e.UopReduction, e.NarrowUops, e.BaseUops)
+		}
+		if want := e.BaseMakespanNs / e.NarrowMakespanNs; diffAbs(e.MakespanSpeedup, want) > 1e-9*want {
+			return fmt.Errorf("perfbench: %s: makespan_speedup %g inconsistent with recorded makespans", id, e.MakespanSpeedup)
+		}
+	}
+	return nil
+}
+
+func diffAbs(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,76 @@
+package perfbench
+
+import (
+	"testing"
+)
+
+// TestMeasureNarrowQuick smoke-tests one narrowing measurement and checks
+// the simulated figures are deterministic: the timing model, not the wall
+// clock, produces the makespans, so two runs must agree exactly.
+func TestMeasureNarrowQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and verifies a workload repeatedly")
+	}
+	a, err := MeasureNarrow("DenseNet-16", arches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BaseUops <= 0 || a.NarrowUops <= 0 || a.BaseMakespanNs <= 0 || a.NarrowMakespanNs <= 0 {
+		t.Fatalf("degenerate measurement: %+v", a)
+	}
+	if !a.Verified {
+		t.Fatal("entry not marked verified")
+	}
+	b, err := MeasureNarrow("DenseNet-16", arches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("narrowing figures not deterministic: %+v vs %+v", a, b)
+	}
+	if err := validateNarrow(&NarrowSection{Entries: []NarrowEntry{a}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommittedNarrowReport validates the narrow section of the
+// BENCH_chopper.json checked in at the repository root and holds the PR's
+// acceptance criterion: on at least two workloads, some measured
+// architecture must show safe-mode narrowing cutting the emitted
+// micro-ops by >=20% while speeding the simulated makespan up by >=1.2x
+// (the same rule `benchcheck -min-narrow-uop-reduction 0.2` enforces),
+// with every entry verified and never worse than the baseline.
+func TestCommittedNarrowReport(t *testing.T) {
+	rep, err := Load("../../BENCH_chopper.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Narrow == nil {
+		t.Fatal("committed report has no narrow section")
+	}
+	if err := validateNarrow(rep.Narrow); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	qualified := map[string]bool{}
+	for _, e := range rep.Narrow.Entries {
+		seen[e.Workload] = true
+		if e.NarrowUops > e.BaseUops {
+			t.Errorf("%s/%s: narrowing grew the program: %d -> %d uops", e.Workload, e.Arch, e.BaseUops, e.NarrowUops)
+		}
+		if e.UopReduction >= 0.2 && e.MakespanSpeedup >= 1.2 {
+			qualified[e.Workload] = true
+		}
+	}
+	for _, wl := range Workloads {
+		if !seen[wl] {
+			t.Errorf("workload %s missing from the narrow section", wl)
+		}
+	}
+	for wl := range qualified {
+		t.Logf("%s meets the narrowing thresholds", wl)
+	}
+	if len(qualified) < 2 {
+		t.Fatalf("only %d workloads meet >=20%% uop reduction with >=1.2x makespan speedup, want >=2", len(qualified))
+	}
+}

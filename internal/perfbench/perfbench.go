@@ -85,6 +85,9 @@ type Report struct {
 	// ServeBatch is the request-coalescing record (see serve.go); nil in
 	// reports written before the batching work.
 	ServeBatch *ServeBatchSection `json:"serve_batch,omitempty"`
+	// Narrow is the precision-adaptive compilation record (see narrow.go);
+	// nil in reports written before the narrowing work.
+	Narrow *NarrowSection `json:"narrow,omitempty"`
 }
 
 // arches is the measured architecture set, in paper order.
@@ -262,7 +265,12 @@ func Validate(r *Report) error {
 		}
 	}
 	if r.ServeBatch != nil {
-		return validateServeBatch(r.ServeBatch)
+		if err := validateServeBatch(r.ServeBatch); err != nil {
+			return err
+		}
+	}
+	if r.Narrow != nil {
+		return validateNarrow(r.Narrow)
 	}
 	return nil
 }

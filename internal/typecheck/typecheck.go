@@ -17,6 +17,7 @@ package typecheck
 
 import (
 	"fmt"
+	"math/big"
 	"strings"
 
 	"chopper/internal/dsl"
@@ -118,6 +119,9 @@ func (c *checker) checkNode(n *dsl.Node) error {
 			return err
 		}
 		params[p.Name] = true
+	}
+	if err := checkRangeAttrs(n); err != nil {
+		return err
 	}
 	for _, p := range n.Returns {
 		if err := declare(p, "return"); err != nil {
@@ -466,4 +470,92 @@ func firstNonZero(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// Range is a validated @range(name, lo, hi) annotation: an inclusive,
+// non-negative bound on a parameter's runtime values, trusted by the
+// annotated narrowing mode.
+type Range struct {
+	Lo, Hi *big.Int
+}
+
+// rangeParams resolves one @range attribute against n's parameters and
+// parses its bounds. Array parameters are scalarized before typechecking,
+// so @range(v, lo, hi) matches the element parameters v__0, v__1, ... as
+// well as a scalar v.
+func rangeParams(n *dsl.Node, a *dsl.Attr) ([]*dsl.Param, Range, error) {
+	if len(a.Args) != 3 {
+		return nil, Range{}, fmt.Errorf("%s: @range takes (name, lo, hi), got %d arguments", a.Pos, len(a.Args))
+	}
+	name := a.Args[0]
+	var ps []*dsl.Param
+	for i := range n.Params {
+		if p := &n.Params[i]; p.Name == name || strings.HasPrefix(p.Name, name+"__") {
+			ps = append(ps, p)
+		}
+	}
+	if len(ps) == 0 {
+		return nil, Range{}, fmt.Errorf("%s: @range names %q, which is not a parameter of node %q", a.Pos, name, n.Name)
+	}
+	lo, okLo := new(big.Int).SetString(a.Args[1], 0)
+	hi, okHi := new(big.Int).SetString(a.Args[2], 0)
+	if !okLo || !okHi || lo.Sign() < 0 {
+		return nil, Range{}, fmt.Errorf("%s: @range(%s) bounds must be non-negative integers", a.Pos, name)
+	}
+	if lo.Cmp(hi) > 0 {
+		return nil, Range{}, fmt.Errorf("%s: @range(%s) has lo %s > hi %s", a.Pos, name, lo, hi)
+	}
+	for _, p := range ps {
+		if hi.BitLen() > p.Type.Bits {
+			return nil, Range{}, fmt.Errorf("%s: @range(%s) hi %s does not fit u%d", a.Pos, name, hi, p.Type.Bits)
+		}
+	}
+	return ps, Range{Lo: lo, Hi: hi}, nil
+}
+
+// checkRangeAttrs validates every @range annotation on n: the name must
+// be a parameter (or array-parameter base), the bounds non-negative with
+// lo <= hi and hi inside the parameter's width, and each parameter
+// annotated at most once.
+func checkRangeAttrs(n *dsl.Node) error {
+	seen := make(map[string]bool)
+	for i := range n.Attrs {
+		a := &n.Attrs[i]
+		if a.Name != "range" {
+			continue
+		}
+		if _, _, err := rangeParams(n, a); err != nil {
+			return err
+		}
+		if seen[a.Args[0]] {
+			return fmt.Errorf("%s: duplicate @range for %q", a.Pos, a.Args[0])
+		}
+		seen[a.Args[0]] = true
+	}
+	return nil
+}
+
+// InputRanges extracts n's @range annotations keyed by (scalarized)
+// parameter name — the dataflow graph's input names. Call it on a node of
+// a program Check has accepted; malformed annotations are skipped rather
+// than trusted.
+func InputRanges(n *dsl.Node) map[string]Range {
+	var out map[string]Range
+	for i := range n.Attrs {
+		a := &n.Attrs[i]
+		if a.Name != "range" {
+			continue
+		}
+		ps, r, err := rangeParams(n, a)
+		if err != nil {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]Range)
+		}
+		for _, p := range ps {
+			out[p.Name] = r
+		}
+	}
+	return out
 }

@@ -111,6 +111,7 @@ func (k *Kernel) ReliabilityCtx(ctx context.Context, trials int, seed int64, cfg
 	// Fault-free timing reference.
 	rng := rand.New(rand.NewSource(seed))
 	base := randWideInputs(rng, k.Inputs, lanes)
+	k.clampAnnotated(base)
 	baseRows := make(map[string][][]uint64, len(base))
 	for _, in := range k.Inputs {
 		baseRows[in.Name] = transpose.ToVerticalWide(base[in.Name], in.Width, lanes)
@@ -132,6 +133,7 @@ func (k *Kernel) ReliabilityCtx(ctx context.Context, trials int, seed int64, cfg
 		cfg := cfgs[ci]
 		trng := rand.New(rand.NewSource(trialSeed(seed, j)))
 		inWide := randWideInputs(trng, k.Inputs, lanes)
+		k.clampAnnotated(inWide)
 		rows := make(map[string][][]uint64, len(inWide))
 		for _, in := range k.Inputs {
 			rows[in.Name] = transpose.ToVerticalWide(inWide[in.Name], in.Width, lanes)

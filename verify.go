@@ -115,6 +115,7 @@ func (k *Kernel) verifyTrials(ctx context.Context, trials int, seed int64, worke
 		lanes := verifyLaneSchedule[trial%len(verifyLaneSchedule)]
 		rng := rand.New(rand.NewSource(trialSeed(seed, trial)))
 		inWide := randWideInputs(rng, k.Inputs, lanes)
+		k.clampAnnotated(inWide)
 		rows := make(map[string][][]uint64, len(inWide))
 		for _, in := range k.Inputs {
 			rows[in.Name] = transpose.ToVerticalWide(inWide[in.Name], in.Width, lanes)
@@ -184,6 +185,32 @@ func randWideInputs(rng *rand.Rand, inputs []IOSpec, lanes int) map[string][][]u
 	return inWide
 }
 
+// clampAnnotated folds randomly drawn inputs into their @range bounds. A
+// kernel compiled with annotated narrowing is only contractually correct
+// for inputs the annotations admit, so its verification sweeps must draw
+// from that set: each raw draw x becomes lo + (x mod (hi-lo+1)), keeping
+// trials deterministic in the seed. Kernels without annotations (and every
+// safe-mode kernel) pass through untouched.
+func (k *Kernel) clampAnnotated(inWide map[string][][]uint64) {
+	if len(k.inputRanges) == 0 {
+		return
+	}
+	for _, in := range k.Inputs {
+		r, ok := k.inputRanges[in.Name]
+		if !ok || r.Lo == nil || r.Hi == nil || r.Lo.Sign() < 0 ||
+			r.Lo.Cmp(r.Hi) > 0 || r.Hi.BitLen() > in.Width {
+			continue
+		}
+		span := new(big.Int).Sub(r.Hi, r.Lo)
+		span.Add(span, big.NewInt(1))
+		for _, limbs := range inWide[in.Name] {
+			v := limbsToBig(limbs)
+			v.Mod(v, span).Add(v, r.Lo)
+			bigToLimbs(v, limbs)
+		}
+	}
+}
+
 func limbsToBig(limbs []uint64) *big.Int {
 	v := new(big.Int)
 	for i := len(limbs) - 1; i >= 0; i-- {
@@ -191,6 +218,18 @@ func limbsToBig(limbs []uint64) *big.Int {
 		v.Or(v, new(big.Int).SetUint64(limbs[i]))
 	}
 	return v
+}
+
+// bigToLimbs writes v back into an existing little-endian limb slice; v
+// must fit (callers only shrink values, never widen them).
+func bigToLimbs(v *big.Int, limbs []uint64) {
+	t := new(big.Int).Set(v)
+	low := new(big.Int)
+	mask := new(big.Int).SetUint64(^uint64(0))
+	for i := range limbs {
+		limbs[i] = low.And(t, mask).Uint64()
+		t.Rsh(t, 64)
+	}
 }
 
 // TransposeCost reports the host-side transposition work for one tile of
